@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks of the simulation substrate: raw kernel
+// event throughput, channel transfer rates in both Connections models, and
+// MatchLib component hot paths. These quantify the mechanisms behind the
+// Fig. 6 wall-clock gap.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "connections/connections.hpp"
+#include "kernel/kernel.hpp"
+#include "matchlib/arbiter.hpp"
+#include "matchlib/arbitrated_crossbar.hpp"
+#include "matchlib/fifo.hpp"
+#include "matchlib/float.hpp"
+
+namespace craft {
+namespace {
+
+using namespace craft::literals;
+
+void BM_FiberSwitch(benchmark::State& state) {
+  Fiber f([] {
+    for (;;) Fiber::Suspend();
+  });
+  for (auto _ : state) f.resume();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_ClockOnlySimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    Clock clk(sim, "clk", 1_ns);
+    state.ResumeTiming();
+    sim.Run(10_us);  // 10k cycles
+  }
+}
+BENCHMARK(BM_ClockOnlySimulation);
+
+template <SimMode kMode>
+void BM_ChannelTransfers(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    sim.set_mode(kMode);
+    Clock clk(sim, "clk", 1_ns);
+    Module top(sim, "top");
+    connections::Buffer<int> ch(top, "ch", clk, 4);
+    struct Tb : Module {
+      Tb(Module& p, Clock& clk, connections::Buffer<int>& ch) : Module(p, "tb") {
+        Thread("prod", clk, [&ch] {
+          for (int i = 0; i < 2000; ++i) ch.Push(i);
+        });
+        Thread("cons", clk, [&ch] {
+          for (int i = 0; i < 2000; ++i) benchmark::DoNotOptimize(ch.Pop());
+          Simulator::Current().Stop();
+        });
+      }
+    } tb(top, clk, ch);
+    state.ResumeTiming();
+    sim.Run(100_us);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ChannelTransfers<SimMode::kSimAccurate>)->Name("BM_ChannelTransfers/sim_accurate");
+BENCHMARK(BM_ChannelTransfers<SimMode::kSignalAccurate>)
+    ->Name("BM_ChannelTransfers/signal_accurate");
+
+void BM_ArbiterPick(benchmark::State& state) {
+  matchlib::Arbiter arb(16);
+  Rng rng(3);
+  std::uint64_t req = rng.Next() & 0xFFFF;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arb.Pick(req | 1));
+    req = (req * 2862933555777941757ull) + 3037000493ull;
+    req &= 0xFFFF;
+  }
+}
+BENCHMARK(BM_ArbiterPick);
+
+void BM_ArbitratedCrossbarCycle(benchmark::State& state) {
+  matchlib::ArbitratedCrossbar<std::uint32_t, 8, 8, 4> xbar;
+  Rng rng(5);
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < 8; ++i) {
+      if (xbar.CanAccept(i)) xbar.Push(i, v++, rng.NextBelow(8));
+    }
+    benchmark::DoNotOptimize(xbar.Arbitrate());
+  }
+}
+BENCHMARK(BM_ArbitratedCrossbarCycle);
+
+void BM_SoftFloatMulAdd(benchmark::State& state) {
+  using matchlib::Float32;
+  Float32 a = Float32::FromFloat(1.25f);
+  Float32 b = Float32::FromFloat(0.75f);
+  Float32 c = Float32::FromFloat(0.001f);
+  for (auto _ : state) {
+    c = FpMulAdd(a, b, c);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SoftFloatMulAdd);
+
+}  // namespace
+}  // namespace craft
+
+BENCHMARK_MAIN();

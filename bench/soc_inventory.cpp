@@ -1,0 +1,117 @@
+// §4 case study scale: per-partition gate/transistor inventory of the
+// prototype SoC at its paper configuration (15 replicated PEs, two global
+// memory halves, RISC-V, I/O), priced with the HLS area model — the
+// "87M transistor" scale claim — plus the productivity arithmetic
+// ("2K-20K gates (NAND2 equivalents) per engineer-day on unique unit-level
+// designs").
+#include <cstdio>
+
+#include "gals/area_model.hpp"
+#include "hls/qor.hpp"
+
+namespace {
+
+using craft::hls::AreaModel;
+
+/// Gate inventory of one PE built from the scheduled MatchLib components
+/// plus its SRAM macros (priced per bit, 6T cells).
+struct UnitArea {
+  double logic_gates = 0.0;
+  double sram_bits = 0.0;
+
+  double transistors(const AreaModel& m) const {
+    return m.GatesToTransistors(logic_gates) + 6.0 * sram_bits;
+  }
+
+  /// Whole-partition area in NAND2 equivalents (SRAM bitcells are ~6T but
+  /// far denser than logic; 1.5 gate-equivalents per bit is a standard
+  /// planning number).
+  double total_gate_equivalents() const { return logic_gates + 1.5 * sram_bits; }
+};
+
+UnitArea PeArea(const AreaModel& m) {
+  using namespace craft::hls;
+  UnitArea u;
+  // Datapath: 16-lane fp16-class MAC datapath + reduction + control ALU.
+  u.logic_gates += Schedule(BuildVectorScale(16, 16), m).total_gates();
+  u.logic_gates += Schedule(BuildDotProduct(16, 16), m).total_gates();
+  u.logic_gates += Schedule(BuildReductionTree(16, 24), m).total_gates();
+  u.logic_gates += Schedule(BuildAlu(32), m).total_gates();
+  // Scratchpad arbitration + crossbar + NI (dst-loop style) + router.
+  u.logic_gates += Schedule(BuildDstLoopCrossbar(8, 64), m).total_gates();
+  u.logic_gates += Schedule(BuildRoundRobinArbiter(8), m).total_gates() * 8;
+  u.logic_gates += 25e3;  // WHVC router + NI sequential control (regs, FSMs)
+  // 64 KB scratchpad.
+  u.sram_bits += 64.0 * 1024 * 8;
+  return u;
+}
+
+UnitArea GlobalMemoryArea(const AreaModel& m) {
+  using namespace craft::hls;
+  UnitArea u;
+  u.logic_gates += Schedule(BuildDstLoopCrossbar(8, 64), m).total_gates();
+  u.logic_gates += Schedule(BuildRoundRobinArbiter(8), m).total_gates() * 8;
+  u.logic_gates += 20e3;  // bank controllers + NI
+  u.sram_bits += 512.0 * 1024 * 8;  // 512 KB half
+  return u;
+}
+
+UnitArea RiscvArea(const AreaModel&) {
+  UnitArea u;
+  u.logic_gates = 450e3;       // Rocket-class in-order core + caches control
+  u.sram_bits = 32.0 * 1024 * 8 * 2;  // I$ + D$
+  return u;
+}
+
+UnitArea IoArea(const AreaModel&) {
+  UnitArea u;
+  u.logic_gates = 150e3;
+  u.sram_bits = 16.0 * 1024 * 8;
+  return u;
+}
+
+}  // namespace
+
+int main() {
+  AreaModel m;
+  craft::gals::GalsAreaModel gals_model;
+
+  struct Row {
+    const char* name;
+    UnitArea area;
+    int count;
+    unsigned async_ifaces;
+  };
+  const Row rows[] = {
+      {"PE", PeArea(m), 15, 4},
+      {"GlobalMemory half", GlobalMemoryArea(m), 2, 4},
+      {"RISC-V", RiscvArea(m), 1, 3},
+      {"I/O", IoArea(m), 1, 3},
+  };
+
+  std::printf("Prototype SoC inventory (paper configuration: 15 PEs + 2 GM halves "
+              "+ RISC-V + I/O)\n\n");
+  std::printf("%-18s %5s %14s %12s %16s %10s\n", "partition", "count", "logic gates",
+              "SRAM KB", "transistors", "GALS ovh");
+  double total_transistors = 0.0;
+  double total_unique_gates = 0.0;
+  for (const Row& r : rows) {
+    const double gals_gates =
+        gals_model.PartitionOverheadGates(r.async_ifaces, 4, 64);
+    const double t = (r.area.transistors(m) + m.GatesToTransistors(gals_gates)) * r.count;
+    total_transistors += t;
+    total_unique_gates += r.area.logic_gates;
+    std::printf("%-18s %5d %14.0f %12.0f %16.0f %9.2f%%\n", r.name, r.count,
+                r.area.logic_gates, r.area.sram_bits / 8 / 1024, t,
+                100.0 * gals_gates / r.area.total_gate_equivalents());
+  }
+  std::printf("\ntotal transistors: %.1fM (paper testchip: 87M)\n",
+              total_transistors / 1e6);
+
+  std::printf("\nProductivity arithmetic (paper: 2K-20K NAND2-eq gates per "
+              "engineer-day on unique unit-level designs):\n");
+  std::printf("  unique unit-level logic: %.0f gates\n", total_unique_gates);
+  std::printf("  -> engineer-days at 20K gates/day: %.0f\n", total_unique_gates / 20e3);
+  std::printf("  -> engineer-days at  2K gates/day: %.0f\n", total_unique_gates / 2e3);
+  return 0;
+}

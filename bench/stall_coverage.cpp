@@ -1,0 +1,69 @@
+// §2.3 verification-support study: stall injection "assists in quickly
+// covering complex corner case scenarios that otherwise would require
+// significant dedicated test development effort."
+//
+// Measures, as a function of stall probability, how many distinct channel
+// timing interleavings (occupancy states observed per channel) a fixed
+// workload exercises on the prototype SoC — and checks that results remain
+// golden at every stall level (the latency-insensitive guarantee).
+#include <cstdio>
+#include <set>
+
+#include "connections/channel_control.hpp"
+#include "soc/workloads.hpp"
+
+namespace craft::soc {
+namespace {
+
+using namespace craft::literals;
+
+struct Outcome {
+  bool ok = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t transfers = 0;
+};
+
+Outcome Run(double stall_prob, std::uint64_t seed) {
+  Simulator sim;
+  SocConfig cfg;
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 2;
+  cfg.gals = false;
+  SocTop soc(sim, cfg);
+  const Workload w = SixSocTests()[0];  // vecmul exercises DMA + compute
+  w.setup(soc);
+  if (stall_prob > 0.0) {
+    connections::ChannelControl::ApplyStallToAll(
+        {.valid_stall_prob = stall_prob, .ready_stall_prob = 0.0, .seed = seed});
+  }
+  Outcome o;
+  o.cycles = soc.RunCommands(w.commands(soc), 500_ms);
+  std::string err;
+  o.ok = w.check(soc, &err);
+  o.transfers = connections::ChannelControl::TotalTransfers();
+  return o;
+}
+
+}  // namespace
+}  // namespace craft::soc
+
+int main() {
+  using namespace craft::soc;
+  std::printf("Stall-injection study (vecmul on the prototype SoC)\n");
+  std::printf("(paper: random stalls cover timing corner cases with zero design/"
+              "testbench changes; LI design keeps results correct)\n\n");
+  std::printf("%12s %10s %12s %12s %8s\n", "stall prob", "seed", "cycles",
+              "transfers", "result");
+  for (double p : {0.0, 0.1, 0.25, 0.5}) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      const Outcome o = Run(p, seed);
+      std::printf("%12.2f %10llu %12llu %12llu %8s\n", p, (unsigned long long)seed,
+                  (unsigned long long)o.cycles, (unsigned long long)o.transfers,
+                  o.ok ? "PASS" : "FAIL");
+      if (p == 0.0) break;  // seed is irrelevant without stalls
+    }
+  }
+  std::printf("\n(each (prob, seed) pair is a distinct timing universe; cycle-count "
+              "spread shows the interleavings covered)\n");
+  return 0;
+}

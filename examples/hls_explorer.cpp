@@ -1,0 +1,44 @@
+// HLS design-space exploration example (paper §2.2: HLS "enables design
+// exploration tradeoffs without changing source code").
+//
+// Takes one design — a 16-tap 16-bit FIR — and sweeps the two classic HLS
+// knobs, clock target (logic-depth budget) and multiplier resource limit,
+// printing the resulting latency / II / area trade-off curve. The source
+// "code" (the dataflow graph) never changes; only constraints do.
+//
+// Build & run:  ./build/examples/hls_explorer
+#include <cstdio>
+
+#include "hls/designs.hpp"
+#include "hls/scheduler.hpp"
+
+int main() {
+  using namespace craft::hls;
+  AreaModel model;
+  const DataflowGraph fir = BuildFir(16, 16);
+
+  std::printf("Design-space exploration: fir16_w16 (%zu schedulable ops)\n\n",
+              fir.SchedulableOpCount());
+
+  std::printf("-- clock-target sweep (unconstrained resources) --\n");
+  std::printf("%14s %10s %6s %12s %12s %14s\n", "levels/cycle", "latency", "II",
+              "logic gates", "reg gates", "total gates");
+  for (unsigned budget : {12u, 16u, 24u, 32u, 48u, 96u}) {
+    const ScheduleResult r = Schedule(fir, model, {.levels_per_cycle = budget});
+    std::printf("%14u %10u %6u %12.0f %12.0f %14.0f\n", budget, r.latency_cycles,
+                r.initiation_interval, r.logic_gates, r.register_gates, r.total_gates());
+  }
+
+  std::printf("\n-- multiplier-sharing sweep (48 levels/cycle) --\n");
+  std::printf("%12s %10s %6s %14s\n", "multipliers", "latency", "II", "total gates");
+  for (unsigned mults : {16u, 8u, 4u, 2u, 1u}) {
+    const ScheduleResult r =
+        Schedule(fir, model, {.levels_per_cycle = 48, .max_multipliers = mults});
+    std::printf("%12u %10u %6u %14.0f\n", mults, r.latency_cycles,
+                r.initiation_interval, r.total_gates());
+  }
+
+  std::printf("\n(throughput/area knob turns without touching the design source — "
+              "the OOHLS decoupling of function from constraints)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "connections/channel_control.hpp"
+
+#include <algorithm>
+
+namespace craft::connections {
+
+std::vector<ChannelControl*>& ChannelControl::Registry() {
+  static std::vector<ChannelControl*> registry;
+  return registry;
+}
+
+ChannelControl::ChannelControl() { Registry().push_back(this); }
+
+ChannelControl::~ChannelControl() {
+  auto& r = Registry();
+  r.erase(std::remove(r.begin(), r.end(), this), r.end());
+}
+
+void ChannelControl::ApplyStallToAll(const StallConfig& cfg) {
+  std::uint64_t i = 0;
+  for (ChannelControl* c : Registry()) {
+    StallConfig mine = cfg;
+    mine.seed = cfg.seed * 0x9e3779b97f4a7c15ull + (++i);
+    c->SetStall(mine);
+  }
+}
+
+std::uint64_t ChannelControl::TotalTransfers() {
+  std::uint64_t total = 0;
+  for (ChannelControl* c : Registry()) total += c->transfer_count();
+  return total;
+}
+
+void ChannelControl::EnableLoggingAll(std::size_t depth) {
+  for (ChannelControl* c : Registry()) c->SetTransactionLogDepth(depth);
+}
+
+void ChannelControl::DumpState(std::ostream& os) {
+  for (ChannelControl* c : Registry()) {
+    if (c->occupancy() > 0) {
+      os << c->channel_name() << " occ=" << c->occupancy()
+         << " xfers=" << c->transfer_count() << "\n";
+    }
+  }
+}
+
+}  // namespace craft::connections

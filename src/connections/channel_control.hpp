@@ -1,0 +1,67 @@
+// Type-erased channel control: stall injection and statistics across every
+// live channel in the simulation (paper §2.3, "Enhanced verification support
+// through stall injection capabilities in the channel").
+//
+// Injecting random stalls — withholding `valid` (and optionally `ready`) —
+// perturbs inter-unit timing without touching design or testbench code,
+// covering timing-interaction corner cases that directed tests miss.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+
+namespace craft::connections {
+
+/// Stall-injection configuration for one channel endpoint pair.
+struct StallConfig {
+  double valid_stall_prob = 0.0;  ///< P(withhold valid in a given cycle)
+  double ready_stall_prob = 0.0;  ///< P(withhold ready in a given cycle)
+  std::uint64_t seed = 1;
+  bool enabled() const { return valid_stall_prob > 0.0 || ready_stall_prob > 0.0; }
+};
+
+/// Base class registered by every channel; lets tests/benches blanket-apply
+/// stall injection and collect transfer statistics.
+class ChannelControl {
+ public:
+  virtual void SetStall(const StallConfig& cfg) = 0;
+  virtual std::uint64_t transfer_count() const = 0;
+  virtual const std::string& channel_name() const = 0;
+  /// Tokens currently held (committed queue + staged), for debug dumps.
+  virtual std::size_t occupancy() const = 0;
+
+  /// Keeps the last `depth` transfer timestamps (0 disables). With the
+  /// occupancy dump, this is the fast-debug toolkit the paper credits for
+  /// "quickly locating bugs": when a system stalls, the logs show which
+  /// channel went quiet first.
+  virtual void SetTransactionLogDepth(std::size_t depth) = 0;
+  virtual const std::deque<Time>& transaction_log() const = 0;
+
+  /// Enables transaction logging on every live channel.
+  static void EnableLoggingAll(std::size_t depth);
+
+  /// Applies `cfg` to every live channel; each channel's RNG is seeded with
+  /// cfg.seed combined with its registration index for decorrelation.
+  static void ApplyStallToAll(const StallConfig& cfg);
+
+  /// Sum of transfer counts across all live channels.
+  static std::uint64_t TotalTransfers();
+
+  /// Writes one line per non-empty channel (name, occupancy, transfers) —
+  /// the first tool to reach for when a system of LI channels stalls.
+  static void DumpState(std::ostream& os);
+
+ protected:
+  ChannelControl();
+  virtual ~ChannelControl();
+
+ private:
+  static std::vector<ChannelControl*>& Registry();
+};
+
+}  // namespace craft::connections

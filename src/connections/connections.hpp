@@ -1,0 +1,578 @@
+// Connections: latency-insensitive channels with ports decoupled from
+// channel kinds (paper §2.3, Table 1, Fig. 2).
+//
+//   Port   | Functions            Channel          | Description
+//   -------+-----------           -----------------+---------------------------
+//   In<T>  | Pop(), PopNB()       Combinational<T> | combinationally connects
+//   Out<T> | Push(), PushNB()     Bypass<T>        | enables DEQ when empty
+//                                 Pipeline<T>      | enables ENQ when full
+//                                 Buffer<T>        | FIFO channel
+//                                 Packetizer<T>... | network channels (see
+//                                                  | packetizer.hpp)
+//
+// Every channel has two interchangeable implementations selected by the
+// simulator-wide SimMode:
+//
+//  * signal-accurate (SimMode::kSignalAccurate): the channel is real RTL —
+//    msg/valid/ready signals, a combinational method and a sequential
+//    (posedge) method. Port operations perform the paper's delayed
+//    operations: assert valid, wait() one cycle, deassert, sample ready.
+//    Faithful to what HLS synthesizes, but a loop touching P ports costs ~P
+//    cycles because the SystemC-style simulator serializes the waits — the
+//    source of the growing cycles-per-transaction error in Fig. 3.
+//
+//  * sim-accurate (SimMode::kSimAccurate): port operations stage
+//    transactions into channel-internal buffers; a per-posedge hook commits
+//    them with RTL-equivalent timing (at most one token per port per cycle,
+//    correct occupancy-based backpressure, correct enqueue-to-visible
+//    latency). All non-blocking operations in one loop iteration overlap in
+//    a single cycle, matching the HLS-scheduled RTL — so elapsed cycles
+//    match RTL while simulation runs orders of magnitude faster.
+//
+// Semantics notes (documented deviations, both mode-consistent):
+//  * Combinational<T> transfers require a same-cycle rendezvous. A
+//    non-blocking push "offers" the value (models holding valid); the offer
+//    stays until consumed. Blocking Push returns once the consumer has taken
+//    the value.
+//  * Pipeline<T>'s enqueue-when-full needs same-cycle knowledge of the
+//    consumer's dequeue; in sim-accurate mode the enqueue is accepted when
+//    full only if a pop has already been observed in the same cycle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "connections/channel_control.hpp"
+#include "kernel/clock.hpp"
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/report.hpp"
+#include "kernel/rng.hpp"
+#include "kernel/signal.hpp"
+
+namespace craft::connections {
+
+/// Channel kinds of Table 1 / Fig. 2.
+enum class ChannelKind { kCombinational, kBypass, kPipeline, kBuffer };
+
+inline const char* ToString(ChannelKind k) {
+  switch (k) {
+    case ChannelKind::kCombinational: return "Combinational";
+    case ChannelKind::kBypass: return "Bypass";
+    case ChannelKind::kPipeline: return "Pipeline";
+    case ChannelKind::kBuffer: return "Buffer";
+  }
+  return "?";
+}
+
+/// A latency-insensitive channel carrying messages of type T.
+/// T must be default-constructible and equality-comparable.
+template <typename T>
+class Channel : public Module, public ChannelControl {
+ public:
+  Channel(Module& parent, const std::string& name, Clock& clk, ChannelKind kind,
+          unsigned capacity)
+      : Module(parent, name),
+        clk_(clk),
+        kind_(kind),
+        capacity_(capacity),
+        data_event_(sim()),
+        space_event_(sim()) {
+    CRAFT_ASSERT(capacity_ >= 1 || kind_ == ChannelKind::kCombinational,
+                 "channel capacity must be >= 1");
+    if (sim().mode() == SimMode::kSignalAccurate) {
+      BuildSignalAccurate();
+    } else {
+      clk_.AddEdgeHook([this] { CommitEdge(); }, /*priority=*/0);
+    }
+  }
+
+  Clock& clk() const { return clk_; }
+  ChannelKind kind() const { return kind_; }
+
+  // ---- ChannelControl ----
+  void SetStall(const StallConfig& cfg) override {
+    stall_ = cfg;
+    stall_rng_ = Rng(cfg.seed);
+  }
+  std::uint64_t transfer_count() const override { return transfers_; }
+  const std::string& channel_name() const override { return full_name(); }
+  std::size_t occupancy() const override {
+    return q_.size() + (staged_.has_value() ? 1 : 0);
+  }
+  void SetTransactionLogDepth(std::size_t depth) override {
+    log_depth_ = depth;
+    while (log_.size() > log_depth_) log_.pop_front();
+  }
+  const std::deque<Time>& transaction_log() const override { return log_; }
+
+  /// Cycles (enqueue-side clock) during which a blocking producer was stalled.
+  std::uint64_t backpressure_cycles() const { return backpressure_cycles_; }
+
+  // ---- Producer interface (called via Out<T>) ----
+
+  /// Non-blocking push: attempts to hand `v` to the channel this cycle.
+  bool PushNB(const T& v) {
+    return sim().mode() == SimMode::kSignalAccurate ? SigPushNB(v) : SimPushNB(v);
+  }
+
+  /// Blocking push: returns once the channel has accepted `v`.
+  void Push(const T& v) {
+    if (sim().mode() == SimMode::kSignalAccurate) {
+      SigPush(v);
+    } else {
+      SimPush(v);
+    }
+  }
+
+  // ---- Consumer interface (called via In<T>) ----
+
+  /// Non-blocking pop: attempts to take a message this cycle.
+  bool PopNB(T& out) {
+    return sim().mode() == SimMode::kSignalAccurate ? SigPopNB(out) : SimPopNB(out);
+  }
+
+  /// Blocking pop.
+  T Pop() {
+    return sim().mode() == SimMode::kSignalAccurate ? SigPop() : SimPop();
+  }
+
+  /// True if a pop could succeed this cycle (peek; sim-accurate mode only).
+  bool PeekAvailable() const {
+    if (kind_ == ChannelKind::kCombinational || kind_ == ChannelKind::kBypass) {
+      return !q_.empty() || staged_.has_value();
+    }
+    return !q_.empty();
+  }
+
+ private:
+  // ================= sim-accurate implementation =================
+
+  bool ValidStalledThisCycle() {
+    if (stall_.valid_stall_prob <= 0.0) return false;
+    RollStall();
+    return valid_stalled_;
+  }
+  bool ReadyStalledThisCycle() {
+    if (stall_.ready_stall_prob <= 0.0) return false;
+    RollStall();
+    return ready_stalled_;
+  }
+  void RollStall() {
+    // One roll per cycle, lazily, so channels without blocked endpoints pay
+    // nothing and results do not depend on process dispatch order.
+    const std::uint64_t c = clk_.cycle();
+    if (stall_roll_cycle_ == c) return;
+    stall_roll_cycle_ = c;
+    valid_stalled_ = stall_rng_.NextBool(stall_.valid_stall_prob);
+    ready_stalled_ = stall_rng_.NextBool(stall_.ready_stall_prob);
+  }
+
+  /// Edge hook: commits the producer's staged token into the queue, exactly
+  /// as RTL registers the transfer at the clock edge.
+  void CommitEdge() {
+    if (kind_ == ChannelKind::kCombinational) {
+      // No storage: an unconsumed offer simply persists (producer holds
+      // valid). Nothing to commit.
+      return;
+    }
+    if (staged_.has_value() && q_.size() < capacity_) {
+      q_.push_back(std::move(*staged_));
+      staged_.reset();
+      data_event_.Notify();
+      space_event_.Notify();
+    }
+  }
+
+  bool SimPushNB(const T& v) {
+    const std::uint64_t c = clk_.cycle();
+    if (last_push_cycle_ == c) return false;  // at most one token per cycle
+    if (ReadyStalledThisCycle()) return false;
+    switch (kind_) {
+      case ChannelKind::kCombinational:
+        if (staged_.has_value()) return false;  // previous offer not yet taken
+        staged_ = v;
+        last_push_cycle_ = c;
+        data_event_.Notify();
+        return true;
+      case ChannelKind::kBypass:
+      case ChannelKind::kBuffer:
+        // RTL ready: committed occupancy (incl. in-flight staged token) < cap.
+        if (q_.size() + (staged_.has_value() ? 1 : 0) >= capacity_) return false;
+        staged_ = v;
+        last_push_cycle_ = c;
+        if (kind_ == ChannelKind::kBypass) data_event_.Notify();  // same-cycle DEQ
+        return true;
+      case ChannelKind::kPipeline:
+        // ENQ-when-full allowed if the consumer already dequeued this cycle.
+        if (q_.size() + (staged_.has_value() ? 1 : 0) >= capacity_ &&
+            last_pop_cycle_ != c) {
+          return false;
+        }
+        if (staged_.has_value()) return false;
+        staged_ = v;
+        last_push_cycle_ = c;
+        return true;
+    }
+    return false;
+  }
+
+  void SimPush(const T& v) {
+    while (!SimPushNB(v)) {
+      ++backpressure_cycles_;
+      wait();
+    }
+    if (kind_ == ChannelKind::kCombinational) {
+      // Rendezvous: hold the offer until the consumer takes it.
+      while (staged_.has_value()) wait(consumed_event());
+    }
+  }
+
+  bool SimPopNB(T& out) {
+    const std::uint64_t c = clk_.cycle();
+    if (last_pop_cycle_ == c) return false;  // one token per cycle
+    if (ValidStalledThisCycle()) return false;
+    switch (kind_) {
+      case ChannelKind::kCombinational:
+        if (!staged_.has_value()) return false;
+        out = std::move(*staged_);
+        staged_.reset();
+        last_pop_cycle_ = c;
+        RecordTransfer();
+        consumed_event().Notify();
+        return true;
+      case ChannelKind::kBypass:
+        if (!q_.empty()) {
+          out = std::move(q_.front());
+          q_.pop_front();
+        } else if (staged_.has_value()) {
+          out = std::move(*staged_);  // bypass path: DEQ when empty
+          staged_.reset();
+        } else {
+          return false;
+        }
+        last_pop_cycle_ = c;
+        RecordTransfer();
+        space_event_.Notify();
+        return true;
+      case ChannelKind::kPipeline:
+      case ChannelKind::kBuffer:
+        if (q_.empty()) return false;
+        out = std::move(q_.front());
+        q_.pop_front();
+        last_pop_cycle_ = c;
+        RecordTransfer();
+        space_event_.Notify();
+        return true;
+    }
+    return false;
+  }
+
+  T SimPop() {
+    T out{};
+    while (!SimPopNB(out)) {
+      if ((kind_ == ChannelKind::kCombinational || kind_ == ChannelKind::kBypass) &&
+          !PeekAvailable()) {
+        // Same-cycle visibility: wake on an offer within this timestep.
+        wait(data_event_);
+      } else {
+        // Data exists but this endpoint is rate-limited (or clocked kind):
+        // retry at the next posedge.
+        wait();
+      }
+    }
+    return out;
+  }
+
+  Event& consumed_event() { return space_event_; }
+
+  // ================= signal-accurate implementation =================
+  //
+  // The channel elaborates real RTL: producer-side signals (p_*),
+  // consumer-side signals (c_*), a combinational method and a sequential
+  // method, per the schematics of Fig. 2.
+
+  void BuildSignalAccurate() {
+    sig_ = std::make_unique<Signals>(sim(), full_name());
+    MethodProcess& comb = Method("comb", [this] { SigComb(); });
+    sig_->p_valid.AddSensitive(comb);
+    sig_->p_msg.AddSensitive(comb);
+    sig_->c_ready.AddSensitive(comb);
+    sig_->state_change.AddSensitive(comb);
+    Method("seq", [this] { SigSeq(); }).SensitiveTo(clk_);
+    clk_.AddEdgeHook(
+        [this] {
+          if (stall_.enabled()) {
+            RollStall();
+            // Retrigger the combinational method so the stall mask applies.
+            sig_->state_change.write(sig_->state_change.read() + 1);
+          }
+        },
+        /*priority=*/-10);
+  }
+
+  struct Signals {
+    Signals(Simulator& sim, const std::string& n)
+        : p_msg(sim, n + ".p_msg"),
+          p_valid(sim, n + ".p_valid", false),
+          p_ready(sim, n + ".p_ready", false),
+          c_msg(sim, n + ".c_msg"),
+          c_valid(sim, n + ".c_valid", false),
+          c_ready(sim, n + ".c_ready", false),
+          state_change(sim, n + ".state", 0) {}
+    Signal<T> p_msg;
+    Signal<bool> p_valid;
+    Signal<bool> p_ready;
+    Signal<T> c_msg;
+    Signal<bool> c_valid;
+    Signal<bool> c_ready;
+    Signal<std::uint32_t> state_change;  // bumps when q_ mutates, retriggers comb
+  };
+
+  /// Combinational outputs as a function of registered state and inputs.
+  void SigComb() {
+    const bool stall_valid = stall_.valid_stall_prob > 0.0 && valid_stalled_;
+    const bool stall_ready = stall_.ready_stall_prob > 0.0 && ready_stalled_;
+    switch (kind_) {
+      case ChannelKind::kCombinational: {
+        // No storage: a stall of either signal must kill the handshake on
+        // BOTH sides in the same cycle, or a message would be lost (producer
+        // sees ready) / duplicated (consumer sees valid).
+        const bool stall_any = stall_valid || stall_ready;
+        sig_->c_valid.write(sig_->p_valid.read() && !stall_any);
+        sig_->c_msg.write(sig_->p_msg.read());
+        sig_->p_ready.write(sig_->c_ready.read() && !stall_any);
+        break;
+      }
+      case ChannelKind::kBypass:
+        if (q_.empty()) {
+          sig_->c_valid.write(sig_->p_valid.read() && !stall_valid);
+          sig_->c_msg.write(sig_->p_msg.read());
+        } else {
+          sig_->c_valid.write(!stall_valid);
+          sig_->c_msg.write(q_.front());
+        }
+        sig_->p_ready.write(q_.size() < capacity_ && !stall_ready);
+        break;
+      case ChannelKind::kPipeline: {
+        const bool cv = !q_.empty() && !stall_valid;
+        sig_->c_valid.write(cv);
+        if (!q_.empty()) sig_->c_msg.write(q_.front());
+        // ENQ-when-full is only safe when the (post-stall) output handshake
+        // drains an entry in the same cycle.
+        sig_->p_ready.write(
+            (q_.size() < capacity_ || (cv && sig_->c_ready.read())) && !stall_ready);
+        break;
+      }
+      case ChannelKind::kBuffer:
+        sig_->c_valid.write(!q_.empty() && !stall_valid);
+        if (!q_.empty()) sig_->c_msg.write(q_.front());
+        sig_->p_ready.write(q_.size() < capacity_ && !stall_ready);
+        break;
+    }
+  }
+
+  /// Sequential state update at the posedge, sampling committed signals.
+  void SigSeq() {
+    const bool in_xfer = sig_->p_valid.read() && sig_->p_ready.read();
+    const bool out_xfer = sig_->c_valid.read() && sig_->c_ready.read();
+    switch (kind_) {
+      case ChannelKind::kCombinational:
+        if (in_xfer && out_xfer) RecordTransfer();
+        return;  // no state
+      case ChannelKind::kBypass: {
+        const bool bypassed = out_xfer && q_.empty();
+        if (out_xfer && !q_.empty()) q_.pop_front();
+        if (in_xfer && !bypassed) q_.push_back(sig_->p_msg.read());
+        if (out_xfer) RecordTransfer();
+        break;
+      }
+      case ChannelKind::kPipeline:
+      case ChannelKind::kBuffer:
+        if (out_xfer) {
+          q_.pop_front();
+          RecordTransfer();
+        }
+        if (in_xfer) {
+          CRAFT_ASSERT(q_.size() < capacity_, full_name() << ": FIFO overflow");
+          q_.push_back(sig_->p_msg.read());
+        }
+        break;
+    }
+    sig_->state_change.write(sig_->state_change.read() + 1);
+  }
+
+  // Port protocols: the paper's delayed operations (§2.3 code snippet).
+
+  bool SigPushNB(const T& v) {
+    sig_->p_msg.write(v);     // write data bits
+    sig_->p_valid.write(true);  // set valid bit
+    wait();                   // one cycle delay
+    sig_->p_valid.write(false);  // clear valid bit (delayed operation)
+    return sig_->p_ready.read();
+  }
+
+  void SigPush(const T& v) {
+    sig_->p_msg.write(v);
+    sig_->p_valid.write(true);
+    do {
+      wait();
+      if (!sig_->p_ready.read()) ++backpressure_cycles_;
+    } while (!sig_->p_ready.read());
+    sig_->p_valid.write(false);
+  }
+
+  bool SigPopNB(T& out) {
+    sig_->c_ready.write(true);
+    wait();
+    sig_->c_ready.write(false);  // delayed operation
+    if (sig_->c_valid.read()) {
+      out = sig_->c_msg.read();
+      return true;
+    }
+    return false;
+  }
+
+  T SigPop() {
+    sig_->c_ready.write(true);
+    do {
+      wait();
+    } while (!sig_->c_valid.read());
+    sig_->c_ready.write(false);
+    return sig_->c_msg.read();
+  }
+
+  /// Counts a completed transfer and appends to the bounded debug log.
+  void RecordTransfer() {
+    ++transfers_;
+    if (log_depth_ > 0) {
+      log_.push_back(sim().now());
+      if (log_.size() > log_depth_) log_.pop_front();
+    }
+  }
+
+  // ---- common state ----
+  Clock& clk_;
+  ChannelKind kind_;
+  unsigned capacity_;
+
+  std::deque<T> q_;             // committed storage (both modes)
+  std::optional<T> staged_;     // sim-accurate: producer's in-flight token
+  std::uint64_t last_push_cycle_ = ~0ull;
+  std::uint64_t last_pop_cycle_ = ~0ull;
+  Event data_event_;
+  Event space_event_;
+
+  StallConfig stall_;
+  Rng stall_rng_;
+  std::uint64_t stall_roll_cycle_ = ~0ull;
+  bool valid_stalled_ = false;
+  bool ready_stalled_ = false;
+
+  std::uint64_t transfers_ = 0;
+  std::uint64_t backpressure_cycles_ = 0;
+  std::size_t log_depth_ = 0;
+  std::deque<Time> log_;
+
+  std::unique_ptr<Signals> sig_;  // signal-accurate mode only
+};
+
+// ---- Table 1 channel aliases ----
+
+/// Combinationally connects ports (Fig. 2a).
+template <typename T>
+class Combinational : public Channel<T> {
+ public:
+  Combinational(Module& parent, const std::string& name, Clock& clk)
+      : Channel<T>(parent, name, clk, ChannelKind::kCombinational, 1) {}
+};
+
+/// Enables DEQ when empty (Fig. 2b).
+template <typename T>
+class Bypass : public Channel<T> {
+ public:
+  Bypass(Module& parent, const std::string& name, Clock& clk)
+      : Channel<T>(parent, name, clk, ChannelKind::kBypass, 1) {}
+};
+
+/// Enables ENQ when full (Fig. 2c).
+template <typename T>
+class Pipeline : public Channel<T> {
+ public:
+  Pipeline(Module& parent, const std::string& name, Clock& clk)
+      : Channel<T>(parent, name, clk, ChannelKind::kPipeline, 1) {}
+};
+
+/// FIFO channel (Fig. 2d).
+template <typename T>
+class Buffer : public Channel<T> {
+ public:
+  Buffer(Module& parent, const std::string& name, Clock& clk, unsigned capacity = 2)
+      : Channel<T>(parent, name, clk, ChannelKind::kBuffer, capacity) {}
+};
+
+// ---- Ports (Table 1): unified endpoints usable with any channel kind ----
+
+/// Input terminal. Bind to any channel, then Pop()/PopNB() from a thread.
+template <typename T>
+class In {
+ public:
+  In() = default;
+
+  /// Binds this port to a channel (operator() mirrors SystemC port binding).
+  void operator()(Channel<T>& ch) { ch_ = &ch; }
+  void Bind(Channel<T>& ch) { ch_ = &ch; }
+  bool bound() const { return ch_ != nullptr; }
+
+  /// Blocking pop: returns the next message, waiting as needed.
+  T Pop() {
+    CRAFT_ASSERT(ch_ != nullptr, "In<T>::Pop on unbound port");
+    return ch_->Pop();
+  }
+
+  /// Non-blocking pop: true and fills `out` if a message was available.
+  bool PopNB(T& out) {
+    CRAFT_ASSERT(ch_ != nullptr, "In<T>::PopNB on unbound port");
+    return ch_->PopNB(out);
+  }
+
+  /// Peek: true if a pop could succeed this cycle (sim-accurate mode).
+  bool Available() const { return ch_ != nullptr && ch_->PeekAvailable(); }
+
+  Channel<T>* channel() const { return ch_; }
+
+ private:
+  Channel<T>* ch_ = nullptr;
+};
+
+/// Output terminal. Bind to any channel, then Push()/PushNB() from a thread.
+template <typename T>
+class Out {
+ public:
+  Out() = default;
+
+  void operator()(Channel<T>& ch) { ch_ = &ch; }
+  void Bind(Channel<T>& ch) { ch_ = &ch; }
+  bool bound() const { return ch_ != nullptr; }
+
+  /// Blocking push.
+  void Push(const T& v) {
+    CRAFT_ASSERT(ch_ != nullptr, "Out<T>::Push on unbound port");
+    ch_->Push(v);
+  }
+
+  /// Non-blocking push: true if the channel accepted `v` this cycle.
+  bool PushNB(const T& v) {
+    CRAFT_ASSERT(ch_ != nullptr, "Out<T>::PushNB on unbound port");
+    return ch_->PushNB(v);
+  }
+
+  Channel<T>* channel() const { return ch_; }
+
+ private:
+  Channel<T>* ch_ = nullptr;
+};
+
+}  // namespace craft::connections

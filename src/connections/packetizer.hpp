@@ -1,0 +1,135 @@
+// Packetizer / DePacketizer network channels (paper Table 1, Fig. 2e).
+//
+// A Packetizer converts messages into a stream of fixed-width flits suitable
+// for transport over a NoC; a DePacketizer reassembles them. Together they
+// let the *same* producer/consumer code run over a dedicated channel or
+// across a network — the physical implementation of an LI channel may
+// "include packetize/depacketize logic to send data between a producer and a
+// consumer across a NoC" (§2.3).
+#pragma once
+
+#include <cstdint>
+
+#include "connections/connections.hpp"
+#include "kernel/bits.hpp"
+
+namespace craft::connections {
+
+/// One network flit: a fixed-width payload slice plus first/last framing.
+struct Flit {
+  std::uint64_t payload = 0;
+  bool first = false;
+  bool last = false;
+  std::uint8_t dest = 0;  ///< routing tag, used by NoC routers
+  std::uint8_t vc = 0;    ///< virtual channel, used by WHVC routers
+
+  bool operator==(const Flit&) const = default;
+};
+
+}  // namespace craft::connections
+
+namespace craft {
+
+template <>
+struct Marshal<connections::Flit> {
+  static constexpr unsigned kWidth = 64 + 2 + 8 + 8;
+  static void Write(BitStream& s, const connections::Flit& f) {
+    s.PutBits(f.payload, 64);
+    s.PutBits(f.first, 1);
+    s.PutBits(f.last, 1);
+    s.PutBits(f.dest, 8);
+    s.PutBits(f.vc, 8);
+  }
+  static connections::Flit Read(BitStream& s) {
+    connections::Flit f;
+    f.payload = s.GetBits(64);
+    f.first = s.GetBits(1);
+    f.last = s.GetBits(1);
+    f.dest = static_cast<std::uint8_t>(s.GetBits(8));
+    f.vc = static_cast<std::uint8_t>(s.GetBits(8));
+    return f;
+  }
+};
+
+}  // namespace craft
+
+namespace craft::connections {
+
+/// Packetizer: pops T messages, pushes FlitBits-wide flits (one per cycle).
+/// T must provide a Marshal<T> specialization.
+template <typename T, unsigned kFlitBits = 32>
+class Packetizer : public Module {
+ public:
+  static_assert(kFlitBits >= 1 && kFlitBits <= 64);
+
+  In<T> in;
+  Out<Flit> out;
+
+  /// `dest` tags every flit of every packet (static route); use the functor
+  /// overload for per-message routing.
+  Packetizer(Module& parent, const std::string& name, Clock& clk, std::uint8_t dest = 0)
+      : Packetizer(parent, name, clk, [dest](const T&) { return dest; }) {}
+
+  Packetizer(Module& parent, const std::string& name, Clock& clk,
+             std::function<std::uint8_t(const T&)> route)
+      : Module(parent, name), route_(std::move(route)) {
+    Thread("run", clk, [this] { Run(); });
+  }
+
+  static constexpr unsigned FlitsPerMessage() {
+    return DivCeil(Marshal<T>::kWidth, kFlitBits);
+  }
+
+ private:
+  void Run() {
+    for (;;) {
+      const T msg = in.Pop();
+      BitStream bits;
+      Marshal<T>::Write(bits, msg);
+      const auto flits = bits.ToFlits(kFlitBits);
+      const std::uint8_t dest = route_(msg);
+      for (std::size_t i = 0; i < flits.size(); ++i) {
+        Flit f;
+        f.payload = flits[i];
+        f.first = (i == 0);
+        f.last = (i + 1 == flits.size());
+        f.dest = dest;
+        out.Push(f);
+      }
+    }
+  }
+
+  std::function<std::uint8_t(const T&)> route_;
+};
+
+/// DePacketizer: pops flits, reassembles and pushes T messages.
+template <typename T, unsigned kFlitBits = 32>
+class DePacketizer : public Module {
+ public:
+  static_assert(kFlitBits >= 1 && kFlitBits <= 64);
+
+  In<Flit> in;
+  Out<T> out;
+
+  DePacketizer(Module& parent, const std::string& name, Clock& clk)
+      : Module(parent, name) {
+    Thread("run", clk, [this] { Run(); });
+  }
+
+ private:
+  void Run() {
+    std::vector<std::uint64_t> flits;
+    for (;;) {
+      const Flit f = in.Pop();
+      if (f.first) flits.clear();
+      flits.push_back(f.payload);
+      if (f.last) {
+        BitStream bits = BitStream::FromFlits(flits, kFlitBits);
+        out.Push(Marshal<T>::Read(bits));
+        flits.clear();
+      }
+    }
+  }
+};
+
+}  // namespace craft::connections

@@ -1,0 +1,51 @@
+// GALS area-overhead model (paper §3.1): "Although we incur a small area
+// penalty for local clock generators and pausible bisynchronous FIFOs, we
+// estimate this overhead to be less than 3% for typical partition sizes."
+//
+// Gate budgets (NAND2 equivalents, consistent with hls::AreaModel):
+//  * Local adaptive clock generator: ring oscillator + delay tuning DAC +
+//    supply-noise tracking control — a few thousand gates.
+//  * Pausible bisynchronous FIFO: kDepth x width latch array + gray-coded
+//    pointers + pausible arbitration (MUTEX elements).
+#pragma once
+
+#include <cstdint>
+
+namespace craft::gals {
+
+struct GalsAreaParams {
+  double clock_gen_gates = 2500.0;          ///< adaptive clock generator
+  double fifo_fixed_gates = 400.0;          ///< arbitration + pointer logic
+  double fifo_gates_per_bit_entry = 1.75;   ///< latch array cost per bit-entry
+};
+
+class GalsAreaModel {
+ public:
+  explicit GalsAreaModel(const GalsAreaParams& p = {}) : p_(p) {}
+
+  double ClockGenGates() const { return p_.clock_gen_gates; }
+
+  double FifoGates(unsigned depth, unsigned width_bits) const {
+    return p_.fifo_fixed_gates +
+           p_.fifo_gates_per_bit_entry * static_cast<double>(depth) * width_bits;
+  }
+
+  /// Total GALS additions for one partition with the given async interfaces.
+  double PartitionOverheadGates(unsigned num_async_interfaces, unsigned fifo_depth,
+                                unsigned fifo_width_bits) const {
+    return ClockGenGates() +
+           num_async_interfaces * FifoGates(fifo_depth, fifo_width_bits);
+  }
+
+  /// Fractional overhead relative to the partition's logic gates.
+  double OverheadFraction(double partition_gates, unsigned num_async_interfaces,
+                          unsigned fifo_depth, unsigned fifo_width_bits) const {
+    return PartitionOverheadGates(num_async_interfaces, fifo_depth, fifo_width_bits) /
+           partition_gates;
+  }
+
+ private:
+  GalsAreaParams p_;
+};
+
+}  // namespace craft::gals

@@ -1,0 +1,47 @@
+// Asynchronous LI channels between GALS partitions (paper §3.1): "all
+// asynchronous interfaces are implemented as LI channels and can interface
+// with Connections ports from HLS-generated RTL."
+//
+// An AsyncChannel bundles: a Buffer channel in the producer's clock domain,
+// a PausibleBisyncFifo crossing, and a Buffer channel in the consumer's
+// domain. Design code on either side binds plain Connections ports — the
+// crossing is invisible, which is the point: correct-by-construction
+// top-level timing with no global clock.
+#pragma once
+
+#include <string>
+
+#include "connections/connections.hpp"
+#include "gals/pausible_fifo.hpp"
+
+namespace craft::gals {
+
+template <typename T, unsigned kDepth = 4>
+class AsyncChannel : public Module {
+ public:
+  AsyncChannel(Module& parent, const std::string& name, Clock& producer_clk,
+               Clock& consumer_clk)
+      : Module(parent, name),
+        ingress_(*this, "ingress", producer_clk, 2),
+        egress_(*this, "egress", consumer_clk, 2),
+        fifo_(*this, "cdc", producer_clk, consumer_clk) {
+    fifo_.in(ingress_);
+    fifo_.out(egress_);
+  }
+
+  /// Channel the producer's Out<T> port binds to (producer domain).
+  connections::Channel<T>& producer_end() { return ingress_; }
+
+  /// Channel the consumer's In<T> port binds to (consumer domain).
+  connections::Channel<T>& consumer_end() { return egress_; }
+
+  std::uint64_t transfer_count() const { return fifo_.transfer_count(); }
+  double mean_crossing_latency_cycles() const { return fifo_.mean_latency_cycles(); }
+
+ private:
+  connections::Buffer<T> ingress_;
+  connections::Buffer<T> egress_;
+  PausibleBisyncFifo<T, kDepth> fifo_;
+};
+
+}  // namespace craft::gals

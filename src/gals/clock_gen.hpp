@@ -1,0 +1,76 @@
+// Local clock generators for fine-grained GALS partitions (paper §3.1,
+// Fig. 4).
+//
+// Each partition owns a small self-contained clock generator (a ring
+// oscillator in silicon). Two effects are modeled:
+//
+//  * Process/mismatch offset: each generator's nominal frequency deviates a
+//    little from the design target (no two ring oscillators match).
+//  * Supply-noise tracking [Kamakshi et al., ASYNC'16]: the generator's
+//    period stretches when the local supply droops. An adaptive clock tracks
+//    the noise (reducing margin), modeled as a first-order autoregressive
+//    noise process modulating the period cycle by cycle; the `tracking`
+//    coefficient sets how much of the droop the adaptive generator absorbs.
+//
+// All randomness is seeded, so GALS simulations are fully reproducible.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "kernel/clock.hpp"
+#include "kernel/rng.hpp"
+
+namespace craft::gals {
+
+struct ClockGenConfig {
+  Time nominal_period = 1000;    ///< ps (1 GHz)
+  double static_offset = 0.0;    ///< fractional frequency offset (+ = slower)
+  double noise_amplitude = 0.0;  ///< peak fractional supply-noise modulation
+  double noise_alpha = 0.9;      ///< AR(1) coefficient of the noise process
+  double tracking = 1.0;         ///< 1.0 = adaptive clock fully tracks noise;
+                                 ///< 0.0 = fixed clock (needs worst-case margin)
+  std::uint64_t seed = 1;
+};
+
+class LocalClockGenerator : public Clock {
+ public:
+  LocalClockGenerator(Simulator& sim, const std::string& name, const ClockGenConfig& cfg)
+      : Clock(sim, name,
+              static_cast<Time>(static_cast<double>(cfg.nominal_period) *
+                                (1.0 + cfg.static_offset))),
+        cfg_(cfg),
+        rng_(cfg.seed) {}
+
+  /// Current fractional supply droop (for inspection/benches).
+  double noise_state() const { return noise_; }
+
+  /// Min/max observed instantaneous period, for margin studies.
+  Time min_period_seen() const { return min_period_; }
+  Time max_period_seen() const { return max_period_; }
+
+ protected:
+  Time NextPeriod() override {
+    // AR(1) supply-noise process in [-amplitude, +amplitude].
+    const double white = 2.0 * rng_.NextDouble() - 1.0;
+    noise_ = cfg_.noise_alpha * noise_ + (1.0 - cfg_.noise_alpha) * white;
+    const double droop = noise_ * cfg_.noise_amplitude;
+    // The adaptive generator stretches its period with the droop it tracks;
+    // the untracked remainder would have to be covered by design margin.
+    const double base = static_cast<double>(period()) ;
+    const double p = base * (1.0 + cfg_.tracking * droop);
+    const Time out = static_cast<Time>(std::max(p, 1.0));
+    min_period_ = std::min(min_period_, out);
+    max_period_ = std::max(max_period_, out);
+    return out;
+  }
+
+ private:
+  ClockGenConfig cfg_;
+  Rng rng_;
+  double noise_ = 0.0;
+  Time min_period_ = kTimeNever;
+  Time max_period_ = 0;
+};
+
+}  // namespace craft::gals

@@ -1,0 +1,8 @@
+// Umbrella header for the fine-grained GALS back end (paper §3).
+#pragma once
+
+#include "gals/area_model.hpp"
+#include "gals/async_channel.hpp"
+#include "gals/clock_gen.hpp"
+#include "gals/partition.hpp"
+#include "gals/pausible_fifo.hpp"

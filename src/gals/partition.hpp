@@ -1,0 +1,28 @@
+// GALS partition: a physical-design partition with its own local clock
+// generator (paper §3.1, Fig. 4). "Each partition has its own self-contained
+// small local clock generators" — eliminating top-level clock distribution.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "gals/clock_gen.hpp"
+#include "kernel/module.hpp"
+
+namespace craft::gals {
+
+class Partition : public Module {
+ public:
+  Partition(Module& parent, const std::string& name, const ClockGenConfig& cfg)
+      : Module(parent, name),
+        clock_gen_(std::make_unique<LocalClockGenerator>(sim(), full_name() + ".clk", cfg)) {}
+
+  /// The partition-local clock every process inside this partition uses.
+  Clock& clk() { return *clock_gen_; }
+  LocalClockGenerator& clock_gen() { return *clock_gen_; }
+
+ private:
+  std::unique_ptr<LocalClockGenerator> clock_gen_;
+};
+
+}  // namespace craft::gals

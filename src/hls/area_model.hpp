@@ -1,0 +1,108 @@
+// NAND2-equivalent area and logic-depth models for HLS operations.
+//
+// Gate counts follow classic structural estimates (Weste/Harris-style):
+// carry-lookahead adders ~7 NAND2/bit, array multipliers ~8 NAND2/bit^2,
+// 2:1 muxes ~1.75 NAND2/bit, flops ~6 NAND2/bit. Absolute numbers are
+// calibration constants; the experiments reproduce *ratios* (src-loop vs
+// dst-loop crossbars, GALS overhead vs partition size), which depend on the
+// structure, not the constants.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "hls/ir.hpp"
+
+namespace craft::hls {
+
+/// Technology scaling parameters (defaults: 16nm-class standard cells).
+struct TechParams {
+  double nand2_um2 = 0.20;           ///< NAND2 footprint in um^2
+  double transistors_per_nand2 = 4;  ///< for transistor-count reports
+  unsigned levels_per_cycle = 48;    ///< logic depth budget at the target clock
+                                     ///< (16nm @ ~1.1 GHz signoff, paper §4)
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(const TechParams& tech = {}) : tech_(tech) {}
+
+  const TechParams& tech() const { return tech_; }
+
+  /// NAND2-equivalent gate count of one op.
+  double Gates(const Op& op) const {
+    const double w = op.width;
+    switch (op.kind) {
+      case OpKind::kConst:
+      case OpKind::kInput:
+      case OpKind::kOutput:
+        return 0.0;
+      case OpKind::kAdd:
+      case OpKind::kSub:
+        return 7.0 * w;
+      case OpKind::kMul:
+        return 8.0 * w * w;
+      case OpKind::kLogic:
+        return 1.0 * w;
+      case OpKind::kMux2:
+        return 1.75 * w;
+      case OpKind::kCmpEq:
+        return 2.5 * w;          // XNOR row + AND tree
+      case OpKind::kCmpLt:
+        return 6.0 * w;          // subtract-based magnitude compare
+      case OpKind::kPriorityCell:
+        return 4.0;              // grant-kill cell of a priority chain
+      case OpKind::kDecode:
+        return 2.0 * w;          // N AND gates + input buffers (width = N)
+      case OpKind::kShift:
+        return 1.75 * w * std::ceil(Log2(w));
+      case OpKind::kReg:
+        return 6.0 * w;
+    }
+    return 0.0;
+  }
+
+  /// Logic depth (gate levels) through one op.
+  double Levels(const Op& op) const {
+    const double w = op.width;
+    switch (op.kind) {
+      case OpKind::kConst:
+      case OpKind::kInput:
+      case OpKind::kOutput:
+      case OpKind::kReg:
+        return 0.0;  // reg output is the cycle boundary
+      case OpKind::kAdd:
+      case OpKind::kSub:
+        return 2.0 * Log2(w) + 2.0;
+      case OpKind::kMul:
+        return 4.0 * Log2(w) + 4.0;
+      case OpKind::kLogic:
+        return 1.0;
+      case OpKind::kMux2:
+        return 2.0;
+      case OpKind::kCmpEq:
+        return Log2(w) + 1.0;
+      case OpKind::kCmpLt:
+        return 2.0 * Log2(w) + 2.0;
+      case OpKind::kPriorityCell:
+        return 1.0;  // chains accumulate one level per cell
+      case OpKind::kDecode:
+        return 2.0;
+      case OpKind::kShift:
+        return 2.0 * std::ceil(Log2(w));
+    }
+    return 0.0;
+  }
+
+  double GatesToUm2(double gates) const { return gates * tech_.nand2_um2; }
+  double GatesToTransistors(double gates) const {
+    return gates * tech_.transistors_per_nand2;
+  }
+
+ private:
+  static double Log2(double x) { return x <= 1.0 ? 1.0 : std::log2(x); }
+
+  TechParams tech_;
+};
+
+}  // namespace craft::hls

@@ -1,0 +1,205 @@
+#include "hls/designs.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace craft::hls {
+
+namespace {
+
+unsigned Log2Ceil(unsigned n) {
+  unsigned b = 0;
+  while ((1u << b) < n) ++b;
+  return b == 0 ? 1 : b;
+}
+
+}  // namespace
+
+DataflowGraph BuildDstLoopCrossbar(unsigned lanes, unsigned width) {
+  DataflowGraph g("crossbar_dst_loop_" + std::to_string(lanes) + "x" +
+                  std::to_string(width));
+  const unsigned selw = Log2Ceil(lanes);
+  std::vector<int> data_in(lanes);
+  std::vector<int> sel_in(lanes);
+  for (unsigned i = 0; i < lanes; ++i) {
+    data_in[i] = g.Add(OpKind::kInput, width, {}, "in" + std::to_string(i));
+    sel_in[i] = g.Add(OpKind::kInput, selw, {}, "src" + std::to_string(i));
+  }
+  // for (dst) out[dst] = in[src[dst]]: one select-driven N:1 mux per output.
+  for (unsigned dst = 0; dst < lanes; ++dst) {
+    std::vector<int> leaves = data_in;
+    // The select lines feed every mux level; model the control fanout as a
+    // single decode of this output's own select.
+    const int dec = g.Add(OpKind::kDecode, lanes, {sel_in[dst]}, "dec");
+    leaves[0] = g.Add(OpKind::kLogic, width, {data_in[0], dec}, "gate");
+    const int root = g.AddMuxTree(leaves, width, "omux" + std::to_string(dst));
+    g.Add(OpKind::kOutput, width, {root}, "out" + std::to_string(dst));
+  }
+  return g;
+}
+
+DataflowGraph BuildSrcLoopCrossbar(unsigned lanes, unsigned width) {
+  DataflowGraph g("crossbar_src_loop_" + std::to_string(lanes) + "x" +
+                  std::to_string(width));
+  const unsigned selw = Log2Ceil(lanes);
+  std::vector<int> data_in(lanes);
+  std::vector<int> dst_in(lanes);
+  for (unsigned i = 0; i < lanes; ++i) {
+    data_in[i] = g.Add(OpKind::kInput, width, {}, "in" + std::to_string(i));
+    dst_in[i] = g.Add(OpKind::kInput, selw, {}, "dst" + std::to_string(i));
+  }
+  // for (src) out[dst[src]] = in[src]: every output must (a) compare ALL
+  // dst[src] controls against its own index, (b) resolve write conflicts
+  // with a priority chain (highest src wins), then (c) mux. This creates
+  // the "undesirable dependency path from all dst[src] signals to all
+  // outputs" the paper describes.
+  for (unsigned out = 0; out < lanes; ++out) {
+    std::vector<int> hits(lanes);
+    for (unsigned src = 0; src < lanes; ++src) {
+      hits[src] = g.Add(OpKind::kCmpEq, selw, {dst_in[src]}, "hit");
+    }
+    // Priority chain: src N-1 kills all lower hits; each cell depends on
+    // the previous (serial path).
+    std::vector<int> grants(lanes);
+    int prev = hits[lanes - 1];
+    grants[lanes - 1] = prev;
+    for (int src = static_cast<int>(lanes) - 2; src >= 0; --src) {
+      prev = g.Add(OpKind::kPriorityCell, 1, {hits[src], prev}, "prio");
+      grants[src] = prev;
+    }
+    // Grant-steered mux tree; first leaf carries the grant dependency so
+    // the serial priority path feeds the data path.
+    std::vector<int> leaves = data_in;
+    leaves[0] = g.Add(OpKind::kLogic, width, {data_in[0], grants[0]}, "gate");
+    const int root = g.AddMuxTree(leaves, width, "omux" + std::to_string(out));
+    g.Add(OpKind::kOutput, width, {root}, "out" + std::to_string(out));
+  }
+  return g;
+}
+
+DataflowGraph BuildAdder(unsigned width) {
+  DataflowGraph g("adder" + std::to_string(width));
+  const int a = g.Add(OpKind::kInput, width, {}, "a");
+  const int b = g.Add(OpKind::kInput, width, {}, "b");
+  const int s = g.Add(OpKind::kAdd, width, {a, b}, "sum");
+  g.Add(OpKind::kOutput, width, {s}, "out");
+  return g;
+}
+
+DataflowGraph BuildMac(unsigned width) {
+  DataflowGraph g("mac" + std::to_string(width));
+  const int a = g.Add(OpKind::kInput, width, {}, "a");
+  const int b = g.Add(OpKind::kInput, width, {}, "b");
+  const int c = g.Add(OpKind::kInput, 2 * width, {}, "acc");
+  const int p = g.Add(OpKind::kMul, width, {a, b}, "prod");
+  const int s = g.Add(OpKind::kAdd, 2 * width, {p, c}, "sum");
+  g.Add(OpKind::kOutput, 2 * width, {s}, "out");
+  return g;
+}
+
+DataflowGraph BuildFir(unsigned taps, unsigned width) {
+  DataflowGraph g("fir" + std::to_string(taps) + "_w" + std::to_string(width));
+  std::vector<int> prods;
+  for (unsigned t = 0; t < taps; ++t) {
+    const int x = g.Add(OpKind::kInput, width, {}, "x" + std::to_string(t));
+    const int h = g.Add(OpKind::kInput, width, {}, "h" + std::to_string(t));
+    prods.push_back(g.Add(OpKind::kMul, width, {x, h}, "p" + std::to_string(t)));
+  }
+  const int acc = g.AddReduceTree(OpKind::kAdd, prods, 2 * width, "acc");
+  g.Add(OpKind::kOutput, 2 * width, {acc}, "y");
+  return g;
+}
+
+DataflowGraph BuildDotProduct(unsigned lanes, unsigned width) {
+  DataflowGraph g("dot" + std::to_string(lanes) + "_w" + std::to_string(width));
+  std::vector<int> prods;
+  for (unsigned l = 0; l < lanes; ++l) {
+    const int a = g.Add(OpKind::kInput, width, {}, "a" + std::to_string(l));
+    const int b = g.Add(OpKind::kInput, width, {}, "b" + std::to_string(l));
+    prods.push_back(g.Add(OpKind::kMul, width, {a, b}, "p"));
+  }
+  const int acc = g.AddReduceTree(OpKind::kAdd, prods, 2 * width, "acc");
+  g.Add(OpKind::kOutput, 2 * width, {acc}, "dot");
+  return g;
+}
+
+DataflowGraph BuildAlu(unsigned width) {
+  DataflowGraph g("alu" + std::to_string(width));
+  const int a = g.Add(OpKind::kInput, width, {}, "a");
+  const int b = g.Add(OpKind::kInput, width, {}, "b");
+  const int add = g.Add(OpKind::kAdd, width, {a, b}, "add");
+  const int sub = g.Add(OpKind::kSub, width, {a, b}, "sub");
+  const int lgc = g.Add(OpKind::kLogic, width, {a, b}, "logic");
+  const int sh = g.Add(OpKind::kShift, width, {a, b}, "shift");
+  const int lt = g.Add(OpKind::kCmpLt, width, {a, b}, "slt");
+  const int res = g.AddMuxTree({add, sub, lgc, sh, lt}, width, "res");
+  g.Add(OpKind::kOutput, width, {res}, "out");
+  return g;
+}
+
+DataflowGraph BuildOneHotEncoder(unsigned n) {
+  DataflowGraph g("onehot" + std::to_string(n));
+  const unsigned selw = 1;
+  std::vector<int> ins;
+  for (unsigned i = 0; i < n; ++i) {
+    ins.push_back(g.Add(OpKind::kInput, selw, {}, "i" + std::to_string(i)));
+  }
+  const int dec = g.Add(OpKind::kDecode, n, ins, "dec");
+  g.Add(OpKind::kOutput, n, {dec}, "out");
+  return g;
+}
+
+DataflowGraph BuildRoundRobinArbiter(unsigned n) {
+  DataflowGraph g("rr_arbiter" + std::to_string(n));
+  std::vector<int> req(n);
+  for (unsigned i = 0; i < n; ++i) {
+    req[i] = g.Add(OpKind::kInput, 1, {}, "req" + std::to_string(i));
+  }
+  const int ptr = g.Add(OpKind::kInput, 8, {}, "ptr");
+  const int dec = g.Add(OpKind::kDecode, n, {ptr}, "ptrdec");
+  // Double-length priority chain (classic RR: rotate via mask).
+  int prev = g.Add(OpKind::kPriorityCell, 1, {req[0], dec}, "p0");
+  for (unsigned i = 1; i < 2 * n; ++i) {
+    prev = g.Add(OpKind::kPriorityCell, 1, {req[i % n], prev}, "p" + std::to_string(i));
+  }
+  const int grant = g.Add(OpKind::kLogic, n, {prev}, "grant");
+  g.Add(OpKind::kOutput, n, {grant}, "out");
+  return g;
+}
+
+DataflowGraph BuildReductionTree(unsigned lanes, unsigned width) {
+  DataflowGraph g("reduce" + std::to_string(lanes) + "_w" + std::to_string(width));
+  std::vector<int> ins;
+  for (unsigned l = 0; l < lanes; ++l) {
+    ins.push_back(g.Add(OpKind::kInput, width, {}, "x" + std::to_string(l)));
+  }
+  const int acc = g.AddReduceTree(OpKind::kAdd, ins, width + Log2Ceil(lanes), "acc");
+  g.Add(OpKind::kOutput, width + Log2Ceil(lanes), {acc}, "sum");
+  return g;
+}
+
+DataflowGraph BuildVectorScale(unsigned lanes, unsigned width) {
+  DataflowGraph g("vscale" + std::to_string(lanes) + "_w" + std::to_string(width));
+  const int s = g.Add(OpKind::kInput, width, {}, "scale");
+  for (unsigned l = 0; l < lanes; ++l) {
+    const int x = g.Add(OpKind::kInput, width, {}, "x" + std::to_string(l));
+    const int p = g.Add(OpKind::kMul, width, {x, s}, "p");
+    g.Add(OpKind::kOutput, 2 * width, {p}, "y" + std::to_string(l));
+  }
+  return g;
+}
+
+DataflowGraph BuildFpMulUnit(unsigned man_bits) {
+  DataflowGraph g("fpmul_m" + std::to_string(man_bits));
+  const int a = g.Add(OpKind::kInput, man_bits + 9, {}, "a");
+  const int b = g.Add(OpKind::kInput, man_bits + 9, {}, "b");
+  const int mm = g.Add(OpKind::kMul, man_bits + 1, {a, b}, "manmul");
+  const int ea = g.Add(OpKind::kAdd, 10, {a, b}, "expadd");
+  const int norm = g.Add(OpKind::kShift, 2 * (man_bits + 1), {mm}, "norm");
+  const int rnd = g.Add(OpKind::kAdd, man_bits + 2, {norm}, "round");
+  const int pack = g.Add(OpKind::kLogic, man_bits + 9, {rnd, ea}, "pack");
+  g.Add(OpKind::kOutput, man_bits + 9, {pack}, "out");
+  return g;
+}
+
+}  // namespace craft::hls

@@ -1,0 +1,36 @@
+// Design builders: elaborate C++-style hardware descriptions into dataflow
+// graphs, the way HLS unrolls loops into operator networks.
+//
+// The two crossbar builders reproduce the paper's §2.4 case study exactly:
+// the src-loop style elaborates per-output priority decoders (N comparators
+// + an N-deep priority chain per output) in front of every output mux,
+// while the dst-loop style elaborates plain N-to-1 mux trees. Everything the
+// paper attributes to the src-loop style — more scheduled ops, longer
+// dependency paths, ~25% more area at 32 lanes x 32 bit — falls out of the
+// structure.
+#pragma once
+
+#include "hls/ir.hpp"
+
+namespace craft::hls {
+
+/// dst-loop crossbar: `for (dst) out[dst] = in[src[dst]]`.
+DataflowGraph BuildDstLoopCrossbar(unsigned lanes, unsigned width);
+
+/// src-loop crossbar: `for (src) out[dst[src]] = in[src]` (priority demux).
+DataflowGraph BuildSrcLoopCrossbar(unsigned lanes, unsigned width);
+
+// ---- datapath kernels & small functional units for the QoR study ----
+
+DataflowGraph BuildAdder(unsigned width);
+DataflowGraph BuildMac(unsigned width);
+DataflowGraph BuildFir(unsigned taps, unsigned width);
+DataflowGraph BuildDotProduct(unsigned lanes, unsigned width);
+DataflowGraph BuildAlu(unsigned width);
+DataflowGraph BuildOneHotEncoder(unsigned n);
+DataflowGraph BuildRoundRobinArbiter(unsigned n);
+DataflowGraph BuildReductionTree(unsigned lanes, unsigned width);
+DataflowGraph BuildVectorScale(unsigned lanes, unsigned width);
+DataflowGraph BuildFpMulUnit(unsigned man_bits);
+
+}  // namespace craft::hls

@@ -1,0 +1,117 @@
+// HLS intermediate representation: a dataflow graph of hardware operations.
+//
+// This is the substrate of the repo's stand-in for Catapult HLS (paper
+// Fig. 1, "HLS Compilation"). C++-style designs are elaborated (loops fully
+// unrolled, as HLS does for the paper's crossbar study) into a DAG of ops;
+// the scheduler then assigns ops to cycles under a logic-depth budget and
+// resource constraints, and the area model prices the result in
+// NAND2-equivalent gates. QoR phenomena the paper reports — priority
+// decoders from src-loop code, op-count-driven compile time, pipeline
+// register cost — are all structural properties of this graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/report.hpp"
+
+namespace craft::hls {
+
+enum class OpKind {
+  kConst,        // literal; free
+  kInput,        // design input port
+  kOutput,       // design output port (drives nothing)
+  kAdd,          // W-bit adder (carry-lookahead)
+  kSub,          // W-bit subtractor
+  kMul,          // W x W array multiplier
+  kLogic,        // W-bit bitwise AND/OR/XOR tier
+  kMux2,         // W-bit 2:1 multiplexer
+  kCmpEq,        // W-bit equality comparator
+  kCmpLt,        // W-bit magnitude comparator
+  kPriorityCell, // one stage of a priority-resolution chain (1-bit grant logic)
+  kDecode,       // log2(N)->N one-hot decoder (width = N)
+  kShift,        // W-bit barrel shifter stage
+  kReg           // W-bit register (also inserted by the scheduler)
+};
+
+const char* ToString(OpKind k);
+
+struct Op {
+  OpKind kind = OpKind::kConst;
+  unsigned width = 1;         ///< datapath width in bits
+  std::vector<int> deps;      ///< producer op ids
+  std::string label;          ///< debugging / reports
+};
+
+/// A dataflow graph under construction. Ids are dense and topological
+/// (deps always reference earlier ids).
+class DataflowGraph {
+ public:
+  explicit DataflowGraph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  int Add(OpKind kind, unsigned width, std::vector<int> deps = {},
+          std::string label = {}) {
+    for (int d : deps) {
+      CRAFT_ASSERT(d >= 0 && d < static_cast<int>(ops_.size()),
+                   name_ << ": dep " << d << " out of range");
+    }
+    ops_.push_back(Op{kind, width, std::move(deps), std::move(label)});
+    return static_cast<int>(ops_.size()) - 1;
+  }
+
+  /// Convenience: N-to-1 mux tree over `inputs`, returning the root id.
+  /// Elaborates (N-1) 2:1 muxes, the structure HLS builds for dst-loop code.
+  int AddMuxTree(std::vector<int> inputs, unsigned width, const std::string& label) {
+    CRAFT_ASSERT(!inputs.empty(), "mux tree needs inputs");
+    while (inputs.size() > 1) {
+      std::vector<int> next;
+      for (std::size_t i = 0; i + 1 < inputs.size(); i += 2) {
+        next.push_back(Add(OpKind::kMux2, width, {inputs[i], inputs[i + 1]}, label));
+      }
+      if (inputs.size() % 2 == 1) next.push_back(inputs.back());
+      inputs = std::move(next);
+    }
+    return inputs[0];
+  }
+
+  /// Reduction tree (e.g. adder tree for dot products).
+  int AddReduceTree(OpKind kind, std::vector<int> inputs, unsigned width,
+                    const std::string& label) {
+    CRAFT_ASSERT(!inputs.empty(), "reduce tree needs inputs");
+    while (inputs.size() > 1) {
+      std::vector<int> next;
+      for (std::size_t i = 0; i + 1 < inputs.size(); i += 2) {
+        next.push_back(Add(kind, width, {inputs[i], inputs[i + 1]}, label));
+      }
+      if (inputs.size() % 2 == 1) next.push_back(inputs.back());
+      inputs = std::move(next);
+    }
+    return inputs[0];
+  }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+
+  /// Number of schedulable (non-const, non-port) operations — the paper's
+  /// compile-time proxy: "fewer operations that must be scheduled after
+  /// loop unrolling" (§2.4).
+  std::size_t SchedulableOpCount() const {
+    std::size_t n = 0;
+    for (const Op& op : ops_) {
+      if (op.kind != OpKind::kConst && op.kind != OpKind::kInput &&
+          op.kind != OpKind::kOutput) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace craft::hls

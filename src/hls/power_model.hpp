@@ -1,0 +1,57 @@
+// Power analysis stage of the flow (paper Fig. 1: "Power Analysis" feeding
+// the Power metric next to Performance and Area).
+//
+// Activity-based model over scheduled designs: each operation kind carries
+// a dynamic energy per activation (16nm-class numbers, scaled by width the
+// same way the area model scales gates), and leakage is charged per gate.
+// Power for a design = sum over ops of (energy x activity x f_clk / II)
+// + leakage(total gates). Like the area model, absolute numbers are
+// calibration constants; experiments use ratios and trends.
+#pragma once
+
+#include "hls/area_model.hpp"
+#include "hls/scheduler.hpp"
+
+namespace craft::hls {
+
+struct PowerParams {
+  double dyn_fj_per_gate = 2.0;     ///< femtojoule per NAND2-equiv switching event
+  double activity = 0.15;           ///< average node switching activity
+  double leak_nw_per_gate = 1.5;    ///< leakage per NAND2-equivalent
+  double reg_clk_fj_per_gate = 1.0; ///< clock-tree energy per register gate per cycle
+};
+
+struct PowerReport {
+  double dynamic_mw = 0.0;
+  double clock_mw = 0.0;
+  double leakage_mw = 0.0;
+  double total_mw() const { return dynamic_mw + clock_mw + leakage_mw; }
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const PowerParams& p = {}) : p_(p) {}
+
+  /// Power of a scheduled design at clock frequency `mhz`, assuming one
+  /// input per II cycles (fully utilized pipeline).
+  PowerReport Analyze(const ScheduleResult& r, double mhz) const {
+    PowerReport rep;
+    const double f_hz = mhz * 1e6;
+    const double issue_rate = f_hz / r.initiation_interval;
+    // Dynamic: combinational gates switch once per issued input.
+    rep.dynamic_mw =
+        r.logic_gates * p_.dyn_fj_per_gate * p_.activity * issue_rate * 1e-15 * 1e3;
+    // Clock: registers are clocked every cycle regardless of data.
+    rep.clock_mw = r.register_gates * p_.reg_clk_fj_per_gate * f_hz * 1e-15 * 1e3;
+    // Leakage: always on.
+    rep.leakage_mw = r.total_gates() * p_.leak_nw_per_gate * 1e-9 * 1e3;
+    return rep;
+  }
+
+  const PowerParams& params() const { return p_; }
+
+ private:
+  PowerParams p_;
+};
+
+}  // namespace craft::hls

@@ -1,0 +1,54 @@
+#include "hls/qor.hpp"
+
+namespace craft::hls {
+
+namespace {
+
+struct Reference {
+  DataflowGraph graph;
+  double hand_rtl_gates;
+};
+
+/// Hand-RTL reference gate counts: independent structural estimates of what
+/// a hand-written, synthesis-tuned implementation of each block costs.
+std::vector<Reference> QorSuite() {
+  std::vector<Reference> suite;
+  suite.push_back({BuildAdder(32), 230.0});
+  suite.push_back({BuildMac(16), 2150.0});
+  suite.push_back({BuildFir(8, 16), 17000.0});
+  suite.push_back({BuildDotProduct(4, 32), 32500.0});
+  suite.push_back({BuildAlu(32), 1120.0});
+  suite.push_back({BuildOneHotEncoder(32), 60.0});
+  suite.push_back({BuildRoundRobinArbiter(16), 170.0});
+  suite.push_back({BuildReductionTree(16, 32), 3600.0});
+  suite.push_back({BuildVectorScale(8, 16), 15500.0});
+  suite.push_back({BuildFpMulUnit(23), 5100.0});
+  return suite;
+}
+
+}  // namespace
+
+std::vector<QorComparison> RunQorStudy(const AreaModel& model,
+                                       const ScheduleConstraints& constraints) {
+  std::vector<QorComparison> out;
+  for (const Reference& ref : QorSuite()) {
+    const ScheduleResult r = Schedule(ref.graph, model, constraints);
+    QorComparison c;
+    c.name = ref.graph.name();
+    c.hls_gates = r.logic_gates;  // compare combinational fabric, as the
+                                  // hand reference is logic-only
+    c.hand_rtl_gates = ref.hand_rtl_gates;
+    c.latency_cycles = r.latency_cycles;
+    out.push_back(c);
+  }
+  return out;
+}
+
+CrossbarStudy RunCrossbarStudy(unsigned lanes, unsigned width, const AreaModel& model,
+                               const ScheduleConstraints& constraints) {
+  CrossbarStudy s{Schedule(BuildSrcLoopCrossbar(lanes, width), model, constraints),
+                  Schedule(BuildDstLoopCrossbar(lanes, width), model, constraints)};
+  return s;
+}
+
+}  // namespace craft::hls

@@ -1,0 +1,48 @@
+// QoR (Quality of Results) study: HLS-generated area vs hand-optimized RTL
+// across a range of datapath modules and small functional units (paper
+// §2.2: "comparable QoR (±10%) can be achieved through appropriate code
+// optimizations and design constraints").
+//
+// The hand-RTL reference column holds gate counts derived from independent
+// textbook structural estimates of each block (what an experienced RTL
+// designer's synthesis run lands at); the HLS column is produced by
+// elaborating + scheduling the MatchLib-style C++ description through the
+// hls pipeline. The experiment verifies the two columns agree within ±10%.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/area_model.hpp"
+#include "hls/designs.hpp"
+#include "hls/scheduler.hpp"
+
+namespace craft::hls {
+
+struct QorComparison {
+  std::string name;
+  double hls_gates = 0.0;
+  double hand_rtl_gates = 0.0;
+  unsigned latency_cycles = 0;
+
+  /// Signed relative difference: (hls - hand) / hand.
+  double delta() const { return (hls_gates - hand_rtl_gates) / hand_rtl_gates; }
+};
+
+/// Runs the full QoR suite (10 datapath modules / functional units).
+std::vector<QorComparison> RunQorStudy(const AreaModel& model,
+                                       const ScheduleConstraints& constraints = {});
+
+/// The crossbar coding-style study of §2.4: returns {src_loop, dst_loop}
+/// schedule results for a lanes x width crossbar.
+struct CrossbarStudy {
+  ScheduleResult src_loop;
+  ScheduleResult dst_loop;
+  double area_penalty() const {
+    return (src_loop.total_gates() - dst_loop.total_gates()) / dst_loop.total_gates();
+  }
+};
+CrossbarStudy RunCrossbarStudy(unsigned lanes, unsigned width, const AreaModel& model,
+                               const ScheduleConstraints& constraints = {});
+
+}  // namespace craft::hls

@@ -1,0 +1,29 @@
+// RTL emission: the output stage of the HLS flow (paper Fig. 1,
+// "HLS-generated RTL" feeding logic synthesis).
+//
+// Emits a synthesizable-Verilog-style netlist for a scheduled design: one
+// wire per operation output, combinational `assign`s per op, and an
+// `always @(posedge clk)` block holding the scheduler-inserted pipeline
+// registers. The text is a faithful structural rendering of the schedule —
+// tests check its invariants (declaration-before-use, register count
+// matching the schedule, stable output) rather than simulating it.
+#pragma once
+
+#include <string>
+
+#include "hls/ir.hpp"
+#include "hls/scheduler.hpp"
+
+namespace craft::hls {
+
+struct RtlStats {
+  unsigned wires = 0;
+  unsigned assigns = 0;
+  unsigned registers = 0;  ///< pipeline registers (one per crossed boundary)
+};
+
+/// Emits the netlist text; fills `stats` if non-null.
+std::string EmitRtl(const DataflowGraph& g, const ScheduleResult& schedule,
+                    RtlStats* stats = nullptr);
+
+}  // namespace craft::hls

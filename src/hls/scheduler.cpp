@@ -1,0 +1,139 @@
+#include "hls/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace craft::hls {
+
+const char* ToString(OpKind k) {
+  switch (k) {
+    case OpKind::kConst: return "const";
+    case OpKind::kInput: return "input";
+    case OpKind::kOutput: return "output";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMul: return "mul";
+    case OpKind::kLogic: return "logic";
+    case OpKind::kMux2: return "mux2";
+    case OpKind::kCmpEq: return "cmpeq";
+    case OpKind::kCmpLt: return "cmplt";
+    case OpKind::kPriorityCell: return "prio";
+    case OpKind::kDecode: return "decode";
+    case OpKind::kShift: return "shift";
+    case OpKind::kReg: return "reg";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsResourceKind(OpKind k) { return k == OpKind::kMul || k == OpKind::kAdd || k == OpKind::kSub; }
+
+unsigned ResourceLimit(const ScheduleConstraints& c, OpKind k) {
+  if (k == OpKind::kMul) return c.max_multipliers;
+  if (k == OpKind::kAdd || k == OpKind::kSub) return c.max_adders;
+  return 0;
+}
+
+}  // namespace
+
+ScheduleResult Schedule(const DataflowGraph& g, const AreaModel& model,
+                        const ScheduleConstraints& c) {
+  const auto& ops = g.ops();
+  ScheduleResult r;
+  r.design = g.name();
+  r.cycle_of.assign(ops.size(), 0);
+  r.scheduled_ops = g.SchedulableOpCount();
+
+  const double budget = static_cast<double>(c.levels_per_cycle);
+
+  // depth_at[i]: accumulated logic levels within op i's cycle, at its output.
+  std::vector<double> depth_at(ops.size(), 0.0);
+  // Per-cycle use counts for constrained resources.
+  std::map<std::pair<int, OpKind>, unsigned> resource_use;
+
+  double max_depth = 0.0;
+  int max_cycle = 0;
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    const double lv = model.Levels(op);
+
+    int cycle = 0;
+    double start_depth = 0.0;
+    for (int d : op.deps) {
+      if (r.cycle_of[d] > cycle) {
+        cycle = r.cycle_of[d];
+        start_depth = depth_at[d];
+      } else if (r.cycle_of[d] == cycle) {
+        start_depth = std::max(start_depth, depth_at[d]);
+      }
+    }
+
+    // Chaining: if this op does not fit in the remaining depth budget,
+    // advance to the next cycle (a pipeline register will be inserted on
+    // each crossing dep edge below).
+    if (lv > 0.0 && start_depth + lv > budget) {
+      ++cycle;
+      start_depth = 0.0;
+    }
+
+    // Resource constraint: bump to the first cycle with a free unit.
+    if (IsResourceKind(op.kind)) {
+      const unsigned limit = ResourceLimit(c, op.kind);
+      if (limit > 0) {
+        OpKind res = (op.kind == OpKind::kSub) ? OpKind::kAdd : op.kind;
+        while (resource_use[{cycle, res}] >= limit) {
+          ++cycle;
+          start_depth = 0.0;
+        }
+        ++resource_use[{cycle, res}];
+        // Shared units are time-multiplexed: the initiation interval grows
+        // to the heaviest per-resource schedule pressure (computed below).
+      }
+    }
+
+    r.cycle_of[i] = cycle;
+    depth_at[i] = start_depth + lv;
+    r.logic_gates += model.Gates(op);
+    max_depth = std::max(max_depth, depth_at[i]);
+    max_cycle = std::max(max_cycle, cycle);
+
+    // Pipeline registers on every dep edge that crosses a cycle boundary:
+    // one reg per boundary crossed, sized to the producer's width.
+    for (int d : op.deps) {
+      const int crossings = cycle - r.cycle_of[d];
+      if (crossings > 0) {
+        r.register_gates += crossings * model.Gates(Op{OpKind::kReg, ops[d].width, {}, {}});
+      }
+    }
+  }
+
+  r.latency_cycles = static_cast<unsigned>(max_cycle);
+  r.critical_path_levels = max_depth;
+
+  // II: without resource sharing the pipeline accepts one input per cycle;
+  // with sharing it is bounded by the busiest (cycle, resource) pressure.
+  unsigned ii = 1;
+  std::map<OpKind, unsigned> total_use;
+  for (const auto& [key, n] : resource_use) total_use[key.second] += n;
+  for (const auto& [kind, total] : total_use) {
+    const unsigned limit = ResourceLimit(c, kind);
+    if (limit > 0) {
+      ii = std::max(ii, (total + limit - 1) / limit);
+    }
+  }
+  r.initiation_interval = ii;
+  return r;
+}
+
+std::string Summary(const ScheduleResult& r) {
+  std::ostringstream os;
+  os << r.design << ": ops=" << r.scheduled_ops << " latency=" << r.latency_cycles
+     << " II=" << r.initiation_interval << " gates=" << static_cast<long>(r.total_gates())
+     << " (logic " << static_cast<long>(r.logic_gates) << " + regs "
+     << static_cast<long>(r.register_gates) << ") depth=" << r.critical_path_levels;
+  return os.str();
+}
+
+}  // namespace craft::hls

@@ -1,0 +1,48 @@
+// HLS scheduler: maps a dataflow graph onto clock cycles.
+//
+// ASAP list scheduling with operator chaining under a logic-depth budget and
+// optional per-cycle resource constraints (e.g. limited multipliers, which
+// forces sharing and raises the initiation interval). Values crossing a
+// cycle boundary are latched into scheduler-inserted pipeline registers,
+// which are charged to the design's area — the mechanism behind "HLS tools
+// allow ... design space exploration without changing source code"
+// (pipelining is a constraint, not a code change).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hls/area_model.hpp"
+#include "hls/ir.hpp"
+
+namespace craft::hls {
+
+struct ScheduleConstraints {
+  unsigned levels_per_cycle = 48;  ///< logic depth budget (clock target)
+  unsigned max_multipliers = 0;    ///< 0 = unconstrained
+  unsigned max_adders = 0;         ///< 0 = unconstrained
+};
+
+struct ScheduleResult {
+  std::string design;
+  unsigned latency_cycles = 0;     ///< input-to-output pipeline depth
+  unsigned initiation_interval = 1;
+  double logic_gates = 0.0;        ///< combinational NAND2 equivalents
+  double register_gates = 0.0;     ///< scheduler-inserted pipeline registers
+  double critical_path_levels = 0.0;
+  std::size_t scheduled_ops = 0;   ///< compile-effort proxy (paper §2.4)
+  std::vector<int> cycle_of;       ///< per-op cycle assignment
+
+  double total_gates() const { return logic_gates + register_gates; }
+};
+
+/// Schedules `g` under `c` using the given area model.
+ScheduleResult Schedule(const DataflowGraph& g, const AreaModel& model,
+                        const ScheduleConstraints& c = {});
+
+/// Pretty one-line summary for harness output.
+std::string Summary(const ScheduleResult& r);
+
+}  // namespace craft::hls

@@ -1,0 +1,40 @@
+#include "kernel/clock.hpp"
+
+#include "kernel/process.hpp"
+
+namespace craft {
+
+Clock::Clock(Simulator& sim, std::string name, Time period, Time first_edge)
+    : sim_(sim), name_(std::move(name)), period_(period) {
+  CRAFT_ASSERT(period_ > 0, "clock period must be positive");
+  sim_.RegisterClock(*this);
+  const Time t0 = (first_edge == kTimeNever) ? sim_.now() + period_ : first_edge;
+  sim_.ScheduleAt(t0, [this] { Edge(); });
+}
+
+void Clock::AttachMethod(MethodProcess& m) { methods_.push_back(&m); }
+
+void Clock::AddEdgeHook(std::function<void()> fn, int priority) {
+  hooks_.push_back(Hook{priority, hook_seq_++, std::move(fn)});
+  hooks_dirty_ = true;
+}
+
+void Clock::Edge() {
+  ++cycle_;
+  if (hooks_dirty_) {
+    std::stable_sort(hooks_.begin(), hooks_.end(), [](const Hook& a, const Hook& b) {
+      return a.priority != b.priority ? a.priority < b.priority : a.seq < b.seq;
+    });
+    hooks_dirty_ = false;
+  }
+  for (Hook& h : hooks_) h.fn();
+  // Wake one-shot waiters (threads blocked in wait()).
+  std::vector<ProcessBase*> w;
+  w.swap(waiters_);
+  for (ProcessBase* p : w) sim_.MakeRunnable(*p);
+  // Trigger statically sensitive methods.
+  for (ProcessBase* m : methods_) sim_.MakeRunnable(*m);
+  sim_.ScheduleAt(sim_.now() + NextPeriod(), [this] { Edge(); });
+}
+
+}  // namespace craft

@@ -1,0 +1,52 @@
+// Events: one-shot wakeup points for thread processes, with SystemC-style
+// delta notification (waiters wake within the same timestep, one evaluation
+// phase later). Used by sim-accurate Connections channels to give
+// combinational channels same-cycle visibility.
+#pragma once
+
+#include <vector>
+
+#include "kernel/simulator.hpp"
+
+namespace craft {
+
+class ThreadProcess;
+
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(sim) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Wakes all current waiters in the next delta of the current timestep.
+  void Notify();
+
+  /// Wakes all waiters registered at fire time, `delay` picoseconds from now.
+  void NotifyAfter(Time delay);
+
+  /// Registers a one-shot waiter (used by ThreadProcess::Wait(Event&)).
+  void AddWaiter(ProcessBase& p) { waiters_.push_back(&p); }
+
+  Simulator& sim() const { return sim_; }
+
+ private:
+  void Fire();
+
+  Simulator& sim_;
+  std::vector<ProcessBase*> waiters_;
+};
+
+inline void Event::Fire() {
+  std::vector<ProcessBase*> w;
+  w.swap(waiters_);
+  for (ProcessBase* p : w) sim_.MakeRunnable(*p);
+}
+
+inline void Event::Notify() { Fire(); }
+
+inline void Event::NotifyAfter(Time delay) {
+  sim_.ScheduleAt(sim_.now() + delay, [this] { Fire(); });
+}
+
+}  // namespace craft

@@ -1,0 +1,67 @@
+#include "kernel/fiber.hpp"
+
+#include "kernel/report.hpp"
+
+namespace craft {
+
+namespace {
+thread_local Fiber* tl_current_fiber = nullptr;
+}  // namespace
+
+Fiber::Fiber(Fn body, std::size_t stack_bytes)
+    : stack_(stack_bytes), body_(std::move(body)) {
+  CRAFT_ASSERT(body_ != nullptr, "fiber body must be callable");
+}
+
+Fiber::~Fiber() {
+  // Fibers must run to completion before destruction; the simulator keeps
+  // processes alive for the lifetime of the simulation, so a live stack here
+  // indicates the simulation ended with the process suspended — that is fine,
+  // we simply abandon the stack (no unwinding across ucontext).
+}
+
+Fiber* Fiber::Current() { return tl_current_fiber; }
+
+void Fiber::Trampoline() {
+  Fiber* self = tl_current_fiber;
+  try {
+    self->body_();
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->done_ = true;
+  // Return to the resume() call. swapcontext (not uc_link) keeps the flow
+  // explicit and lets resume() observe done_.
+  swapcontext(&self->ctx_, &self->link_);
+}
+
+void Fiber::resume() {
+  CRAFT_ASSERT(tl_current_fiber == nullptr, "resume() called from inside a fiber");
+  CRAFT_ASSERT(!done_, "resume() on a finished fiber");
+  if (!started_) {
+    started_ = true;
+    getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = stack_.data();
+    ctx_.uc_stack.ss_size = stack_.size();
+    ctx_.uc_link = nullptr;
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 0);
+  }
+  tl_current_fiber = this;
+  swapcontext(&link_, &ctx_);
+  tl_current_fiber = nullptr;
+  if (pending_exception_) {
+    std::exception_ptr e = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::Suspend() {
+  Fiber* self = tl_current_fiber;
+  CRAFT_ASSERT(self != nullptr, "Suspend() called outside any fiber");
+  tl_current_fiber = nullptr;
+  swapcontext(&self->ctx_, &self->link_);
+  tl_current_fiber = self;
+}
+
+}  // namespace craft

@@ -1,0 +1,60 @@
+// Cooperative fibers (stackful coroutines) built on ucontext.
+//
+// Thread processes in the kernel (the analogue of SC_THREAD) need to block
+// mid-function on wait()/Pop()/Push(). Each thread process runs on its own
+// Fiber; the scheduler resumes fibers one at a time on the main context, so
+// the whole simulation is single-threaded and fully deterministic.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace craft {
+
+/// A suspendable call stack. resume() runs the fiber until it calls
+/// Suspend() or its body returns; exceptions thrown inside the body are
+/// captured and rethrown from resume() on the caller's stack.
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  static constexpr std::size_t kDefaultStackBytes = 128 * 1024;
+
+  explicit Fiber(Fn body, std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Runs the fiber until it suspends or finishes. Must be called from the
+  /// main (scheduler) context, never from inside another fiber.
+  void resume();
+
+  /// Suspends the currently running fiber, returning control to the caller of
+  /// resume(). Must be called from inside a fiber.
+  static void Suspend();
+
+  /// The fiber currently executing, or nullptr when on the main context.
+  static Fiber* Current();
+
+  bool done() const { return done_; }
+
+ private:
+  static void Trampoline();
+
+  ucontext_t ctx_{};
+  ucontext_t link_{};
+  std::vector<std::uint8_t> stack_;
+  Fn body_;
+  bool started_ = false;
+  bool done_ = false;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace craft

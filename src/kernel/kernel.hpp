@@ -1,0 +1,15 @@
+// Umbrella header for the CRAFT-flow simulation kernel.
+#pragma once
+
+#include "kernel/bits.hpp"
+#include "kernel/clock.hpp"
+#include "kernel/event.hpp"
+#include "kernel/fiber.hpp"
+#include "kernel/module.hpp"
+#include "kernel/process.hpp"
+#include "kernel/report.hpp"
+#include "kernel/rng.hpp"
+#include "kernel/signal.hpp"
+#include "kernel/simulator.hpp"
+#include "kernel/time.hpp"
+#include "kernel/trace.hpp"

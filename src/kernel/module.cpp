@@ -1,0 +1,28 @@
+#include "kernel/module.hpp"
+
+#include "kernel/clock.hpp"
+
+namespace craft {
+
+Module::Module(Simulator& sim, std::string name)
+    : sim_(sim), parent_(nullptr), name_(std::move(name)), full_name_(name_) {}
+
+Module::Module(Module& parent, std::string name)
+    : sim_(parent.sim()),
+      parent_(&parent),
+      name_(std::move(name)),
+      full_name_(parent.full_name() + "." + name_) {}
+
+ThreadProcess& Module::Thread(const std::string& name, Clock& clk,
+                              std::function<void()> body) {
+  auto p = std::make_unique<ThreadProcess>(sim_, full_name_ + "." + name, clk,
+                                           std::move(body));
+  return static_cast<ThreadProcess&>(sim_.AdoptProcess(std::move(p)));
+}
+
+MethodProcess& Module::Method(const std::string& name, std::function<void()> body) {
+  auto p = std::make_unique<MethodProcess>(sim_, full_name_ + "." + name, std::move(body));
+  return static_cast<MethodProcess&>(sim_.AdoptProcess(std::move(p)));
+}
+
+}  // namespace craft

@@ -1,0 +1,50 @@
+// Module hierarchy. Mirrors sc_module: a named tree of hardware blocks, each
+// of which may register thread and method processes. Names are hierarchical
+// ("soc.pe_1_2.datapath"), used in traces and error reports.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/process.hpp"
+#include "kernel/simulator.hpp"
+
+namespace craft {
+
+class Clock;
+
+class Module {
+ public:
+  /// Root module constructor.
+  Module(Simulator& sim, std::string name);
+
+  /// Child module constructor.
+  Module(Module& parent, std::string name);
+
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  Simulator& sim() const { return sim_; }
+  const std::string& name() const { return name_; }
+  const std::string& full_name() const { return full_name_; }
+  Module* parent() const { return parent_; }
+
+ protected:
+  /// Registers a blocking thread process clocked by `clk`.
+  ThreadProcess& Thread(const std::string& name, Clock& clk, std::function<void()> body);
+
+  /// Registers a method process; attach sensitivity via the returned object.
+  MethodProcess& Method(const std::string& name, std::function<void()> body);
+
+ private:
+  Simulator& sim_;
+  Module* parent_;
+  std::string name_;
+  std::string full_name_;
+};
+
+}  // namespace craft

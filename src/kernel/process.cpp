@@ -1,0 +1,91 @@
+#include "kernel/process.hpp"
+
+#include "kernel/clock.hpp"
+#include "kernel/event.hpp"
+#include "kernel/report.hpp"
+#include "kernel/simulator.hpp"
+
+namespace craft {
+
+namespace {
+thread_local ThreadProcess* tl_current_thread = nullptr;
+}  // namespace
+
+ProcessBase::ProcessBase(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+ThreadProcess::ThreadProcess(Simulator& sim, std::string name, Clock& clk,
+                             std::function<void()> body)
+    : ProcessBase(sim, std::move(name)),
+      clk_(clk),
+      fiber_([this, body = std::move(body)] { body(); }) {}
+
+ThreadProcess* ThreadProcess::Current() { return tl_current_thread; }
+
+void ThreadProcess::Dispatch() {
+  if (fiber_.done()) return;
+  ThreadProcess* prev = tl_current_thread;
+  tl_current_thread = this;
+  fiber_.resume();
+  tl_current_thread = prev;
+}
+
+void ThreadProcess::Suspend() {
+  // Clear/restore the current-thread marker across the suspension point so
+  // code running on the scheduler context never observes a stale thread.
+  tl_current_thread = nullptr;
+  Fiber::Suspend();
+  tl_current_thread = this;
+}
+
+void ThreadProcess::Wait() {
+  clk_.AddWaiter(*this);
+  Suspend();
+}
+
+void ThreadProcess::Wait(unsigned n) {
+  for (unsigned i = 0; i < n; ++i) Wait();
+}
+
+void ThreadProcess::Wait(Event& e) {
+  e.AddWaiter(*this);
+  Suspend();
+}
+
+MethodProcess::MethodProcess(Simulator& sim, std::string name, std::function<void()> body)
+    : ProcessBase(sim, std::move(name)), body_(std::move(body)) {}
+
+MethodProcess& MethodProcess::SensitiveTo(Clock& clk) {
+  clk.AttachMethod(*this);
+  return *this;
+}
+
+void wait() {
+  ThreadProcess* t = ThreadProcess::Current();
+  CRAFT_ASSERT(t != nullptr, "wait() called outside a thread process");
+  t->Wait();
+}
+
+void wait(unsigned n) {
+  ThreadProcess* t = ThreadProcess::Current();
+  CRAFT_ASSERT(t != nullptr, "wait(n) called outside a thread process");
+  t->Wait(n);
+}
+
+void wait(Event& e) {
+  ThreadProcess* t = ThreadProcess::Current();
+  CRAFT_ASSERT(t != nullptr, "wait(Event) called outside a thread process");
+  t->Wait(e);
+}
+
+void wait_until(const std::function<bool()>& pred) {
+  while (!pred()) wait();
+}
+
+std::uint64_t this_cycle() {
+  ThreadProcess* t = ThreadProcess::Current();
+  CRAFT_ASSERT(t != nullptr, "this_cycle() called outside a thread process");
+  return t->clock().cycle();
+}
+
+}  // namespace craft

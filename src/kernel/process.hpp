@@ -1,0 +1,105 @@
+// Processes: the unit of concurrent execution in the kernel.
+//
+// ThreadProcess is the analogue of SC_THREAD: a fiber that may block on
+// wait() / wait(Event&). MethodProcess is the analogue of SC_METHOD: a
+// callback re-run whenever one of its triggers (clock edge, signal change,
+// event) fires. Library code written against these two primitives maps 1:1
+// onto the SystemC coding style used throughout the paper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/fiber.hpp"
+#include "kernel/time.hpp"
+
+namespace craft {
+
+class Simulator;
+class Clock;
+class Event;
+
+/// Common base for thread and method processes.
+class ProcessBase {
+ public:
+  ProcessBase(Simulator& sim, std::string name);
+  virtual ~ProcessBase() = default;
+
+  /// Executes one evaluation-phase dispatch of this process.
+  virtual void Dispatch() = 0;
+
+  const std::string& name() const { return name_; }
+  Simulator& sim() const { return sim_; }
+
+  bool queued = false;  // managed by Simulator::MakeRunnable
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+};
+
+/// A blocking process running on its own fiber, clocked by `clk`.
+class ThreadProcess : public ProcessBase {
+ public:
+  ThreadProcess(Simulator& sim, std::string name, Clock& clk, std::function<void()> body);
+
+  void Dispatch() override;
+
+  Clock& clock() const { return clk_; }
+  bool done() const { return fiber_.done(); }
+
+  /// The thread process currently executing, or nullptr.
+  static ThreadProcess* Current();
+
+  // ---- blocking API, callable only from inside this process's body ----
+
+  /// Suspends until the next posedge of this process's clock.
+  void Wait();
+
+  /// Suspends for n posedges.
+  void Wait(unsigned n);
+
+  /// Suspends until `e` is notified (possibly in the same timestep).
+  void Wait(Event& e);
+
+ private:
+  void Suspend();
+
+  Clock& clk_;
+  Fiber fiber_;
+};
+
+/// A non-blocking callback process, re-run on each trigger.
+class MethodProcess : public ProcessBase {
+ public:
+  MethodProcess(Simulator& sim, std::string name, std::function<void()> body);
+
+  void Dispatch() override { body_(); }
+
+  /// Adds a clock posedge trigger.
+  MethodProcess& SensitiveTo(Clock& clk);
+
+ private:
+  std::function<void()> body_;
+};
+
+// ---- SystemC-style free functions (operate on the current thread) ----
+
+/// Suspends the current thread process until the next posedge of its clock.
+void wait();
+
+/// Suspends for n posedges.
+void wait(unsigned n);
+
+/// Suspends until `e` is notified.
+void wait(Event& e);
+
+/// Spins (one clock per check) until pred() is true.
+void wait_until(const std::function<bool()>& pred);
+
+/// Cycle count of the current thread's clock.
+std::uint64_t this_cycle();
+
+}  // namespace craft

@@ -1,0 +1,43 @@
+// Error reporting and assertion utilities for the simulation kernel.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace craft {
+
+/// Exception type thrown for all simulation errors (elaboration errors,
+/// protocol violations, assertion failures inside processes).
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void RaiseError(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw SimError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace craft
+
+/// Raises a SimError with file/line context. Usable from any process.
+#define CRAFT_ERROR(msg)                                        \
+  do {                                                          \
+    std::ostringstream craft_os_;                               \
+    craft_os_ << msg;                                           \
+    ::craft::detail::RaiseError(__FILE__, __LINE__, craft_os_.str()); \
+  } while (0)
+
+/// Always-on assertion (simulation correctness does not depend on NDEBUG).
+#define CRAFT_ASSERT(cond, msg)                                  \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      CRAFT_ERROR("assertion failed: " #cond ": " << msg);       \
+    }                                                            \
+  } while (0)

@@ -1,0 +1,61 @@
+// Deterministic random number generation for testbenches and stall injection.
+//
+// All stochastic behaviour in the library (Connections stall injection, GALS
+// clock jitter, workload generation) draws from explicitly seeded Rng
+// instances so that every simulation is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace craft {
+
+/// SplitMix64-seeded xoshiro256** generator. Small, fast, and deterministic
+/// across platforms (unlike std::mt19937 distributions, whose mapping to
+/// ranges is implementation-defined via std::uniform_int_distribution).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace craft

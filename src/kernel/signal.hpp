@@ -1,0 +1,77 @@
+// Two-phase signals. write() stores a pending value; the new value becomes
+// visible only in the update phase at the end of the current delta, exactly
+// like sc_signal. Processes (methods or threads) may be made sensitive to
+// value changes, giving combinational logic with delta-cycle propagation —
+// the substrate for the signal-accurate Connections model and for the
+// "RTL-style" golden reference harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/simulator.hpp"
+
+namespace craft {
+
+class ProcessBase;
+class Tracer;
+
+/// Non-template base so the simulator can hold pending updates generically
+/// and tracers can observe changes.
+class SignalBase : public Updatable {
+ public:
+  SignalBase(Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  Simulator& sim() const { return sim_; }
+
+  /// Makes `p` re-run whenever the committed value changes.
+  void AddSensitive(ProcessBase& p) { sensitive_.push_back(&p); }
+
+ protected:
+  void NotifySensitive() {
+    for (ProcessBase* p : sensitive_) sim_.MakeRunnable(*p);
+  }
+
+  Simulator& sim_;
+  std::string name_;
+  std::vector<ProcessBase*> sensitive_;
+
+  friend class Tracer;
+  std::function<void()> trace_hook_;  // set by Tracer
+};
+
+template <typename T>
+class Signal : public SignalBase {
+ public:
+  Signal(Simulator& sim, std::string name, const T& init = T{})
+      : SignalBase(sim, std::move(name)), cur_(init), next_(init) {}
+
+  /// The committed value (stable during the evaluation phase).
+  const T& read() const { return cur_; }
+
+  /// Schedules `v` to become visible at the end of the current delta.
+  void write(const T& v) {
+    next_ = v;
+    if (!queued_) {
+      queued_ = true;
+      sim_.QueueUpdate(*this);
+    }
+  }
+
+  void Update() override {
+    queued_ = false;
+    if (!(next_ == cur_)) {
+      cur_ = next_;
+      NotifySensitive();
+      if (trace_hook_) trace_hook_();
+    }
+  }
+
+ private:
+  T cur_;
+  T next_;
+  bool queued_ = false;
+};
+
+}  // namespace craft

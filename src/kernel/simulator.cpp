@@ -1,0 +1,86 @@
+#include "kernel/simulator.hpp"
+
+#include "kernel/process.hpp"
+
+namespace craft {
+
+namespace {
+Simulator* g_current = nullptr;
+}  // namespace
+
+Simulator::Simulator() {
+  CRAFT_ASSERT(g_current == nullptr, "only one Simulator may exist at a time");
+  g_current = this;
+}
+
+Simulator::~Simulator() { g_current = nullptr; }
+
+Simulator& Simulator::Current() {
+  CRAFT_ASSERT(g_current != nullptr, "no Simulator installed");
+  return *g_current;
+}
+
+void Simulator::ScheduleAt(Time t, std::function<void()> fn) {
+  CRAFT_ASSERT(t >= now_, "cannot schedule in the past");
+  timed_.push(TimedEntry{t, seq_++, std::move(fn)});
+}
+
+void Simulator::MakeRunnable(ProcessBase& p) {
+  if (p.queued) return;
+  p.queued = true;
+  runnable_.push_back(&p);
+}
+
+void Simulator::QueueUpdate(Updatable& u) { updates_.push_back(&u); }
+
+ProcessBase& Simulator::AdoptProcess(std::unique_ptr<ProcessBase> p) {
+  ProcessBase& ref = *p;
+  processes_.push_back(std::move(p));
+  // Processes created after simulation start (rare; testbench helpers) get
+  // their initial evaluation in the next delta.
+  MakeRunnable(ref);
+  return ref;
+}
+
+void Simulator::RunDeltasAtCurrentTime() {
+  while (!runnable_.empty() || !updates_.empty()) {
+    ++delta_count_;
+    std::vector<ProcessBase*> batch;
+    batch.swap(runnable_);
+    for (ProcessBase* p : batch) {
+      p->queued = false;
+      ++dispatch_count_;
+      p->Dispatch();
+    }
+    std::vector<Updatable*> ups;
+    ups.swap(updates_);
+    for (Updatable* u : ups) u->Update();
+  }
+}
+
+void Simulator::StartIfNeeded() {
+  if (started_) return;
+  started_ = true;
+  // Initial evaluation: every process runs once at time zero (threads run
+  // until their first wait; methods compute initial combinational outputs).
+  RunDeltasAtCurrentTime();
+}
+
+void Simulator::RunUntil(Time t) {
+  StartIfNeeded();
+  while (!stop_requested_ && !timed_.empty() && timed_.top().t <= t) {
+    now_ = timed_.top().t;
+    // Fire every timed entry at this timestamp, then settle all deltas.
+    while (!timed_.empty() && timed_.top().t == now_) {
+      auto fn = std::move(const_cast<TimedEntry&>(timed_.top()).fn);
+      timed_.pop();
+      fn();
+    }
+    RunDeltasAtCurrentTime();
+  }
+  if (!stop_requested_ && now_ < t) now_ = t;
+}
+
+void Simulator::Run(Time duration) { RunUntil(now_ + duration); }
+
+}  // namespace craft

@@ -1,0 +1,56 @@
+#include "kernel/trace.hpp"
+
+namespace craft {
+
+Tracer::Tracer(Simulator& sim, const std::string& path) : sim_(sim), out_(path) {
+  CRAFT_ASSERT(out_.good(), "cannot open trace file " << path);
+}
+
+Tracer::~Tracer() { out_.flush(); }
+
+std::string Tracer::NextId() {
+  // VCD identifier codes: printable ASCII 33..126, base-94 little-endian.
+  unsigned code = next_code_++;
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + code % 94));
+    code /= 94;
+  } while (code != 0);
+  return id;
+}
+
+void Tracer::DeclareVar(const std::string& name, const std::string& id, unsigned width) {
+  CRAFT_ASSERT(!started_, "Trace() after Start()");
+  std::string safe = name;
+  for (char& c : safe) {
+    if (c == ' ') c = '_';
+  }
+  decls_.push_back("$var wire " + std::to_string(width) + " " + id + " " + safe + " $end");
+}
+
+void Tracer::Start() {
+  CRAFT_ASSERT(!started_, "Start() called twice");
+  started_ = true;
+  out_ << "$timescale 1ps $end\n$scope module craft $end\n";
+  for (const auto& d : decls_) out_ << d << "\n";
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void Tracer::Record(const std::string& id, std::uint64_t value, unsigned width) {
+  if (!started_) return;
+  if (sim_.now() != last_time_) {
+    last_time_ = sim_.now();
+    out_ << "#" << last_time_ << "\n";
+  }
+  if (width == 1) {
+    out_ << (value & 1) << id << "\n";
+    return;
+  }
+  std::string bits;
+  for (int b = static_cast<int>(width) - 1; b >= 0; --b) {
+    bits.push_back(((value >> b) & 1) ? '1' : '0');
+  }
+  out_ << "b" << bits << " " << id << "\n";
+}
+
+}  // namespace craft

@@ -1,0 +1,49 @@
+// Minimal VCD waveform tracer for integral-valued signals, standing in for
+// the FSDB traces of the paper's flow (Fig. 1). Register signals before
+// Simulator::Run; the resulting file loads in GTKWave.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "kernel/report.hpp"
+#include "kernel/signal.hpp"
+
+namespace craft {
+
+class Tracer {
+ public:
+  Tracer(Simulator& sim, const std::string& path);
+  ~Tracer();
+
+  /// Registers an integral (or bool) signal with the given bit width.
+  template <typename T>
+  void Trace(Signal<T>& sig, unsigned width = 8 * sizeof(T)) {
+    static_assert(std::is_integral_v<T>, "only integral signals are traceable");
+    const std::string id = NextId();
+    DeclareVar(sig.name(), id, width);
+    sig.trace_hook_ = [this, &sig, id, width] {
+      Record(id, static_cast<std::uint64_t>(sig.read()), width);
+    };
+  }
+
+  /// Writes the VCD header; call after all Trace() registrations.
+  void Start();
+
+ private:
+  std::string NextId();
+  void DeclareVar(const std::string& name, const std::string& id, unsigned width);
+  void Record(const std::string& id, std::uint64_t value, unsigned width);
+
+  Simulator& sim_;
+  std::ofstream out_;
+  std::vector<std::string> decls_;
+  unsigned next_code_ = 0;
+  bool started_ = false;
+  Time last_time_ = kTimeNever;
+};
+
+}  // namespace craft

@@ -1,0 +1,58 @@
+// MatchLib Arbiter: 1-out-of-N round-robin selector (paper Table 2).
+//
+// "The arbiter includes state for storing priorities and a pick method for
+// selecting among its inputs and updating its state." Requests and grants
+// are one-hot bit masks, exactly as the synthesizable component presents
+// them to HLS.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/report.hpp"
+
+namespace craft::matchlib {
+
+/// Round-robin arbiter over up to 64 requesters.
+class Arbiter {
+ public:
+  explicit Arbiter(unsigned n) : n_(n) {
+    CRAFT_ASSERT(n >= 1 && n <= 64, "Arbiter supports 1..64 requesters");
+  }
+
+  unsigned size() const { return n_; }
+
+  /// Selects one requester from the `req` mask (bit i = requester i),
+  /// rotating priority so the winner becomes lowest priority next time.
+  /// Returns a one-hot grant mask, or 0 if no requests.
+  std::uint64_t Pick(std::uint64_t req) {
+    if (req == 0) return 0;
+    for (unsigned offset = 0; offset < n_; ++offset) {
+      const unsigned idx = (next_ + offset) % n_;
+      if (req & (1ull << idx)) {
+        next_ = (idx + 1) % n_;
+        return 1ull << idx;
+      }
+    }
+    return 0;
+  }
+
+  /// Pick and return the granted index (-1 if none). Convenience overlay.
+  int PickIndex(std::uint64_t req) {
+    const std::uint64_t g = Pick(req);
+    if (g == 0) return -1;
+    int idx = 0;
+    while (!(g & (1ull << idx))) ++idx;
+    return idx;
+  }
+
+  /// Current priority pointer (index that wins ties next), for inspection.
+  unsigned priority() const { return next_; }
+
+  void Reset() { next_ = 0; }
+
+ private:
+  unsigned n_;
+  unsigned next_ = 0;
+};
+
+}  // namespace craft::matchlib

@@ -1,0 +1,78 @@
+// MatchLib ArbitratedCrossbar: crossbar with conflict arbitration & queuing
+// (paper Table 2). The design-under-test of the paper's Fig. 3 experiment.
+//
+// N inputs each carry (data, dest). Each input owns a small queue; each
+// output owns a round-robin arbiter. Per cycle, every output grants one
+// requesting input; granted entries traverse the crossbar. The class is
+// untimed (MatchLib "C++ class" style): a module calls Push/Arbitrate from
+// its clocked process, giving HLS the freedom to pipeline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "matchlib/arbiter.hpp"
+#include "matchlib/fifo.hpp"
+
+namespace craft::matchlib {
+
+template <typename T, unsigned kIn, unsigned kOut, unsigned kQueueDepth = 4>
+class ArbitratedCrossbar {
+ public:
+  static_assert(kIn >= 1 && kIn <= 64 && kOut >= 1 && kOut <= 64);
+
+  ArbitratedCrossbar() {
+    arbiters_.reserve(kOut);
+    for (unsigned o = 0; o < kOut; ++o) arbiters_.emplace_back(kIn);
+  }
+
+  /// True if input port `in` can accept a new entry this cycle.
+  bool CanAccept(unsigned in) const { return !queues_[in].Full(); }
+
+  /// Enqueues (data, dest) at input `in`; caller must check CanAccept.
+  void Push(unsigned in, const T& data, unsigned dest) {
+    CRAFT_ASSERT(in < kIn, "ArbitratedCrossbar input OOB");
+    CRAFT_ASSERT(dest < kOut, "ArbitratedCrossbar dest OOB");
+    queues_[in].Push(Entry{data, dest});
+  }
+
+  /// One arbitration cycle: every output round-robin-picks among the inputs
+  /// whose head entry targets it; winners are dequeued and delivered.
+  std::array<std::optional<T>, kOut> Arbitrate() {
+    // Gather per-output request masks from queue heads.
+    std::array<std::uint64_t, kOut> req{};
+    for (unsigned i = 0; i < kIn; ++i) {
+      if (!queues_[i].Empty()) req[queues_[i].Peek().dest] |= (1ull << i);
+    }
+    std::array<std::optional<T>, kOut> out;
+    for (unsigned o = 0; o < kOut; ++o) {
+      const int winner = arbiters_[o].PickIndex(req[o]);
+      if (winner >= 0) {
+        out[o] = queues_[winner].Pop().data;
+        ++transfers_;
+      }
+    }
+    return out;
+  }
+
+  bool AllQueuesEmpty() const {
+    for (unsigned i = 0; i < kIn; ++i) {
+      if (!queues_[i].Empty()) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t transfer_count() const { return transfers_; }
+
+ private:
+  struct Entry {
+    T data;
+    unsigned dest;
+  };
+  std::array<Fifo<Entry, kQueueDepth>, kIn> queues_;
+  std::vector<Arbiter> arbiters_;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace craft::matchlib

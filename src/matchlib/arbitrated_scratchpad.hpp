@@ -1,0 +1,100 @@
+// MatchLib ArbitratedScratchpad: banked memories with arbitration & queuing
+// (paper Table 2). N request ports share kBanks single-ported banks;
+// conflicting requests queue at the banks and are served round-robin, one
+// per bank per cycle. Used for the PE scratchpad in the prototype SoC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "matchlib/arbiter.hpp"
+#include "matchlib/fifo.hpp"
+#include "matchlib/mem_array.hpp"
+
+namespace craft::matchlib {
+
+/// Load/store request into a scratchpad.
+template <typename T>
+struct ScratchpadRequest {
+  bool is_write = false;
+  std::uint32_t addr = 0;
+  T wdata{};
+  bool operator==(const ScratchpadRequest&) const = default;
+};
+
+/// Response: loads return data; stores return an ack (valid only).
+template <typename T>
+struct ScratchpadResponse {
+  bool is_write_ack = false;
+  std::uint32_t addr = 0;
+  T rdata{};
+  bool operator==(const ScratchpadResponse&) const = default;
+};
+
+template <typename T, unsigned kBanks, unsigned kEntriesPerBank, unsigned kPorts,
+          unsigned kQueueDepth = 4>
+class ArbitratedScratchpad {
+ public:
+  static_assert(kBanks >= 1 && kPorts >= 1 && kPorts <= 64);
+
+  ArbitratedScratchpad() : mem_(kBanks * kEntriesPerBank, kBanks) {
+    arbiters_.reserve(kBanks);
+    for (unsigned b = 0; b < kBanks; ++b) arbiters_.emplace_back(kPorts);
+  }
+
+  static constexpr std::size_t Size() { return kBanks * kEntriesPerBank; }
+
+  /// True if port `p`'s request queue can take another request.
+  bool CanAccept(unsigned p) const { return !queues_[p].Full(); }
+
+  /// Enqueues a request from port `p`; caller must check CanAccept.
+  void Request(unsigned p, const ScratchpadRequest<T>& req) {
+    CRAFT_ASSERT(p < kPorts, "scratchpad port OOB");
+    CRAFT_ASSERT(req.addr < Size(), "scratchpad addr OOB @" << req.addr);
+    queues_[p].Push(req);
+  }
+
+  /// One cycle: each bank serves one queued request (round-robin over
+  /// ports); returns per-port responses for requests served this cycle.
+  std::array<std::optional<ScratchpadResponse<T>>, kPorts> Tick() {
+    std::array<std::uint64_t, kBanks> req_mask{};
+    for (unsigned p = 0; p < kPorts; ++p) {
+      if (!queues_[p].Empty()) {
+        req_mask[BankOf(queues_[p].Peek().addr)] |= (1ull << p);
+      }
+    }
+    std::array<std::optional<ScratchpadResponse<T>>, kPorts> resp;
+    for (unsigned b = 0; b < kBanks; ++b) {
+      const int p = arbiters_[b].PickIndex(req_mask[b]);
+      if (p < 0) continue;
+      const ScratchpadRequest<T> r = queues_[p].Pop();
+      ScratchpadResponse<T> out;
+      out.addr = r.addr;
+      if (r.is_write) {
+        mem_.Write(r.addr, r.wdata);
+        out.is_write_ack = true;
+      } else {
+        out.rdata = mem_.Read(r.addr);
+      }
+      resp[p] = out;
+      if (req_mask[b] & (req_mask[b] - 1)) ++conflict_cycles_;
+    }
+    return resp;
+  }
+
+  std::size_t BankOf(std::uint32_t addr) const { return mem_.BankOf(addr); }
+
+  /// Cycles in which at least one bank had more than one contender.
+  std::uint64_t conflict_cycles() const { return conflict_cycles_; }
+
+  MemArray<T>& mem() { return mem_; }
+
+ private:
+  MemArray<T> mem_;
+  std::array<Fifo<ScratchpadRequest<T>, kQueueDepth>, kPorts> queues_;
+  std::vector<Arbiter> arbiters_;
+  std::uint64_t conflict_cycles_ = 0;
+};
+
+}  // namespace craft::matchlib

@@ -1,0 +1,320 @@
+// MatchLib AXI components: master/slave interfaces & bridges for AXI
+// interconnect (paper Table 2).
+//
+// A reduced AXI4 modeled with the five independent channels (AW, W, B, AR,
+// R) carried over LI channels — the paper's point that "LI design is widely
+// used in ... interconnect protocols such as AXI". Bursts are INCR-only,
+// word (64-bit) beats.
+//
+// Components:
+//  * AxiMasterPort  — port bundle + blocking transaction helpers callable
+//    from any thread process (read/write, single or burst).
+//  * AxiLink        — the five channels wiring one master to one slave.
+//  * AxiMemSlave    — slave bridge onto a MemArray<uint64> (SRAM model).
+//  * AxiSlavePortal — slave bridge onto user callbacks (CSRs, devices).
+//  * AxiBus         — single-master N-slave interconnect with address
+//    decode, standing in for the prototype SoC's AXI bus (Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "connections/connections.hpp"
+#include "matchlib/mem_array.hpp"
+
+namespace craft::matchlib::axi {
+
+struct AW {
+  std::uint32_t addr = 0;  ///< byte address, 8-byte aligned
+  std::uint8_t len = 0;    ///< beats - 1 (AXI encoding)
+  std::uint8_t id = 0;
+  bool operator==(const AW&) const = default;
+};
+
+struct W {
+  std::uint64_t data = 0;
+  bool last = false;
+  bool operator==(const W&) const = default;
+};
+
+struct B {
+  std::uint8_t id = 0;
+  std::uint8_t resp = 0;  ///< 0 = OKAY, 2 = SLVERR
+  bool operator==(const B&) const = default;
+};
+
+struct AR {
+  std::uint32_t addr = 0;
+  std::uint8_t len = 0;
+  std::uint8_t id = 0;
+  bool operator==(const AR&) const = default;
+};
+
+struct R {
+  std::uint64_t data = 0;
+  std::uint8_t id = 0;
+  std::uint8_t resp = 0;
+  bool last = false;
+  bool operator==(const R&) const = default;
+};
+
+inline constexpr std::uint8_t kRespOkay = 0;
+inline constexpr std::uint8_t kRespSlvErr = 2;
+
+/// The five channels joining one master to one slave.
+class AxiLink : public Module {
+ public:
+  AxiLink(Module& parent, const std::string& name, Clock& clk, unsigned depth = 2)
+      : Module(parent, name),
+        aw(*this, "aw", clk, depth),
+        w(*this, "w", clk, depth),
+        b(*this, "b", clk, depth),
+        ar(*this, "ar", clk, depth),
+        r(*this, "r", clk, depth) {}
+
+  connections::Buffer<AW> aw;
+  connections::Buffer<W> w;
+  connections::Buffer<B> b;
+  connections::Buffer<AR> ar;
+  connections::Buffer<R> r;
+};
+
+/// Master-side port bundle with blocking helpers (call from a thread).
+class AxiMasterPort {
+ public:
+  connections::Out<AW> aw;
+  connections::Out<W> w;
+  connections::In<B> b;
+  connections::Out<AR> ar;
+  connections::In<R> r;
+
+  void BindLink(AxiLink& link) {
+    aw(link.aw);
+    w(link.w);
+    b(link.b);
+    ar(link.ar);
+    r(link.r);
+  }
+
+  /// Single-beat read at byte address `addr`.
+  std::uint64_t Read(std::uint32_t addr) {
+    AR a;
+    a.addr = addr;
+    a.len = 0;
+    ar.Push(a);
+    const R resp = r.Pop();
+    CRAFT_ASSERT(resp.resp == kRespOkay, "AXI read error @0x" << std::hex << addr);
+    return resp.data;
+  }
+
+  /// INCR burst read of `n` beats.
+  std::vector<std::uint64_t> ReadBurst(std::uint32_t addr, unsigned n) {
+    CRAFT_ASSERT(n >= 1 && n <= 256, "AXI burst length 1..256");
+    AR a;
+    a.addr = addr;
+    a.len = static_cast<std::uint8_t>(n - 1);
+    ar.Push(a);
+    std::vector<std::uint64_t> data;
+    data.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      const R resp = r.Pop();
+      CRAFT_ASSERT(resp.resp == kRespOkay, "AXI read error @0x" << std::hex << addr);
+      data.push_back(resp.data);
+      if (i + 1 == n) CRAFT_ASSERT(resp.last, "AXI R.last missing");
+    }
+    return data;
+  }
+
+  /// Single-beat write.
+  void Write(std::uint32_t addr, std::uint64_t data) {
+    AW a;
+    a.addr = addr;
+    a.len = 0;
+    aw.Push(a);
+    W beat;
+    beat.data = data;
+    beat.last = true;
+    w.Push(beat);
+    const B resp = b.Pop();
+    CRAFT_ASSERT(resp.resp == kRespOkay, "AXI write error @0x" << std::hex << addr);
+  }
+
+  /// INCR burst write.
+  void WriteBurst(std::uint32_t addr, const std::vector<std::uint64_t>& data) {
+    CRAFT_ASSERT(!data.empty() && data.size() <= 256, "AXI burst length 1..256");
+    AW a;
+    a.addr = addr;
+    a.len = static_cast<std::uint8_t>(data.size() - 1);
+    aw.Push(a);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      W beat;
+      beat.data = data[i];
+      beat.last = (i + 1 == data.size());
+      w.Push(beat);
+    }
+    const B resp = b.Pop();
+    CRAFT_ASSERT(resp.resp == kRespOkay, "AXI write error @0x" << std::hex << addr);
+  }
+};
+
+/// Slave-side port bundle.
+struct AxiSlavePort {
+  connections::In<AW> aw;
+  connections::In<W> w;
+  connections::Out<B> b;
+  connections::In<AR> ar;
+  connections::Out<R> r;
+
+  void BindLink(AxiLink& link) {
+    aw(link.aw);
+    w(link.w);
+    b(link.b);
+    ar(link.ar);
+    r(link.r);
+  }
+};
+
+/// AXI slave bridging to arbitrary read/write callbacks (CSR blocks,
+/// device registers). Callbacks take/return 64-bit words at byte addresses.
+class AxiSlavePortal : public Module {
+ public:
+  using ReadFn = std::function<std::uint64_t(std::uint32_t)>;
+  using WriteFn = std::function<void(std::uint32_t, std::uint64_t)>;
+
+  AxiSlavePort port;
+
+  AxiSlavePortal(Module& parent, const std::string& name, Clock& clk, ReadFn rd, WriteFn wr)
+      : Module(parent, name), read_fn_(std::move(rd)), write_fn_(std::move(wr)) {
+    Thread("write_ch", clk, [this] { RunWrites(); });
+    Thread("read_ch", clk, [this] { RunReads(); });
+  }
+
+ private:
+  void RunWrites() {
+    for (;;) {
+      const AW a = port.aw.Pop();
+      for (unsigned beat = 0; beat <= a.len; ++beat) {
+        const W d = port.w.Pop();
+        write_fn_(a.addr + 8 * beat, d.data);
+        if (beat == a.len) CRAFT_ASSERT(d.last, "AXI W.last missing");
+      }
+      B resp;
+      resp.id = a.id;
+      resp.resp = kRespOkay;
+      port.b.Push(resp);
+    }
+  }
+
+  void RunReads() {
+    for (;;) {
+      const AR a = port.ar.Pop();
+      for (unsigned beat = 0; beat <= a.len; ++beat) {
+        R resp;
+        resp.data = read_fn_(a.addr + 8 * beat);
+        resp.id = a.id;
+        resp.resp = kRespOkay;
+        resp.last = (beat == a.len);
+        port.r.Push(resp);
+      }
+    }
+  }
+
+  ReadFn read_fn_;
+  WriteFn write_fn_;
+};
+
+/// AXI slave bridging to a MemArray<uint64> (word-indexed SRAM model).
+class AxiMemSlave : public Module {
+ public:
+  AxiMemSlave(Module& parent, const std::string& name, Clock& clk,
+              MemArray<std::uint64_t>& mem)
+      : Module(parent, name),
+        portal_(*this, "portal", clk,
+                [&mem](std::uint32_t addr) { return mem.Read(addr / 8); },
+                [&mem](std::uint32_t addr, std::uint64_t v) { mem.Write(addr / 8, v); }) {}
+
+  void BindLink(AxiLink& link) { portal_.port.BindLink(link); }
+
+ private:
+  AxiSlavePortal portal_;
+};
+
+/// Address range decoded by the bus.
+struct AddressRange {
+  std::uint32_t base = 0;
+  std::uint32_t size = 0;
+  bool Contains(std::uint32_t addr) const { return addr >= base && addr - base < size; }
+};
+
+/// Single-master, N-slave AXI interconnect with address decode. The master
+/// binds to upstream(); each slave region is added with AddSlave, which
+/// returns the AxiLink the slave must bind to. Downstream addresses are
+/// rebased to the region (slave sees offsets).
+class AxiBus : public Module {
+ public:
+  AxiBus(Module& parent, const std::string& name, Clock& clk) : Module(parent, name), clk_(clk) {
+    upstream_ = std::make_unique<AxiLink>(*this, "upstream", clk);
+    Thread("write_ch", clk_, [this] { RunWrites(); });
+    Thread("read_ch", clk_, [this] { RunReads(); });
+  }
+
+  /// The link the single master binds to (master side).
+  AxiLink& upstream() { return *upstream_; }
+
+  /// Registers a decoded region; bind the slave to the returned link.
+  AxiLink& AddSlave(const AddressRange& range) {
+    auto link = std::make_unique<AxiLink>(*this, "slave" + std::to_string(slaves_.size()), clk_);
+    slaves_.push_back(SlaveEntry{range, std::move(link)});
+    return *slaves_.back().link;
+  }
+
+ private:
+  struct SlaveEntry {
+    AddressRange range;
+    std::unique_ptr<AxiLink> link;
+  };
+
+  int Decode(std::uint32_t addr) const {
+    for (std::size_t i = 0; i < slaves_.size(); ++i) {
+      if (slaves_[i].range.Contains(addr)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void RunWrites() {
+    for (;;) {
+      const AW a = upstream_->aw.Pop();
+      const int s = Decode(a.addr);
+      CRAFT_ASSERT(s >= 0, full_name() << ": write decode miss @0x" << std::hex << a.addr);
+      AW fwd = a;
+      fwd.addr = a.addr - slaves_[s].range.base;
+      slaves_[s].link->aw.Push(fwd);
+      for (unsigned beat = 0; beat <= a.len; ++beat) {
+        slaves_[s].link->w.Push(upstream_->w.Pop());
+      }
+      upstream_->b.Push(slaves_[s].link->b.Pop());
+    }
+  }
+
+  void RunReads() {
+    for (;;) {
+      const AR a = upstream_->ar.Pop();
+      const int s = Decode(a.addr);
+      CRAFT_ASSERT(s >= 0, full_name() << ": read decode miss @0x" << std::hex << a.addr);
+      AR fwd = a;
+      fwd.addr = a.addr - slaves_[s].range.base;
+      slaves_[s].link->ar.Push(fwd);
+      for (unsigned beat = 0; beat <= a.len; ++beat) {
+        upstream_->r.Push(slaves_[s].link->r.Pop());
+      }
+    }
+  }
+
+  Clock& clk_;
+  std::unique_ptr<AxiLink> upstream_;
+  std::vector<SlaveEntry> slaves_;
+};
+
+}  // namespace craft::matchlib::axi

@@ -1,0 +1,175 @@
+// MatchLib Cache: configurable linesize, capacity, associativity (paper
+// Table 2). A blocking set-associative write-back/write-allocate cache with
+// LRU replacement, expressed as a loosely-timed SystemC-style module:
+//
+//   cpu_req  -> [lookup / evict / refill FSM] -> cpu_resp
+//                 |                      ^
+//                 v                      |
+//               mem_req  (word ops)   mem_resp
+//
+// Timing: one cycle per hit (the Pop/Push pair), plus one mem round trip
+// per word moved on evictions and refills — the natural loosely-timed
+// behaviour HLS would schedule into a pipelined cache controller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "connections/connections.hpp"
+#include "matchlib/mem_msgs.hpp"
+
+namespace craft::matchlib {
+
+struct CacheConfig {
+  unsigned line_words = 4;     ///< words per line
+  unsigned num_lines = 64;     ///< total lines (capacity = num_lines * line_words)
+  unsigned associativity = 2;  ///< ways per set
+
+  unsigned num_sets() const { return num_lines / associativity; }
+  std::size_t capacity_words() const {
+    return static_cast<std::size_t>(line_words) * num_lines;
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total == 0.0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class Cache : public Module {
+ public:
+  connections::In<MemReq> cpu_req;
+  connections::Out<MemResp> cpu_resp;
+  connections::Out<MemReq> mem_req;
+  connections::In<MemResp> mem_resp;
+
+  Cache(Module& parent, const std::string& name, Clock& clk, const CacheConfig& cfg)
+      : Module(parent, name), cfg_(cfg) {
+    CRAFT_ASSERT(cfg_.line_words >= 1 && (cfg_.line_words & (cfg_.line_words - 1)) == 0,
+                 "line_words must be a power of two");
+    CRAFT_ASSERT(cfg_.associativity >= 1 && cfg_.num_lines % cfg_.associativity == 0,
+                 "num_lines must be a multiple of associativity");
+    CRAFT_ASSERT((cfg_.num_sets() & (cfg_.num_sets() - 1)) == 0,
+                 "number of sets must be a power of two");
+    ways_.resize(cfg_.num_lines);
+    for (auto& w : ways_) w.data.resize(cfg_.line_words, 0);
+    Thread("run", clk, [this] { Run(); });
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Way {
+    bool valid = false;
+    bool dirty = false;
+    std::uint32_t tag = 0;
+    std::uint64_t lru = 0;  // smaller = older
+    std::vector<std::uint64_t> data;
+  };
+
+  std::uint32_t SetOf(std::uint32_t addr) const {
+    return (addr / cfg_.line_words) & (cfg_.num_sets() - 1);
+  }
+  std::uint32_t TagOf(std::uint32_t addr) const {
+    return (addr / cfg_.line_words) / cfg_.num_sets();
+  }
+  std::uint32_t OffsetOf(std::uint32_t addr) const { return addr % cfg_.line_words; }
+  Way& WayAt(std::uint32_t set, unsigned way) {
+    return ways_[set * cfg_.associativity + way];
+  }
+
+  void Run() {
+    for (;;) {
+      const MemReq req = cpu_req.Pop();
+      const std::uint32_t set = SetOf(req.addr);
+      const std::uint32_t tag = TagOf(req.addr);
+      int hit_way = -1;
+      for (unsigned w = 0; w < cfg_.associativity; ++w) {
+        if (WayAt(set, w).valid && WayAt(set, w).tag == tag) {
+          hit_way = static_cast<int>(w);
+          break;
+        }
+      }
+      if (hit_way < 0) {
+        ++stats_.misses;
+        hit_way = Refill(set, tag, req.addr);
+      } else {
+        ++stats_.hits;
+      }
+      Way& way = WayAt(set, static_cast<unsigned>(hit_way));
+      way.lru = ++lru_clock_;
+      MemResp resp;
+      resp.id = req.id;
+      if (req.is_write) {
+        way.data[OffsetOf(req.addr)] = req.wdata;
+        way.dirty = true;
+        resp.is_write_ack = true;
+      } else {
+        resp.rdata = way.data[OffsetOf(req.addr)];
+      }
+      cpu_resp.Push(resp);
+    }
+  }
+
+  /// Picks a victim (invalid first, else LRU), writes it back if dirty,
+  /// fetches the new line word-by-word. Returns the refilled way index.
+  int Refill(std::uint32_t set, std::uint32_t tag, std::uint32_t addr) {
+    int victim = -1;
+    for (unsigned w = 0; w < cfg_.associativity; ++w) {
+      if (!WayAt(set, w).valid) {
+        victim = static_cast<int>(w);
+        break;
+      }
+    }
+    if (victim < 0) {
+      std::uint64_t oldest = ~0ull;
+      for (unsigned w = 0; w < cfg_.associativity; ++w) {
+        if (WayAt(set, w).lru < oldest) {
+          oldest = WayAt(set, w).lru;
+          victim = static_cast<int>(w);
+        }
+      }
+      ++stats_.evictions;
+    }
+    Way& way = WayAt(set, static_cast<unsigned>(victim));
+    if (way.valid && way.dirty) {
+      ++stats_.writebacks;
+      const std::uint32_t wb_base =
+          (way.tag * cfg_.num_sets() + set) * cfg_.line_words;
+      for (unsigned i = 0; i < cfg_.line_words; ++i) {
+        MemReq wr;
+        wr.is_write = true;
+        wr.addr = wb_base + i;
+        wr.wdata = way.data[i];
+        mem_req.Push(wr);
+        (void)mem_resp.Pop();  // write ack
+      }
+    }
+    const std::uint32_t base = (addr / cfg_.line_words) * cfg_.line_words;
+    for (unsigned i = 0; i < cfg_.line_words; ++i) {
+      MemReq rd;
+      rd.addr = base + i;
+      mem_req.Push(rd);
+      way.data[i] = mem_resp.Pop().rdata;
+    }
+    way.valid = true;
+    way.dirty = false;
+    way.tag = tag;
+    return victim;
+  }
+
+  CacheConfig cfg_;
+  std::vector<Way> ways_;
+  CacheStats stats_;
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace craft::matchlib

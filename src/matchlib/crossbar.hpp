@@ -1,0 +1,67 @@
+// MatchLib Crossbar: N-to-N switch with configurable bitwidths (paper
+// Table 2), including BOTH C++ coding styles from the §2.4 case study.
+//
+// The two functions below compute the same permutation, but HLS elaborates
+// them very differently:
+//
+//  * src-loop: `out[dst[src]] = in[src]` — multiple inputs may target the
+//    same output, so HLS must build priority decoders in front of every
+//    output mux (later src wins), creating a dependency path from all
+//    dst[src] signals to all outputs. The paper measured a 25% area penalty
+//    for this style at 32 lanes x 32 bit.
+//
+//  * dst-loop: `out[dst] = in[src[dst]]` — each output is a plain N-to-1
+//    mux controlled only by its own select, with no cross-output priority
+//    logic. This is the MatchLib-encapsulated, QoR-friendly style.
+//
+// Functionally both are exercised here; the *hardware cost* difference is
+// reproduced by the HLS model (src/hls) and bench/crossbar_qor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kernel/report.hpp"
+
+namespace craft::matchlib {
+
+/// src-loop style: dst[src] gives the output each input routes to. If two
+/// inputs target the same output, the higher src index wins (priority),
+/// matching the RTL HLS generates for this code.
+template <typename T>
+std::vector<T> CrossbarSrcLoop(const std::vector<T>& in, const std::vector<std::size_t>& dst) {
+  CRAFT_ASSERT(in.size() == dst.size(), "crossbar size mismatch");
+  std::vector<T> out(in.size(), T{});
+  for (std::size_t src = 0; src < in.size(); ++src) {
+    CRAFT_ASSERT(dst[src] < out.size(), "crossbar dst OOB");
+    out[dst[src]] = in[src];
+  }
+  return out;
+}
+
+/// dst-loop style: src[dst] gives the input each output routes from.
+template <typename T>
+std::vector<T> CrossbarDstLoop(const std::vector<T>& in, const std::vector<std::size_t>& src) {
+  CRAFT_ASSERT(in.size() == src.size(), "crossbar size mismatch");
+  std::vector<T> out(in.size(), T{});
+  for (std::size_t dst = 0; dst < out.size(); ++dst) {
+    CRAFT_ASSERT(src[dst] < in.size(), "crossbar src OOB");
+    out[dst] = in[src[dst]];
+  }
+  return out;
+}
+
+/// Inverts a permutation expressed as dst-of-src into src-of-dst, so the
+/// same routing can be fed to either implementation. `dst` must be a
+/// permutation (no output conflicts).
+inline std::vector<std::size_t> InvertPermutation(const std::vector<std::size_t>& dst) {
+  std::vector<std::size_t> src(dst.size(), dst.size());
+  for (std::size_t s = 0; s < dst.size(); ++s) {
+    CRAFT_ASSERT(dst[s] < dst.size(), "permutation entry OOB");
+    CRAFT_ASSERT(src[dst[s]] == dst.size(), "permutation has output conflict");
+    src[dst[s]] = s;
+  }
+  return src;
+}
+
+}  // namespace craft::matchlib

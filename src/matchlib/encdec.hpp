@@ -1,0 +1,62 @@
+// MatchLib Encoder/Decoder: 1-hot encoders and decoders (paper Table 2),
+// plus the priority encoder that HLS infers from src-loop style code — the
+// structure responsible for the 25% area penalty in the paper's crossbar
+// case study (§2.4).
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/report.hpp"
+
+namespace craft::matchlib {
+
+/// Binary index -> one-hot mask. idx must be < 64.
+inline std::uint64_t OneHotEncode(unsigned idx) {
+  CRAFT_ASSERT(idx < 64, "OneHotEncode index too large");
+  return 1ull << idx;
+}
+
+/// One-hot mask -> binary index. Exactly one bit must be set.
+inline unsigned OneHotDecode(std::uint64_t onehot) {
+  CRAFT_ASSERT(onehot != 0 && (onehot & (onehot - 1)) == 0,
+               "OneHotDecode input not one-hot: " << onehot);
+  unsigned idx = 0;
+  while (!(onehot & 1ull)) {
+    onehot >>= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+/// True if mask has exactly one bit set.
+inline bool IsOneHot(std::uint64_t mask) { return mask != 0 && (mask & (mask - 1)) == 0; }
+
+/// Priority encoder: index of the *highest* set bit (-1 if none). This is
+/// the structure HLS builds for "later iterations override earlier writes"
+/// src-loop code.
+inline int PriorityEncodeHigh(std::uint64_t mask) {
+  if (mask == 0) return -1;
+  int idx = 63;
+  while (!(mask & (1ull << idx))) --idx;
+  return idx;
+}
+
+/// Priority encoder: index of the *lowest* set bit (-1 if none).
+inline int PriorityEncodeLow(std::uint64_t mask) {
+  if (mask == 0) return -1;
+  int idx = 0;
+  while (!(mask & (1ull << idx))) ++idx;
+  return idx;
+}
+
+/// Population count (used by arbitration fairness checks and tests).
+inline unsigned PopCount(std::uint64_t mask) {
+  unsigned n = 0;
+  while (mask) {
+    mask &= mask - 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace craft::matchlib

@@ -1,0 +1,62 @@
+// MatchLib FIFO: a configurable FIFO C++ class (paper Table 2).
+//
+// Untimed state + methods, in the MatchLib "C++ class" style: usable inside
+// a clocked process (the caller provides timing) and synthesizable by HLS as
+// a register-file FIFO. Distinct from connections::Buffer, which is a
+// *channel* with its own handshake; this is a building block for modules
+// that manage their own queues (routers, arbitrated crossbars, ROBs).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "kernel/report.hpp"
+
+namespace craft::matchlib {
+
+template <typename T, std::size_t kCapacity>
+class Fifo {
+ public:
+  static_assert(kCapacity >= 1);
+
+  bool Empty() const { return count_ == 0; }
+  bool Full() const { return count_ == kCapacity; }
+  std::size_t Size() const { return count_; }
+  static constexpr std::size_t Capacity() { return kCapacity; }
+
+  /// Enqueues; caller must check !Full() first (models hardware contract).
+  void Push(const T& v) {
+    CRAFT_ASSERT(!Full(), "Fifo::Push on full FIFO");
+    data_[tail_] = v;
+    tail_ = (tail_ + 1) % kCapacity;
+    ++count_;
+  }
+
+  /// Dequeues; caller must check !Empty() first.
+  T Pop() {
+    CRAFT_ASSERT(!Empty(), "Fifo::Pop on empty FIFO");
+    T v = data_[head_];
+    head_ = (head_ + 1) % kCapacity;
+    --count_;
+    return v;
+  }
+
+  /// Front element without dequeuing.
+  const T& Peek() const {
+    CRAFT_ASSERT(!Empty(), "Fifo::Peek on empty FIFO");
+    return data_[head_];
+  }
+
+  void Clear() {
+    head_ = tail_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::array<T, kCapacity> data_{};
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace craft::matchlib

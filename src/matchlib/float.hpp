@@ -1,0 +1,226 @@
+// MatchLib Float: floating-point arithmetic functions — mul, add, mul-add —
+// (paper Table 2). Parameterized soft-float over exponent/mantissa widths,
+// written the way the synthesizable component computes: unpack, integer
+// mantissa datapath with guard/round/sticky bits, round-to-nearest-even,
+// repack.
+//
+// Hardware-style simplifications (documented, ML-accelerator-typical):
+//  * Subnormal inputs are treated as zero (DAZ) and subnormal results flush
+//    to zero (FTZ) — standard practice in ML datapaths to avoid the
+//    normalization shifter area.
+//  * MulAdd is mul-then-add (two roundings), matching a discrete FMA built
+//    from the mul and add components.
+//  * NaNs are canonicalized; infinities propagate.
+//
+// For normal inputs/outputs, Mul and Add are bit-exact against IEEE-754
+// round-to-nearest-even (verified against host float32 in the test suite).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "kernel/report.hpp"
+
+namespace craft::matchlib {
+
+/// IEEE-754-style float with E exponent bits and M mantissa bits.
+/// Fp<8,23> is float32; Fp<5,10> is float16; Fp<8,7> is bfloat16.
+template <unsigned E, unsigned M>
+class Fp {
+ public:
+  static_assert(E >= 2 && E <= 11 && M >= 1 && M <= 52 && E + M + 1 <= 64);
+
+  using Bits = std::uint64_t;
+
+  static constexpr unsigned kWidth = 1 + E + M;
+  static constexpr int kBias = (1 << (E - 1)) - 1;
+  static constexpr int kMaxExp = (1 << E) - 1;  // all-ones: inf/nan
+
+  constexpr Fp() = default;
+  static constexpr Fp FromBits(Bits b) {
+    Fp f;
+    f.bits_ = b & ((kWidth == 64) ? ~0ull : ((1ull << kWidth) - 1));
+    return f;
+  }
+  constexpr Bits bits() const { return bits_; }
+
+  bool operator==(const Fp&) const = default;
+
+  // ---- field access ----
+  constexpr bool sign() const { return (bits_ >> (E + M)) & 1; }
+  constexpr int exp_field() const { return static_cast<int>((bits_ >> M) & ((1u << E) - 1)); }
+  constexpr Bits man_field() const { return bits_ & ((1ull << M) - 1); }
+
+  constexpr bool IsZero() const { return exp_field() == 0; }  // DAZ: subnormal == 0
+  constexpr bool IsInf() const { return exp_field() == kMaxExp && man_field() == 0; }
+  constexpr bool IsNaN() const { return exp_field() == kMaxExp && man_field() != 0; }
+
+  static constexpr Fp Zero(bool negative = false) {
+    return FromBits(static_cast<Bits>(negative) << (E + M));
+  }
+  static constexpr Fp Inf(bool negative = false) {
+    return FromBits((static_cast<Bits>(negative) << (E + M)) |
+                    (static_cast<Bits>(kMaxExp) << M));
+  }
+  static constexpr Fp QuietNaN() {
+    return FromBits((static_cast<Bits>(kMaxExp) << M) | (1ull << (M - 1)));
+  }
+
+  // ---- conversion (via double, rounded RNE to this format) ----
+
+  static Fp FromDouble(double d) {
+    std::uint64_t db;
+    std::memcpy(&db, &d, 8);
+    const bool s = db >> 63;
+    const int de = static_cast<int>((db >> 52) & 0x7ff);
+    const std::uint64_t dm = db & ((1ull << 52) - 1);
+    if (de == 0x7ff) return dm ? QuietNaN() : Inf(s);
+    if (de == 0) return Zero(s);  // zero or subnormal double: DAZ
+    // Unbiased exponent and 53-bit mantissa (hidden bit set).
+    int e = de - 1023;
+    std::uint64_t man = (1ull << 52) | dm;
+    return Pack(s, e, man, 52);
+  }
+
+  double ToDouble() const {
+    if (IsNaN()) return std::numeric_limits<double>::quiet_NaN();
+    if (IsInf()) return sign() ? -std::numeric_limits<double>::infinity()
+                               : std::numeric_limits<double>::infinity();
+    if (IsZero()) return sign() ? -0.0 : 0.0;
+    const int e = exp_field() - kBias;
+    const double frac =
+        1.0 + static_cast<double>(man_field()) / static_cast<double>(1ull << M);
+    double v = std::ldexp(frac, e);
+    return sign() ? -v : v;
+  }
+
+  static Fp FromFloat(float f) { return FromDouble(static_cast<double>(f)); }
+  float ToFloat() const { return static_cast<float>(ToDouble()); }
+
+  // ---- the MatchLib arithmetic functions ----
+
+  /// Floating-point multiply with round-to-nearest-even.
+  friend Fp FpMul(const Fp& a, const Fp& b) {
+    if (a.IsNaN() || b.IsNaN()) return QuietNaN();
+    const bool s = a.sign() ^ b.sign();
+    if (a.IsInf() || b.IsInf()) {
+      if (a.IsZero() || b.IsZero()) return QuietNaN();  // inf * 0
+      return Inf(s);
+    }
+    if (a.IsZero() || b.IsZero()) return Zero(s);
+    const int e = (a.exp_field() - kBias) + (b.exp_field() - kBias);
+    const std::uint64_t ma = (1ull << M) | a.man_field();
+    const std::uint64_t mb = (1ull << M) | b.man_field();
+    // Product has its leading one at bit 2M or 2M+1.
+    const std::uint64_t p = ma * mb;  // fits: 2(M+1) <= 106... M<=26 for exactness
+    static_assert(2 * (M + 1) <= 64, "mantissa product must fit in 64 bits");
+    if (p & (1ull << (2 * M + 1))) {
+      return Pack(s, e + 1, p, 2 * M + 1);
+    }
+    return Pack(s, e, p, 2 * M);
+  }
+
+  /// Floating-point add with round-to-nearest-even.
+  friend Fp FpAdd(const Fp& a, const Fp& b) {
+    if (a.IsNaN() || b.IsNaN()) return QuietNaN();
+    if (a.IsInf() || b.IsInf()) {
+      if (a.IsInf() && b.IsInf() && a.sign() != b.sign()) return QuietNaN();
+      return a.IsInf() ? a : b;
+    }
+    if (a.IsZero()) return b.IsZero() ? Zero(a.sign() && b.sign()) : b;
+    if (b.IsZero()) return a;
+
+    // Order by magnitude: |x| >= |y|.
+    Fp x = a, y = b;
+    if ((y.exp_field() > x.exp_field()) ||
+        (y.exp_field() == x.exp_field() && y.man_field() > x.man_field())) {
+      x = b;
+      y = a;
+    }
+    const int ex = x.exp_field() - kBias;
+    const int d = x.exp_field() - y.exp_field();
+    // 3 extra bits: guard, round, sticky.
+    const std::uint64_t mx = ((1ull << M) | x.man_field()) << 3;
+    std::uint64_t my = ((1ull << M) | y.man_field()) << 3;
+    if (d >= static_cast<int>(M) + 4) {
+      my = 1;  // entirely below the guard bits: pure sticky
+    } else if (d > 0) {
+      const std::uint64_t lost = my & ((1ull << d) - 1);
+      my >>= d;
+      if (lost) my |= 1;  // sticky
+    }
+
+    if (x.sign() == y.sign()) {
+      std::uint64_t sum = mx + my;  // leading one at M+3 or M+4
+      if (sum & (1ull << (M + 4))) {
+        return Pack(x.sign(), ex + 1, sum, M + 4);
+      }
+      return Pack(x.sign(), ex, sum, M + 3);
+    }
+
+    std::uint64_t diff = mx - my;
+    if (diff == 0) return Zero(false);
+    // Normalize: bring the leading one up to bit M+3.
+    int e = ex;
+    int msb = 63;
+    while (!(diff & (1ull << msb))) --msb;
+    if (msb < static_cast<int>(M) + 3) {
+      diff <<= (static_cast<int>(M) + 3 - msb);
+      e -= (static_cast<int>(M) + 3 - msb);
+    }
+    return Pack(x.sign(), e, diff, M + 3);
+  }
+
+  friend Fp FpSub(const Fp& a, const Fp& b) {
+    Fp nb = FromBits(b.bits() ^ (1ull << (E + M)));
+    return FpAdd(a, nb);
+  }
+
+  /// Mul-add: a*b + c with two roundings (discrete FMA).
+  friend Fp FpMulAdd(const Fp& a, const Fp& b, const Fp& c) {
+    return FpAdd(FpMul(a, b), c);
+  }
+
+  // Arithmetic operator sugar so Fp works inside matchlib::Vector.
+  friend Fp operator+(const Fp& a, const Fp& b) { return FpAdd(a, b); }
+  friend Fp operator-(const Fp& a, const Fp& b) { return FpSub(a, b); }
+  friend Fp operator*(const Fp& a, const Fp& b) { return FpMul(a, b); }
+  friend bool operator>(const Fp& a, const Fp& b) { return a.ToDouble() > b.ToDouble(); }
+  friend bool operator<(const Fp& a, const Fp& b) { return a.ToDouble() < b.ToDouble(); }
+
+ private:
+  /// Packs sign / unbiased exponent / mantissa into the format, where the
+  /// mantissa's leading (hidden) one sits at bit `msb` and everything below
+  /// bit (msb - M) participates in round-to-nearest-even.
+  static Fp Pack(bool s, int e, std::uint64_t man, unsigned msb) {
+    CRAFT_ASSERT(man & (1ull << msb), "Pack: mantissa not normalized");
+    const unsigned shift = msb - M;
+    std::uint64_t kept = man >> shift;
+    if (shift > 0) {
+      const std::uint64_t rem = man & ((1ull << shift) - 1);
+      const std::uint64_t half = 1ull << (shift - 1);
+      if (rem > half || (rem == half && (kept & 1))) {
+        ++kept;
+        if (kept & (1ull << (M + 1))) {
+          kept >>= 1;
+          ++e;
+        }
+      }
+    }
+    const int be = e + kBias;
+    if (be >= kMaxExp) return Inf(s);
+    if (be <= 0) return Zero(s);  // FTZ
+    return FromBits((static_cast<Bits>(s) << (E + M)) | (static_cast<Bits>(be) << M) |
+                    (kept & ((1ull << M) - 1)));
+  }
+
+  Bits bits_ = 0;
+};
+
+using Float32 = Fp<8, 23>;
+using Float16 = Fp<5, 10>;
+using BFloat16 = Fp<8, 7>;
+
+}  // namespace craft::matchlib

@@ -1,0 +1,20 @@
+// Umbrella header for MatchLib — the Modular Approach To Circuits and
+// Hardware Library (paper §2.4, Table 2).
+#pragma once
+
+#include "matchlib/arbiter.hpp"
+#include "matchlib/arbitrated_crossbar.hpp"
+#include "matchlib/arbitrated_scratchpad.hpp"
+#include "matchlib/axi.hpp"
+#include "matchlib/cache.hpp"
+#include "matchlib/crossbar.hpp"
+#include "matchlib/encdec.hpp"
+#include "matchlib/fifo.hpp"
+#include "matchlib/float.hpp"
+#include "matchlib/mem_array.hpp"
+#include "matchlib/mem_msgs.hpp"
+#include "matchlib/reorder_buffer.hpp"
+#include "matchlib/routers.hpp"
+#include "matchlib/scratchpad.hpp"
+#include "matchlib/serdes.hpp"
+#include "matchlib/vector.hpp"

@@ -1,0 +1,59 @@
+// MatchLib mem_array: abstract memory class (paper Table 2).
+//
+// "The mem_array class includes an array of data as internal state with read
+// and write methods for accessing or updating the state." Maps to an SRAM
+// macro (or register file) under HLS automatic RAM mapping; here it also
+// counts accesses so benches can report bandwidth and bank conflicts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/report.hpp"
+
+namespace craft::matchlib {
+
+template <typename T>
+class MemArray {
+ public:
+  MemArray(std::size_t num_entries, std::size_t num_banks = 1, const T& init = T{})
+      : banks_(num_banks), entries_per_bank_((num_entries + num_banks - 1) / num_banks),
+        data_(num_entries, init) {
+    CRAFT_ASSERT(num_banks >= 1, "MemArray needs at least one bank");
+    CRAFT_ASSERT(num_entries >= num_banks, "MemArray smaller than bank count");
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t num_banks() const { return banks_; }
+
+  /// Bank an address maps to (low-order interleaving, as in banked SRAMs).
+  std::size_t BankOf(std::size_t addr) const { return addr % banks_; }
+
+  const T& Read(std::size_t addr) {
+    CRAFT_ASSERT(addr < data_.size(), "MemArray read OOB @" << addr);
+    ++reads_;
+    return data_[addr];
+  }
+
+  void Write(std::size_t addr, const T& value) {
+    CRAFT_ASSERT(addr < data_.size(), "MemArray write OOB @" << addr);
+    ++writes_;
+    data_[addr] = value;
+  }
+
+  std::uint64_t read_count() const { return reads_; }
+  std::uint64_t write_count() const { return writes_; }
+
+  /// Direct (testbench) access without accounting, e.g. preloading images.
+  std::vector<T>& raw() { return data_; }
+  const std::vector<T>& raw() const { return data_; }
+
+ private:
+  std::size_t banks_;
+  std::size_t entries_per_bank_;
+  std::vector<T> data_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace craft::matchlib

@@ -1,0 +1,68 @@
+// Common word-granular memory request/response messages, shared by the
+// Scratchpad and Cache modules, the AXI bridges, and the SoC global memory.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/bits.hpp"
+
+namespace craft::matchlib {
+
+struct MemReq {
+  bool is_write = false;
+  std::uint32_t addr = 0;   ///< word address
+  std::uint64_t wdata = 0;  ///< payload for writes
+  std::uint8_t id = 0;      ///< requester tag, echoed in the response
+
+  bool operator==(const MemReq&) const = default;
+};
+
+struct MemResp {
+  bool is_write_ack = false;
+  std::uint64_t rdata = 0;
+  std::uint8_t id = 0;
+
+  bool operator==(const MemResp&) const = default;
+};
+
+}  // namespace craft::matchlib
+
+namespace craft {
+
+template <>
+struct Marshal<matchlib::MemReq> {
+  static constexpr unsigned kWidth = 1 + 32 + 64 + 8;
+  static void Write(BitStream& s, const matchlib::MemReq& m) {
+    s.PutBits(m.is_write, 1);
+    s.PutBits(m.addr, 32);
+    s.PutBits(m.wdata, 64);
+    s.PutBits(m.id, 8);
+  }
+  static matchlib::MemReq Read(BitStream& s) {
+    matchlib::MemReq m;
+    m.is_write = s.GetBits(1);
+    m.addr = static_cast<std::uint32_t>(s.GetBits(32));
+    m.wdata = s.GetBits(64);
+    m.id = static_cast<std::uint8_t>(s.GetBits(8));
+    return m;
+  }
+};
+
+template <>
+struct Marshal<matchlib::MemResp> {
+  static constexpr unsigned kWidth = 1 + 64 + 8;
+  static void Write(BitStream& s, const matchlib::MemResp& m) {
+    s.PutBits(m.is_write_ack, 1);
+    s.PutBits(m.rdata, 64);
+    s.PutBits(m.id, 8);
+  }
+  static matchlib::MemResp Read(BitStream& s) {
+    matchlib::MemResp m;
+    m.is_write_ack = s.GetBits(1);
+    m.rdata = s.GetBits(64);
+    m.id = static_cast<std::uint8_t>(s.GetBits(8));
+    return m;
+  }
+};
+
+}  // namespace craft

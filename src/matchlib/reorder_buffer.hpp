@@ -1,0 +1,71 @@
+// MatchLib Reorder Buffer: queue with in-order reads and out-of-order writes
+// (paper Table 2). The classic use is tolerating variable-latency responses
+// (banked memories, NoC round trips) while presenting an in-order stream:
+// allocate a slot per request at issue, fill slots as responses arrive in
+// any order, drain from the head only when the head is filled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/report.hpp"
+
+namespace craft::matchlib {
+
+template <typename T, std::size_t kEntries>
+class ReorderBuffer {
+ public:
+  static_assert(kEntries >= 1);
+
+  using Tag = std::uint32_t;
+
+  bool CanAllocate() const { return count_ < kEntries; }
+
+  /// Reserves the next in-order slot; the returned tag accompanies the
+  /// request and routes the response back via Fill().
+  Tag Allocate() {
+    CRAFT_ASSERT(CanAllocate(), "ReorderBuffer::Allocate on full ROB");
+    const Tag tag = tail_;
+    valid_[tail_] = false;
+    allocated_[tail_] = true;
+    tail_ = (tail_ + 1) % kEntries;
+    ++count_;
+    return tag;
+  }
+
+  /// Out-of-order write: fills the slot for `tag`.
+  void Fill(Tag tag, const T& value) {
+    CRAFT_ASSERT(tag < kEntries, "ReorderBuffer::Fill tag OOB");
+    CRAFT_ASSERT(allocated_[tag], "ReorderBuffer::Fill on unallocated tag " << tag);
+    CRAFT_ASSERT(!valid_[tag], "ReorderBuffer::Fill double-fill of tag " << tag);
+    data_[tag] = value;
+    valid_[tag] = true;
+  }
+
+  /// True when the oldest entry has been filled and can be read.
+  bool CanPop() const { return count_ > 0 && valid_[head_]; }
+
+  /// In-order read: pops the oldest entry.
+  T Pop() {
+    CRAFT_ASSERT(CanPop(), "ReorderBuffer::Pop head not ready");
+    T v = data_[head_];
+    valid_[head_] = false;
+    allocated_[head_] = false;
+    head_ = (head_ + 1) % kEntries;
+    --count_;
+    return v;
+  }
+
+  std::size_t Size() const { return count_; }
+  static constexpr std::size_t Capacity() { return kEntries; }
+
+ private:
+  std::vector<T> data_ = std::vector<T>(kEntries);
+  std::vector<bool> valid_ = std::vector<bool>(kEntries, false);
+  std::vector<bool> allocated_ = std::vector<bool>(kEntries, false);
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace craft::matchlib

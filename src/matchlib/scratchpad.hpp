@@ -1,0 +1,83 @@
+// MatchLib Scratchpad: banked memory array with crossbar (paper Table 2).
+//
+// The SystemC-module wrapper around ArbitratedScratchpad: kPorts LI request
+// channels in, kPorts LI response channels out. One clocked process accepts
+// up to one request per port per cycle, lets each bank serve one request
+// (round-robin on conflicts), and returns responses — the structure of the
+// prototype SoC's Global Memory and PE scratchpads (Fig. 5).
+#pragma once
+
+#include <array>
+
+#include "connections/connections.hpp"
+#include "matchlib/arbitrated_scratchpad.hpp"
+#include "matchlib/mem_msgs.hpp"
+
+namespace craft::matchlib {
+
+template <unsigned kBanks, unsigned kEntriesPerBank, unsigned kPorts>
+class Scratchpad : public Module {
+ public:
+  std::array<connections::In<MemReq>, kPorts> req_in;
+  std::array<connections::Out<MemResp>, kPorts> resp_out;
+
+  Scratchpad(Module& parent, const std::string& name, Clock& clk) : Module(parent, name) {
+    Thread("run", clk, [this] { Run(); });
+  }
+
+  using Core = ArbitratedScratchpad<std::uint64_t, kBanks, kEntriesPerBank, kPorts>;
+  Core& core() { return core_; }
+
+  static constexpr std::size_t SizeWords() { return Core::Size(); }
+
+ private:
+  void Run() {
+    for (;;) {
+      // Accept one request per port per cycle. Acceptance is gated so that a
+      // response slot is always reserved: the module never drops or blocks
+      // on a backpressured response channel.
+      for (unsigned p = 0; p < kPorts; ++p) {
+        if (!req_in[p].bound() || !core_.CanAccept(p)) continue;
+        if (ids_[p].Full() || ids_[p].Size() + pending_[p].Size() >= kPendingDepth) {
+          continue;
+        }
+        MemReq r;
+        if (req_in[p].PopNB(r)) {
+          ScratchpadRequest<std::uint64_t> sr;
+          sr.is_write = r.is_write;
+          sr.addr = r.addr;
+          sr.wdata = r.wdata;
+          ids_[p].Push(r.id);
+          core_.Request(p, sr);
+        }
+      }
+      // Banks serve; responses return on the requesting port, in order.
+      auto resp = core_.Tick();
+      for (unsigned p = 0; p < kPorts; ++p) {
+        if (!resp[p].has_value()) continue;
+        MemResp out;
+        out.is_write_ack = resp[p]->is_write_ack;
+        out.rdata = resp[p]->rdata;
+        out.id = ids_[p].Pop();
+        pending_[p].Push(out);
+      }
+      // Drain pending responses (one per port per cycle).
+      for (unsigned p = 0; p < kPorts; ++p) {
+        if (!pending_[p].Empty() && resp_out[p].bound() &&
+            resp_out[p].PushNB(pending_[p].Peek())) {
+          pending_[p].Pop();
+        }
+      }
+      wait();
+    }
+  }
+
+  static constexpr std::size_t kPendingDepth = 16;
+
+  Core core_;
+  // Per-port in-flight ids; responses per port come back in request order.
+  std::array<Fifo<std::uint8_t, kPendingDepth>, kPorts> ids_;
+  std::array<Fifo<MemResp, kPendingDepth>, kPorts> pending_;
+};
+
+}  // namespace craft::matchlib

@@ -1,0 +1,101 @@
+// MatchLib Vector: fixed-length vector helper container with vector
+// operations (paper Table 2). Used by the PE datapath to express vector
+// multiply, dot-product, and reduction kernels; each op unrolls fully under
+// HLS into a lane-parallel datapath.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+
+#include "kernel/report.hpp"
+
+namespace craft::matchlib {
+
+template <typename T, std::size_t kLanes>
+class Vector {
+ public:
+  static_assert(kLanes >= 1);
+
+  Vector() : v_{} {}
+  explicit Vector(const T& fill) { v_.fill(fill); }
+  Vector(std::initializer_list<T> init) {
+    CRAFT_ASSERT(init.size() == kLanes, "Vector initializer size mismatch");
+    std::size_t i = 0;
+    for (const T& x : init) v_[i++] = x;
+  }
+
+  static constexpr std::size_t Lanes() { return kLanes; }
+
+  T& operator[](std::size_t i) {
+    CRAFT_ASSERT(i < kLanes, "Vector index OOB");
+    return v_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    CRAFT_ASSERT(i < kLanes, "Vector index OOB");
+    return v_[i];
+  }
+
+  bool operator==(const Vector&) const = default;
+
+  // ---- lane-wise ops ----
+
+  friend Vector operator+(const Vector& a, const Vector& b) {
+    return Zip(a, b, [](const T& x, const T& y) { return x + y; });
+  }
+  friend Vector operator-(const Vector& a, const Vector& b) {
+    return Zip(a, b, [](const T& x, const T& y) { return x - y; });
+  }
+  friend Vector operator*(const Vector& a, const Vector& b) {
+    return Zip(a, b, [](const T& x, const T& y) { return x * y; });
+  }
+
+  /// Lane-wise multiply by scalar.
+  Vector Scale(const T& s) const {
+    Vector r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v_[i] = v_[i] * s;
+    return r;
+  }
+
+  /// Lane-wise fused multiply-add: this*b + c.
+  Vector MulAdd(const Vector& b, const Vector& c) const {
+    Vector r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v_[i] = v_[i] * b.v_[i] + c.v_[i];
+    return r;
+  }
+
+  // ---- reductions (tree-shaped under HLS) ----
+
+  T ReduceSum() const {
+    T acc = v_[0];
+    for (std::size_t i = 1; i < kLanes; ++i) acc = acc + v_[i];
+    return acc;
+  }
+
+  T ReduceMax() const {
+    T acc = v_[0];
+    for (std::size_t i = 1; i < kLanes; ++i) acc = (v_[i] > acc) ? v_[i] : acc;
+    return acc;
+  }
+
+  T ReduceMin() const {
+    T acc = v_[0];
+    for (std::size_t i = 1; i < kLanes; ++i) acc = (v_[i] < acc) ? v_[i] : acc;
+    return acc;
+  }
+
+  /// Dot product of two vectors (multiply + reduction tree).
+  friend T Dot(const Vector& a, const Vector& b) { return (a * b).ReduceSum(); }
+
+ private:
+  template <typename F>
+  static Vector Zip(const Vector& a, const Vector& b, F f) {
+    Vector r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v_[i] = f(a.v_[i], b.v_[i]);
+    return r;
+  }
+
+  std::array<T, kLanes> v_;
+};
+
+}  // namespace craft::matchlib

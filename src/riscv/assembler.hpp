@@ -1,0 +1,181 @@
+// A tiny RV32IM assembler: programs for the control processor are built in
+// C++ (the testbench language of the flow), with labels and the usual
+// pseudo-instructions. Produces raw instruction words for the ISS.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/report.hpp"
+
+namespace craft::riscv {
+
+/// ABI register names.
+enum Reg : std::uint8_t {
+  zero = 0, ra = 1, sp = 2, gp = 3, tp = 4,
+  t0 = 5, t1 = 6, t2 = 7,
+  s0 = 8, s1 = 9,
+  a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15, a6 = 16, a7 = 17,
+  s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23, s8 = 24, s9 = 25,
+  s10 = 26, s11 = 27,
+  t3 = 28, t4 = 29, t5 = 30, t6 = 31,
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::uint32_t base_addr = 0) : base_(base_addr) {}
+
+  // ---- labels ----
+  Assembler& Label(const std::string& name) {
+    CRAFT_ASSERT(!labels_.count(name), "duplicate label " << name);
+    labels_[name] = Here();
+    return *this;
+  }
+  std::uint32_t Here() const { return base_ + 4 * static_cast<std::uint32_t>(words_.size()); }
+
+  // ---- U/J-type ----
+  Assembler& Lui(Reg rd, std::uint32_t imm20) { return Emit((imm20 << 12) | (rd << 7) | 0x37); }
+  Assembler& Auipc(Reg rd, std::uint32_t imm20) { return Emit((imm20 << 12) | (rd << 7) | 0x17); }
+  Assembler& Jal(Reg rd, const std::string& label) {
+    fixups_.push_back({words_.size(), label, FixKind::kJal});
+    return Emit((rd << 7) | 0x6F);
+  }
+  Assembler& Jalr(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x67, 0, rd, rs1, imm); }
+
+  // ---- branches (label-relative) ----
+  Assembler& Beq(Reg a, Reg b, const std::string& l) { return Branch(0, a, b, l); }
+  Assembler& Bne(Reg a, Reg b, const std::string& l) { return Branch(1, a, b, l); }
+  Assembler& Blt(Reg a, Reg b, const std::string& l) { return Branch(4, a, b, l); }
+  Assembler& Bge(Reg a, Reg b, const std::string& l) { return Branch(5, a, b, l); }
+  Assembler& Bltu(Reg a, Reg b, const std::string& l) { return Branch(6, a, b, l); }
+  Assembler& Bgeu(Reg a, Reg b, const std::string& l) { return Branch(7, a, b, l); }
+
+  // ---- loads/stores ----
+  Assembler& Lw(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x03, 2, rd, rs1, imm); }
+  Assembler& Lb(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x03, 0, rd, rs1, imm); }
+  Assembler& Lbu(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x03, 4, rd, rs1, imm); }
+  Assembler& Lh(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x03, 1, rd, rs1, imm); }
+  Assembler& Lhu(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x03, 5, rd, rs1, imm); }
+  Assembler& Sw(Reg rs2, Reg rs1, std::int32_t imm) { return EmitS(2, rs1, rs2, imm); }
+  Assembler& Sb(Reg rs2, Reg rs1, std::int32_t imm) { return EmitS(0, rs1, rs2, imm); }
+  Assembler& Sh(Reg rs2, Reg rs1, std::int32_t imm) { return EmitS(1, rs1, rs2, imm); }
+
+  // ---- ALU immediate ----
+  Assembler& Addi(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x13, 0, rd, rs1, imm); }
+  Assembler& Slti(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x13, 2, rd, rs1, imm); }
+  Assembler& Xori(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x13, 4, rd, rs1, imm); }
+  Assembler& Ori(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x13, 6, rd, rs1, imm); }
+  Assembler& Andi(Reg rd, Reg rs1, std::int32_t imm) { return EmitI(0x13, 7, rd, rs1, imm); }
+  Assembler& Slli(Reg rd, Reg rs1, unsigned sh) { return EmitI(0x13, 1, rd, rs1, sh & 31); }
+  Assembler& Srli(Reg rd, Reg rs1, unsigned sh) { return EmitI(0x13, 5, rd, rs1, sh & 31); }
+  Assembler& Srai(Reg rd, Reg rs1, unsigned sh) {
+    return EmitI(0x13, 5, rd, rs1, (sh & 31) | 0x400);
+  }
+
+  // ---- ALU register ----
+  Assembler& Add(Reg rd, Reg a, Reg b) { return EmitR(0x00, 0, rd, a, b); }
+  Assembler& Sub(Reg rd, Reg a, Reg b) { return EmitR(0x20, 0, rd, a, b); }
+  Assembler& Sll(Reg rd, Reg a, Reg b) { return EmitR(0x00, 1, rd, a, b); }
+  Assembler& Slt(Reg rd, Reg a, Reg b) { return EmitR(0x00, 2, rd, a, b); }
+  Assembler& Sltu(Reg rd, Reg a, Reg b) { return EmitR(0x00, 3, rd, a, b); }
+  Assembler& Xor(Reg rd, Reg a, Reg b) { return EmitR(0x00, 4, rd, a, b); }
+  Assembler& Srl(Reg rd, Reg a, Reg b) { return EmitR(0x00, 5, rd, a, b); }
+  Assembler& Sra(Reg rd, Reg a, Reg b) { return EmitR(0x20, 5, rd, a, b); }
+  Assembler& Or(Reg rd, Reg a, Reg b) { return EmitR(0x00, 6, rd, a, b); }
+  Assembler& And(Reg rd, Reg a, Reg b) { return EmitR(0x00, 7, rd, a, b); }
+
+  // ---- M extension ----
+  Assembler& Mul(Reg rd, Reg a, Reg b) { return EmitR(0x01, 0, rd, a, b); }
+  Assembler& Mulh(Reg rd, Reg a, Reg b) { return EmitR(0x01, 1, rd, a, b); }
+  Assembler& Mulhu(Reg rd, Reg a, Reg b) { return EmitR(0x01, 3, rd, a, b); }
+  Assembler& Div(Reg rd, Reg a, Reg b) { return EmitR(0x01, 4, rd, a, b); }
+  Assembler& Divu(Reg rd, Reg a, Reg b) { return EmitR(0x01, 5, rd, a, b); }
+  Assembler& Rem(Reg rd, Reg a, Reg b) { return EmitR(0x01, 6, rd, a, b); }
+  Assembler& Remu(Reg rd, Reg a, Reg b) { return EmitR(0x01, 7, rd, a, b); }
+
+  // ---- system ----
+  Assembler& Ecall() { return Emit(0x73); }
+  Assembler& Ebreak() { return Emit(0x00100073); }
+  Assembler& Csrrs(Reg rd, std::uint32_t csr, Reg rs1) {
+    return Emit((csr << 20) | (rs1 << 15) | (2u << 12) | (rd << 7) | 0x73);
+  }
+  Assembler& Rdcycle(Reg rd) { return Csrrs(rd, 0xC00, zero); }
+
+  // ---- pseudo-instructions ----
+  Assembler& Li(Reg rd, std::int32_t value) {
+    const std::uint32_t v = static_cast<std::uint32_t>(value);
+    const std::int32_t lo = static_cast<std::int32_t>(v << 20) >> 20;  // low 12, signed
+    const std::uint32_t hi = (v - static_cast<std::uint32_t>(lo)) >> 12;
+    if (hi != 0) {
+      Lui(rd, hi);
+      if (lo != 0) Addi(rd, rd, lo);
+    } else {
+      Addi(rd, zero, lo);
+    }
+    return *this;
+  }
+  Assembler& Mv(Reg rd, Reg rs) { return Addi(rd, rs, 0); }
+  Assembler& J(const std::string& label) { return Jal(zero, label); }
+  Assembler& Ret() { return Jalr(zero, ra, 0); }
+  Assembler& Nop() { return Addi(zero, zero, 0); }
+
+  /// Resolves label fixups and returns the instruction words.
+  std::vector<std::uint32_t> Assemble() {
+    for (const Fixup& f : fixups_) {
+      const auto it = labels_.find(f.label);
+      CRAFT_ASSERT(it != labels_.end(), "undefined label " << f.label);
+      const std::int32_t off = static_cast<std::int32_t>(it->second) -
+                               static_cast<std::int32_t>(base_ + 4 * f.index);
+      std::uint32_t& w = words_[f.index];
+      if (f.kind == FixKind::kJal) {
+        const std::uint32_t u = static_cast<std::uint32_t>(off);
+        w |= (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3FF) << 21) |
+             (((u >> 11) & 1) << 20) | (((u >> 12) & 0xFF) << 12);
+      } else {
+        const std::uint32_t u = static_cast<std::uint32_t>(off);
+        w |= (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3F) << 25) |
+             (((u >> 1) & 0xF) << 8) | (((u >> 11) & 1) << 7);
+      }
+    }
+    fixups_.clear();
+    return words_;
+  }
+
+ private:
+  enum class FixKind { kJal, kBranch };
+  struct Fixup {
+    std::size_t index;
+    std::string label;
+    FixKind kind;
+  };
+
+  Assembler& Emit(std::uint32_t w) {
+    words_.push_back(w);
+    return *this;
+  }
+  Assembler& EmitI(std::uint32_t op, std::uint32_t f3, Reg rd, Reg rs1, std::int32_t imm) {
+    return Emit((static_cast<std::uint32_t>(imm & 0xFFF) << 20) | (rs1 << 15) |
+                (f3 << 12) | (rd << 7) | op);
+  }
+  Assembler& EmitS(std::uint32_t f3, Reg rs1, Reg rs2, std::int32_t imm) {
+    const std::uint32_t u = static_cast<std::uint32_t>(imm);
+    return Emit(((u >> 5 & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+                ((u & 0x1F) << 7) | 0x23);
+  }
+  Assembler& EmitR(std::uint32_t f7, std::uint32_t f3, Reg rd, Reg a, Reg b) {
+    return Emit((f7 << 25) | (b << 20) | (a << 15) | (f3 << 12) | (rd << 7) | 0x33);
+  }
+  Assembler& Branch(std::uint32_t f3, Reg a, Reg b, const std::string& label) {
+    fixups_.push_back({words_.size(), label, FixKind::kBranch});
+    return Emit((b << 20) | (a << 15) | (f3 << 12) | 0x63);
+  }
+
+  std::uint32_t base_;
+  std::vector<std::uint32_t> words_;
+  std::map<std::string, std::uint32_t> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace craft::riscv

@@ -1,0 +1,310 @@
+#include "riscv/cpu.hpp"
+
+namespace craft::riscv {
+
+namespace {
+
+std::int32_t SignExtend(std::uint32_t v, unsigned bits) {
+  const std::uint32_t m = 1u << (bits - 1);
+  return static_cast<std::int32_t>((v ^ m) - m);
+}
+
+}  // namespace
+
+const char* ToString(InsnKind k) {
+  switch (k) {
+    case InsnKind::kLui: return "lui";
+    case InsnKind::kAuipc: return "auipc";
+    case InsnKind::kJal: return "jal";
+    case InsnKind::kJalr: return "jalr";
+    case InsnKind::kBeq: return "beq";
+    case InsnKind::kBne: return "bne";
+    case InsnKind::kBlt: return "blt";
+    case InsnKind::kBge: return "bge";
+    case InsnKind::kBltu: return "bltu";
+    case InsnKind::kBgeu: return "bgeu";
+    case InsnKind::kLb: return "lb";
+    case InsnKind::kLh: return "lh";
+    case InsnKind::kLw: return "lw";
+    case InsnKind::kLbu: return "lbu";
+    case InsnKind::kLhu: return "lhu";
+    case InsnKind::kSb: return "sb";
+    case InsnKind::kSh: return "sh";
+    case InsnKind::kSw: return "sw";
+    case InsnKind::kAddi: return "addi";
+    case InsnKind::kSlti: return "slti";
+    case InsnKind::kSltiu: return "sltiu";
+    case InsnKind::kXori: return "xori";
+    case InsnKind::kOri: return "ori";
+    case InsnKind::kAndi: return "andi";
+    case InsnKind::kSlli: return "slli";
+    case InsnKind::kSrli: return "srli";
+    case InsnKind::kSrai: return "srai";
+    case InsnKind::kAdd: return "add";
+    case InsnKind::kSub: return "sub";
+    case InsnKind::kSll: return "sll";
+    case InsnKind::kSlt: return "slt";
+    case InsnKind::kSltu: return "sltu";
+    case InsnKind::kXor: return "xor";
+    case InsnKind::kSrl: return "srl";
+    case InsnKind::kSra: return "sra";
+    case InsnKind::kOr: return "or";
+    case InsnKind::kAnd: return "and";
+    case InsnKind::kMul: return "mul";
+    case InsnKind::kMulh: return "mulh";
+    case InsnKind::kMulhsu: return "mulhsu";
+    case InsnKind::kMulhu: return "mulhu";
+    case InsnKind::kDiv: return "div";
+    case InsnKind::kDivu: return "divu";
+    case InsnKind::kRem: return "rem";
+    case InsnKind::kRemu: return "remu";
+    case InsnKind::kFence: return "fence";
+    case InsnKind::kEcall: return "ecall";
+    case InsnKind::kEbreak: return "ebreak";
+    case InsnKind::kCsrrs: return "csrrs";
+    case InsnKind::kIllegal: return "illegal";
+  }
+  return "?";
+}
+
+Decoded Decode(std::uint32_t insn) {
+  Decoded d;
+  d.raw = insn;
+  const std::uint32_t opcode = insn & 0x7F;
+  d.rd = (insn >> 7) & 0x1F;
+  const std::uint32_t funct3 = (insn >> 12) & 0x7;
+  d.rs1 = (insn >> 15) & 0x1F;
+  d.rs2 = (insn >> 20) & 0x1F;
+  const std::uint32_t funct7 = insn >> 25;
+
+  const auto i_imm = [&] { return SignExtend(insn >> 20, 12); };
+  const auto s_imm = [&] {
+    return SignExtend(((insn >> 25) << 5) | ((insn >> 7) & 0x1F), 12);
+  };
+  const auto b_imm = [&] {
+    const std::uint32_t v = (((insn >> 31) & 1) << 12) | (((insn >> 7) & 1) << 11) |
+                            (((insn >> 25) & 0x3F) << 5) | (((insn >> 8) & 0xF) << 1);
+    return SignExtend(v, 13);
+  };
+  const auto u_imm = [&] { return static_cast<std::int32_t>(insn & 0xFFFFF000u); };
+  const auto j_imm = [&] {
+    const std::uint32_t v = (((insn >> 31) & 1) << 20) | (((insn >> 12) & 0xFF) << 12) |
+                            (((insn >> 20) & 1) << 11) | (((insn >> 21) & 0x3FF) << 1);
+    return SignExtend(v, 21);
+  };
+
+  switch (opcode) {
+    case 0x37: d.kind = InsnKind::kLui; d.imm = u_imm(); break;
+    case 0x17: d.kind = InsnKind::kAuipc; d.imm = u_imm(); break;
+    case 0x6F: d.kind = InsnKind::kJal; d.imm = j_imm(); break;
+    case 0x67: d.kind = InsnKind::kJalr; d.imm = i_imm(); break;
+    case 0x63:
+      d.imm = b_imm();
+      switch (funct3) {
+        case 0: d.kind = InsnKind::kBeq; break;
+        case 1: d.kind = InsnKind::kBne; break;
+        case 4: d.kind = InsnKind::kBlt; break;
+        case 5: d.kind = InsnKind::kBge; break;
+        case 6: d.kind = InsnKind::kBltu; break;
+        case 7: d.kind = InsnKind::kBgeu; break;
+        default: d.kind = InsnKind::kIllegal;
+      }
+      break;
+    case 0x03:
+      d.imm = i_imm();
+      switch (funct3) {
+        case 0: d.kind = InsnKind::kLb; break;
+        case 1: d.kind = InsnKind::kLh; break;
+        case 2: d.kind = InsnKind::kLw; break;
+        case 4: d.kind = InsnKind::kLbu; break;
+        case 5: d.kind = InsnKind::kLhu; break;
+        default: d.kind = InsnKind::kIllegal;
+      }
+      break;
+    case 0x23:
+      d.imm = s_imm();
+      switch (funct3) {
+        case 0: d.kind = InsnKind::kSb; break;
+        case 1: d.kind = InsnKind::kSh; break;
+        case 2: d.kind = InsnKind::kSw; break;
+        default: d.kind = InsnKind::kIllegal;
+      }
+      break;
+    case 0x13:
+      d.imm = i_imm();
+      switch (funct3) {
+        case 0: d.kind = InsnKind::kAddi; break;
+        case 2: d.kind = InsnKind::kSlti; break;
+        case 3: d.kind = InsnKind::kSltiu; break;
+        case 4: d.kind = InsnKind::kXori; break;
+        case 6: d.kind = InsnKind::kOri; break;
+        case 7: d.kind = InsnKind::kAndi; break;
+        case 1: d.kind = InsnKind::kSlli; d.imm = d.rs2; break;
+        case 5:
+          d.kind = (funct7 & 0x20) ? InsnKind::kSrai : InsnKind::kSrli;
+          d.imm = d.rs2;
+          break;
+        default: d.kind = InsnKind::kIllegal;
+      }
+      break;
+    case 0x33:
+      if (funct7 == 0x01) {
+        switch (funct3) {
+          case 0: d.kind = InsnKind::kMul; break;
+          case 1: d.kind = InsnKind::kMulh; break;
+          case 2: d.kind = InsnKind::kMulhsu; break;
+          case 3: d.kind = InsnKind::kMulhu; break;
+          case 4: d.kind = InsnKind::kDiv; break;
+          case 5: d.kind = InsnKind::kDivu; break;
+          case 6: d.kind = InsnKind::kRem; break;
+          case 7: d.kind = InsnKind::kRemu; break;
+        }
+      } else {
+        switch (funct3) {
+          case 0: d.kind = (funct7 & 0x20) ? InsnKind::kSub : InsnKind::kAdd; break;
+          case 1: d.kind = InsnKind::kSll; break;
+          case 2: d.kind = InsnKind::kSlt; break;
+          case 3: d.kind = InsnKind::kSltu; break;
+          case 4: d.kind = InsnKind::kXor; break;
+          case 5: d.kind = (funct7 & 0x20) ? InsnKind::kSra : InsnKind::kSrl; break;
+          case 6: d.kind = InsnKind::kOr; break;
+          case 7: d.kind = InsnKind::kAnd; break;
+        }
+      }
+      break;
+    case 0x0F: d.kind = InsnKind::kFence; break;
+    case 0x73:
+      if (funct3 == 2) {
+        d.kind = InsnKind::kCsrrs;
+        d.csr = insn >> 20;
+      } else if ((insn >> 20) == 1) {
+        d.kind = InsnKind::kEbreak;
+      } else {
+        d.kind = InsnKind::kEcall;
+      }
+      break;
+    default: d.kind = InsnKind::kIllegal;
+  }
+  return d;
+}
+
+Decoded Cpu::Step(Bus& bus) {
+  CRAFT_ASSERT(!halted_, "Cpu::Step after halt");
+  const std::uint32_t insn = bus.Read32(pc_);
+  const Decoded d = Decode(insn);
+  std::uint32_t next_pc = pc_ + 4;
+  const std::uint32_t a = regs_[d.rs1];
+  const std::uint32_t b = regs_[d.rs2];
+  const std::int32_t sa = static_cast<std::int32_t>(a);
+  const std::int32_t sb = static_cast<std::int32_t>(b);
+  std::uint32_t rd_val = 0;
+  bool write_rd = false;
+
+  switch (d.kind) {
+    case InsnKind::kLui: rd_val = d.imm; write_rd = true; break;
+    case InsnKind::kAuipc: rd_val = pc_ + d.imm; write_rd = true; break;
+    case InsnKind::kJal:
+      rd_val = pc_ + 4;
+      write_rd = true;
+      next_pc = pc_ + d.imm;
+      break;
+    case InsnKind::kJalr:
+      rd_val = pc_ + 4;
+      write_rd = true;
+      next_pc = (a + d.imm) & ~1u;
+      break;
+    case InsnKind::kBeq: if (a == b) next_pc = pc_ + d.imm; break;
+    case InsnKind::kBne: if (a != b) next_pc = pc_ + d.imm; break;
+    case InsnKind::kBlt: if (sa < sb) next_pc = pc_ + d.imm; break;
+    case InsnKind::kBge: if (sa >= sb) next_pc = pc_ + d.imm; break;
+    case InsnKind::kBltu: if (a < b) next_pc = pc_ + d.imm; break;
+    case InsnKind::kBgeu: if (a >= b) next_pc = pc_ + d.imm; break;
+    case InsnKind::kLb: rd_val = SignExtend(bus.Read8(a + d.imm), 8); write_rd = true; break;
+    case InsnKind::kLh: rd_val = SignExtend(bus.Read16(a + d.imm), 16); write_rd = true; break;
+    case InsnKind::kLw: rd_val = bus.Read32(a + d.imm); write_rd = true; break;
+    case InsnKind::kLbu: rd_val = bus.Read8(a + d.imm); write_rd = true; break;
+    case InsnKind::kLhu: rd_val = bus.Read16(a + d.imm); write_rd = true; break;
+    case InsnKind::kSb: bus.Write8(a + d.imm, static_cast<std::uint8_t>(b)); break;
+    case InsnKind::kSh: bus.Write16(a + d.imm, static_cast<std::uint16_t>(b)); break;
+    case InsnKind::kSw: bus.Write32(a + d.imm, b); break;
+    case InsnKind::kAddi: rd_val = a + d.imm; write_rd = true; break;
+    case InsnKind::kSlti: rd_val = sa < d.imm; write_rd = true; break;
+    case InsnKind::kSltiu: rd_val = a < static_cast<std::uint32_t>(d.imm); write_rd = true; break;
+    case InsnKind::kXori: rd_val = a ^ d.imm; write_rd = true; break;
+    case InsnKind::kOri: rd_val = a | d.imm; write_rd = true; break;
+    case InsnKind::kAndi: rd_val = a & d.imm; write_rd = true; break;
+    case InsnKind::kSlli: rd_val = a << (d.imm & 31); write_rd = true; break;
+    case InsnKind::kSrli: rd_val = a >> (d.imm & 31); write_rd = true; break;
+    case InsnKind::kSrai: rd_val = sa >> (d.imm & 31); write_rd = true; break;
+    case InsnKind::kAdd: rd_val = a + b; write_rd = true; break;
+    case InsnKind::kSub: rd_val = a - b; write_rd = true; break;
+    case InsnKind::kSll: rd_val = a << (b & 31); write_rd = true; break;
+    case InsnKind::kSlt: rd_val = sa < sb; write_rd = true; break;
+    case InsnKind::kSltu: rd_val = a < b; write_rd = true; break;
+    case InsnKind::kXor: rd_val = a ^ b; write_rd = true; break;
+    case InsnKind::kSrl: rd_val = a >> (b & 31); write_rd = true; break;
+    case InsnKind::kSra: rd_val = sa >> (b & 31); write_rd = true; break;
+    case InsnKind::kOr: rd_val = a | b; write_rd = true; break;
+    case InsnKind::kAnd: rd_val = a & b; write_rd = true; break;
+    case InsnKind::kMul: rd_val = a * b; write_rd = true; break;
+    case InsnKind::kMulh:
+      rd_val = static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(sa) * static_cast<std::int64_t>(sb)) >> 32);
+      write_rd = true;
+      break;
+    case InsnKind::kMulhsu:
+      rd_val = static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(sa) * static_cast<std::uint64_t>(b)) >> 32);
+      write_rd = true;
+      break;
+    case InsnKind::kMulhu:
+      rd_val = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)) >> 32);
+      write_rd = true;
+      break;
+    case InsnKind::kDiv:
+      rd_val = (b == 0) ? ~0u
+               : (sa == INT32_MIN && sb == -1)
+                   ? a
+                   : static_cast<std::uint32_t>(sa / sb);
+      write_rd = true;
+      break;
+    case InsnKind::kDivu: rd_val = (b == 0) ? ~0u : a / b; write_rd = true; break;
+    case InsnKind::kRem:
+      rd_val = (b == 0) ? a
+               : (sa == INT32_MIN && sb == -1) ? 0
+                                               : static_cast<std::uint32_t>(sa % sb);
+      write_rd = true;
+      break;
+    case InsnKind::kRemu: rd_val = (b == 0) ? a : a % b; write_rd = true; break;
+    case InsnKind::kFence: break;
+    case InsnKind::kEcall:
+      if (ecall_handler) {
+        ecall_handler(regs_[17], regs_[10]);  // a7, a0
+      } else {
+        halted_ = true;
+      }
+      break;
+    case InsnKind::kEbreak: halted_ = true; break;
+    case InsnKind::kCsrrs:
+      // cycle (0xC00), cycleh (0xC80), instret (0xC02), instreth (0xC82).
+      switch (d.csr) {
+        case 0xC00: rd_val = static_cast<std::uint32_t>(cycle_csr); break;
+        case 0xC80: rd_val = static_cast<std::uint32_t>(cycle_csr >> 32); break;
+        case 0xC02: rd_val = static_cast<std::uint32_t>(instret_); break;
+        case 0xC82: rd_val = static_cast<std::uint32_t>(instret_ >> 32); break;
+        default: rd_val = 0;
+      }
+      write_rd = true;
+      break;
+    case InsnKind::kIllegal:
+      CRAFT_ERROR("illegal instruction 0x" << std::hex << insn << " at pc 0x" << pc_);
+  }
+
+  if (write_rd) set_reg(d.rd, rd_val);
+  pc_ = next_pc;
+  ++instret_;
+  return d;
+}
+
+}  // namespace craft::riscv

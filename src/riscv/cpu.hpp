@@ -1,0 +1,101 @@
+// RV32IM instruction-set simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "riscv/isa.hpp"
+
+namespace craft::riscv {
+
+/// Abstract data/instruction bus. Addresses are byte addresses; accesses
+/// may block (when implemented on top of LI channels / AXI).
+class Bus {
+ public:
+  virtual ~Bus() = default;
+  virtual std::uint32_t Read32(std::uint32_t addr) = 0;
+  virtual void Write32(std::uint32_t addr, std::uint32_t data) = 0;
+
+  // Sub-word accesses default to read-modify-write on the 32-bit port.
+  virtual std::uint8_t Read8(std::uint32_t addr) {
+    return static_cast<std::uint8_t>(Read32(addr & ~3u) >> (8 * (addr & 3u)));
+  }
+  virtual std::uint16_t Read16(std::uint32_t addr) {
+    return static_cast<std::uint16_t>(Read32(addr & ~3u) >> (8 * (addr & 3u)));
+  }
+  virtual void Write8(std::uint32_t addr, std::uint8_t v) {
+    const std::uint32_t word = Read32(addr & ~3u);
+    const unsigned sh = 8 * (addr & 3u);
+    Write32(addr & ~3u, (word & ~(0xFFu << sh)) | (std::uint32_t(v) << sh));
+  }
+  virtual void Write16(std::uint32_t addr, std::uint16_t v) {
+    const std::uint32_t word = Read32(addr & ~3u);
+    const unsigned sh = 8 * (addr & 3u);
+    Write32(addr & ~3u, (word & ~(0xFFFFu << sh)) | (std::uint32_t(v) << sh));
+  }
+};
+
+/// Trivial flat-memory bus for ISS unit tests.
+class FlatMemoryBus : public Bus {
+ public:
+  explicit FlatMemoryBus(std::size_t bytes) : mem_(bytes / 4, 0) {}
+
+  std::uint32_t Read32(std::uint32_t addr) override {
+    CRAFT_ASSERT(addr / 4 < mem_.size(), "bus read OOB @0x" << std::hex << addr);
+    return mem_[addr / 4];
+  }
+  void Write32(std::uint32_t addr, std::uint32_t data) override {
+    CRAFT_ASSERT(addr / 4 < mem_.size(), "bus write OOB @0x" << std::hex << addr);
+    mem_[addr / 4] = data;
+  }
+  std::vector<std::uint32_t>& words() { return mem_; }
+
+ private:
+  std::vector<std::uint32_t> mem_;
+};
+
+/// The core. Step() executes one instruction against the bus; the caller
+/// provides timing (e.g. one instruction per cycle in a clocked module).
+class Cpu {
+ public:
+  explicit Cpu(std::uint32_t reset_pc = 0) : pc_(reset_pc) {}
+
+  std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+
+  std::uint32_t reg(unsigned i) const { return regs_[i]; }
+  void set_reg(unsigned i, std::uint32_t v) {
+    if (i != 0) regs_[i] = v;
+  }
+
+  bool halted() const { return halted_; }
+
+  /// Clears the halt latch and jumps to `pc` (soft reset; registers keep
+  /// their values, as after a debug-module resume).
+  void Reset(std::uint32_t pc) {
+    pc_ = pc;
+    halted_ = false;
+  }
+
+  /// Parks the core (debug-module halt); Step becomes illegal until Reset.
+  void Halt() { halted_ = true; }
+
+  std::uint64_t instret() const { return instret_; }
+  std::uint64_t cycle_csr = 0;  ///< wired to the partition clock by the SoC
+
+  /// ECALL handler: called with a7 (syscall id) and a0 (argument); the SoC
+  /// uses this for host communication (print, exit).
+  std::function<void(std::uint32_t, std::uint32_t)> ecall_handler;
+
+  /// Executes one instruction. Returns the decoded instruction (for trace).
+  Decoded Step(Bus& bus);
+
+ private:
+  std::array<std::uint32_t, 32> regs_{};
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  std::uint64_t instret_ = 0;
+};
+
+}  // namespace craft::riscv

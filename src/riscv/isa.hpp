@@ -1,0 +1,43 @@
+// RV32IM instruction encodings and decoder.
+//
+// The prototype SoC (paper Fig. 5) uses a RISC-V Rocket core as its global
+// controller. Rocket is Chisel-generated Verilog the paper took as-is; this
+// repo substitutes a from-scratch RV32IM instruction-set simulator with the
+// same architectural role (configure PEs via memory-mapped registers,
+// orchestrate data movement).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/report.hpp"
+
+namespace craft::riscv {
+
+enum class InsnKind {
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kFence, kEcall, kEbreak, kCsrrs,
+  kIllegal
+};
+
+const char* ToString(InsnKind k);
+
+struct Decoded {
+  InsnKind kind = InsnKind::kIllegal;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+  std::uint32_t csr = 0;
+  std::uint32_t raw = 0;
+};
+
+Decoded Decode(std::uint32_t insn);
+
+}  // namespace craft::riscv

@@ -1,0 +1,96 @@
+// The I/O partition of the prototype SoC (§4: one of the five unique
+// physical partitions; "the prototype chip is attached to a daughtercard,
+// which is connected to an off-the-shelf FPGA prototyping system attached
+// via PCI to a PC for testing and demonstration").
+//
+// The external host appears as an AXI master (the FPGA bridge); this node
+// terminates the AXI slave side with MatchLib AXI components and converts
+// transactions into NoC requests, so the host can reach every node's data
+// and CSR space using the same address map as the RISC-V controller.
+#pragma once
+
+#include <string>
+
+#include "matchlib/axi.hpp"
+#include "soc/controller.hpp"
+#include "soc/ni.hpp"
+
+namespace craft::soc {
+
+class HostIoNode : public Module {
+ public:
+  HostIoNode(Module& parent, const std::string& name, Clock& clk, std::uint8_t node_id)
+      : Module(parent, name),
+        node_id_(node_id),
+        ni_(*this, "ni", clk),
+        link_(*this, "axi", clk),
+        portal_(*this, "portal", clk,
+                [this](std::uint32_t addr) { return Access(addr, false, 0); },
+                [this](std::uint32_t addr, std::uint64_t v) { Access(addr, true, v); }) {
+    req_tx_(ni_.req_tx_channel());
+    resp_rx_(ni_.resp_rx_channel());
+    // Inbound requests to the I/O node itself: scratch registers, so the
+    // host and controller can exchange mailbox-style messages.
+    req_rx_(ni_.req_rx_channel());
+    resp_tx_(ni_.resp_tx_channel());
+    Thread("mailbox", clk, [this] { RunMailbox(); });
+    portal_.port.BindLink(link_);
+  }
+
+  NodeNI& ni() { return ni_; }
+
+  /// Bind the external host's AxiMasterPort to this link.
+  matchlib::axi::AxiLink& host_link() { return link_; }
+
+  std::uint64_t mailbox(unsigned i) const { return mailbox_regs_.at(i); }
+
+ private:
+  /// Host access: AXI byte address uses the controller's remote map
+  /// (kRemoteBase | node << 20 | offset; bit 19 selects CSR space).
+  std::uint64_t Access(std::uint32_t addr, bool is_write, std::uint64_t data) {
+    CRAFT_ASSERT(addr >= kRemoteBase, "host access below the remote window @0x"
+                                          << std::hex << addr);
+    const unsigned node = (addr >> 20) & 0xFF;
+    const std::uint32_t off = addr & 0x7FFFFu;
+    const bool is_csr = (addr & kRemoteCsrBit) != 0;
+    NetReq r;
+    r.req.is_write = is_write;
+    r.req.addr = (off / 4) | (is_csr ? kCsrSpaceBit : 0);
+    r.req.wdata = data;
+    r.req.id = node_id_;
+    r.src = node_id_;
+    r.dest = static_cast<std::uint8_t>(node);
+    req_tx_.Push(r);
+    return resp_rx_.Pop().resp.rdata;
+  }
+
+  /// Serves requests addressed TO the I/O node (16 mailbox registers).
+  void RunMailbox() {
+    for (;;) {
+      const NetReq nr = req_rx_.Pop();
+      NetResp out;
+      out.dest = nr.src;
+      out.resp.id = nr.req.id;
+      const std::uint32_t idx = (nr.req.addr & ~kCsrSpaceBit) % mailbox_regs_.size();
+      if (nr.req.is_write) {
+        mailbox_regs_[idx] = nr.req.wdata;
+        out.resp.is_write_ack = true;
+      } else {
+        out.resp.rdata = mailbox_regs_[idx];
+      }
+      resp_tx_.Push(out);
+    }
+  }
+
+  std::uint8_t node_id_;
+  NodeNI ni_;
+  matchlib::axi::AxiLink link_;
+  matchlib::axi::AxiSlavePortal portal_;
+  connections::Out<NetReq> req_tx_;
+  connections::In<NetResp> resp_rx_;
+  connections::In<NetReq> req_rx_;
+  connections::Out<NetResp> resp_tx_;
+  std::array<std::uint64_t, 16> mailbox_regs_{};
+};
+
+}  // namespace craft::soc

@@ -1,0 +1,74 @@
+// SoC-level NoC messages: word-granular memory requests/responses routed
+// between nodes (controller, PEs, global memory) over the WHVC mesh.
+//
+// VC discipline: requests travel on VC0, responses on VC1 — the standard
+// deadlock-avoidance split for request/response protocols on wormhole NoCs.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/bits.hpp"
+#include "matchlib/mem_msgs.hpp"
+
+namespace craft::soc {
+
+inline constexpr std::uint8_t kVcRequest = 0;
+inline constexpr std::uint8_t kVcResponse = 1;
+
+/// Set in NetReq.addr to select a node's CSR space instead of data space.
+inline constexpr std::uint32_t kCsrSpaceBit = 0x8000'0000u;
+
+/// A memory request on the NoC: payload plus source node for the response.
+struct NetReq {
+  matchlib::MemReq req;
+  std::uint8_t src = 0;   ///< requester node id (response routes back here)
+  std::uint8_t dest = 0;  ///< target node id
+
+  bool operator==(const NetReq&) const = default;
+};
+
+/// A memory response on the NoC.
+struct NetResp {
+  matchlib::MemResp resp;
+  std::uint8_t dest = 0;  ///< requester node id
+
+  bool operator==(const NetResp&) const = default;
+};
+
+}  // namespace craft::soc
+
+namespace craft {
+
+template <>
+struct Marshal<soc::NetReq> {
+  static constexpr unsigned kWidth = Marshal<matchlib::MemReq>::kWidth + 16;
+  static void Write(BitStream& s, const soc::NetReq& m) {
+    Marshal<matchlib::MemReq>::Write(s, m.req);
+    s.PutBits(m.src, 8);
+    s.PutBits(m.dest, 8);
+  }
+  static soc::NetReq Read(BitStream& s) {
+    soc::NetReq m;
+    m.req = Marshal<matchlib::MemReq>::Read(s);
+    m.src = static_cast<std::uint8_t>(s.GetBits(8));
+    m.dest = static_cast<std::uint8_t>(s.GetBits(8));
+    return m;
+  }
+};
+
+template <>
+struct Marshal<soc::NetResp> {
+  static constexpr unsigned kWidth = Marshal<matchlib::MemResp>::kWidth + 8;
+  static void Write(BitStream& s, const soc::NetResp& m) {
+    Marshal<matchlib::MemResp>::Write(s, m.resp);
+    s.PutBits(m.dest, 8);
+  }
+  static soc::NetResp Read(BitStream& s) {
+    soc::NetResp m;
+    m.resp = Marshal<matchlib::MemResp>::Read(s);
+    m.dest = static_cast<std::uint8_t>(s.GetBits(8));
+    return m;
+  }
+};
+
+}  // namespace craft

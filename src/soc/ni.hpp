@@ -1,0 +1,65 @@
+// Node Network Interface: the "router interface" block of each node in
+// Fig. 5, built from MatchLib Packetizer/DePacketizer components.
+//
+// The NI bridges message-level channels (NetReq/NetResp) to the flit-level
+// router local port. Requests travel on VC0, responses on VC1, and each VC
+// has its own physical link channel into/out of the router, so the NI is a
+// pure composition of four (de)packetizers — no muxing logic, and no
+// cross-VC head-of-line blocking at injection or ejection.
+#pragma once
+
+#include <string>
+
+#include "connections/connections.hpp"
+#include "connections/packetizer.hpp"
+#include "soc/msgs.hpp"
+
+namespace craft::soc {
+
+class MeshNoc;
+
+class NodeNI : public Module {
+ public:
+  NodeNI(Module& parent, const std::string& name, Clock& clk)
+      : Module(parent, name),
+        req_tx_ch_(*this, "req_tx", clk, 2),
+        req_rx_ch_(*this, "req_rx", clk, 2),
+        resp_tx_ch_(*this, "resp_tx", clk, 2),
+        resp_rx_ch_(*this, "resp_rx", clk, 2),
+        req_pk_(*this, "req_pk", clk, [](const NetReq& r) { return r.dest; }),
+        resp_pk_(*this, "resp_pk", clk, [](const NetResp& r) { return r.dest; }),
+        req_dpk_(*this, "req_dpk", clk),
+        resp_dpk_(*this, "resp_dpk", clk) {
+    req_pk_.in(req_tx_ch_);
+    resp_pk_.in(resp_tx_ch_);
+    req_dpk_.out(req_rx_ch_);
+    resp_dpk_.out(resp_rx_ch_);
+  }
+
+  /// Wires the NI to a mesh node's per-VC inject/eject channels.
+  /// Defined in noc.hpp (needs MeshNoc's interface).
+  void BindMesh(MeshNoc& noc, unsigned node);
+
+  // ---- channels the application binds its ports to ----
+
+  /// App pushes outbound requests here (bind an Out<NetReq>).
+  connections::Channel<NetReq>& req_tx_channel() { return req_tx_ch_; }
+  /// Inbound requests for this node appear here (bind an In<NetReq>).
+  connections::Channel<NetReq>& req_rx_channel() { return req_rx_ch_; }
+  /// App pushes outbound responses here (bind an Out<NetResp>).
+  connections::Channel<NetResp>& resp_tx_channel() { return resp_tx_ch_; }
+  /// Inbound responses for this node appear here (bind an In<NetResp>).
+  connections::Channel<NetResp>& resp_rx_channel() { return resp_rx_ch_; }
+
+ private:
+  connections::Buffer<NetReq> req_tx_ch_;
+  connections::Buffer<NetReq> req_rx_ch_;
+  connections::Buffer<NetResp> resp_tx_ch_;
+  connections::Buffer<NetResp> resp_rx_ch_;
+  connections::Packetizer<NetReq, 64> req_pk_;
+  connections::Packetizer<NetResp, 64> resp_pk_;
+  connections::DePacketizer<NetReq, 64> req_dpk_;
+  connections::DePacketizer<NetResp, 64> resp_dpk_;
+};
+
+}  // namespace craft::soc

@@ -1,0 +1,146 @@
+// The SoC NoC: a W x H mesh of MatchLib WHVC routers with XY (dimension-
+// order) routing, as used for the dedicated PE network of the prototype
+// SoC (Fig. 5).
+//
+// Every link carries kVCs = 2 virtual channels, each with its own physical
+// LI channel (per-VC buffering, the channel backpressure standing in for
+// the credit loop). Nodes may live in their own GALS clock domains: links
+// between routers in different domains are AsyncChannels (pausible
+// bisynchronous FIFO crossings, Fig. 4); links within one domain are plain
+// Buffer channels.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "connections/connections.hpp"
+#include "connections/packetizer.hpp"
+#include "gals/async_channel.hpp"
+#include "matchlib/routers.hpp"
+#include "soc/ni.hpp"
+
+namespace craft::soc {
+
+/// Router port convention: 0 = Local (NI), 1 = North, 2 = East, 3 = South,
+/// 4 = West.
+enum MeshPort : unsigned { kLocal = 0, kNorth = 1, kEast = 2, kSouth = 3, kWest = 4 };
+
+class MeshNoc : public Module {
+ public:
+  using Flit = connections::Flit;
+  static constexpr unsigned kVCs = 2;
+  using Router = matchlib::WHVCRouter<5, kVCs>;
+
+  /// `node_clocks[y * width + x]` is the clock domain of node (x, y).
+  MeshNoc(Module& parent, const std::string& name, unsigned width, unsigned height,
+          const std::vector<Clock*>& node_clocks)
+      : Module(parent, name), w_(width), h_(height), clocks_(node_clocks) {
+    CRAFT_ASSERT(clocks_.size() == w_ * h_, "one clock per mesh node required");
+    for (unsigned y = 0; y < h_; ++y) {
+      for (unsigned x = 0; x < w_; ++x) {
+        const unsigned id = NodeId(x, y);
+        routers_.push_back(std::make_unique<Router>(
+            *this, "r" + std::to_string(x) + "_" + std::to_string(y), *clocks_[id],
+            [this, x, y](std::uint8_t dest) { return RouteXY(x, y, dest); }));
+      }
+    }
+    // Local inject/eject channels, one per VC, in the node's clock domain.
+    for (unsigned id = 0; id < w_ * h_; ++id) {
+      for (unsigned v = 0; v < kVCs; ++v) {
+        inject_.push_back(std::make_unique<connections::Buffer<Flit>>(
+            *this, "inj" + std::to_string(id) + "v" + std::to_string(v), *clocks_[id], 2));
+        eject_.push_back(std::make_unique<connections::Buffer<Flit>>(
+            *this, "ej" + std::to_string(id) + "v" + std::to_string(v), *clocks_[id], 2));
+        routers_[id]->in[kLocal][v](*inject_.back());
+        routers_[id]->out[kLocal][v](*eject_.back());
+      }
+    }
+    // Inter-router links (possibly asynchronous), per VC.
+    for (unsigned y = 0; y < h_; ++y) {
+      for (unsigned x = 0; x < w_; ++x) {
+        if (x + 1 < w_) {
+          Link(NodeId(x, y), kEast, NodeId(x + 1, y), kWest);
+          Link(NodeId(x + 1, y), kWest, NodeId(x, y), kEast);
+        }
+        if (y + 1 < h_) {
+          Link(NodeId(x, y), kSouth, NodeId(x, y + 1), kNorth);
+          Link(NodeId(x, y + 1), kNorth, NodeId(x, y), kSouth);
+        }
+      }
+    }
+  }
+
+  unsigned width() const { return w_; }
+  unsigned height() const { return h_; }
+  unsigned NodeId(unsigned x, unsigned y) const { return y * w_ + x; }
+
+  /// Channel a node's NI pushes VC-`vc` flits into.
+  connections::Channel<Flit>& inject(unsigned node, unsigned vc) {
+    return *inject_[node * kVCs + vc];
+  }
+  /// Channel a node's NI pops VC-`vc` flits from.
+  connections::Channel<Flit>& eject(unsigned node, unsigned vc) {
+    return *eject_[node * kVCs + vc];
+  }
+
+  Router& router(unsigned node) { return *routers_[node]; }
+
+  std::uint64_t total_flits_forwarded() const {
+    std::uint64_t n = 0;
+    for (const auto& r : routers_) n += r->flits_forwarded();
+    return n;
+  }
+
+  /// Number of asynchronous (cross-domain) link channels instantiated.
+  unsigned async_link_count() const { return static_cast<unsigned>(async_links_.size()); }
+
+ private:
+  unsigned RouteXY(unsigned x, unsigned y, std::uint8_t dest) const {
+    const unsigned dx = dest % w_;
+    const unsigned dy = dest / w_;
+    if (dx > x) return kEast;
+    if (dx < x) return kWest;
+    if (dy > y) return kSouth;
+    if (dy < y) return kNorth;
+    return kLocal;
+  }
+
+  /// Connects router `a`'s output port `ap` to router `b`'s input port `bp`
+  /// with one channel per VC.
+  void Link(unsigned a, unsigned ap, unsigned b, unsigned bp) {
+    for (unsigned v = 0; v < kVCs; ++v) {
+      const std::string nm = "link_" + std::to_string(a) + "p" + std::to_string(ap) +
+                             "v" + std::to_string(v) + "_to_" + std::to_string(b);
+      if (clocks_[a] == clocks_[b]) {
+        auto ch = std::make_unique<connections::Buffer<Flit>>(*this, nm, *clocks_[a], 2);
+        routers_[a]->out[ap][v](*ch);
+        routers_[b]->in[bp][v](*ch);
+        sync_links_.push_back(std::move(ch));
+      } else {
+        auto ch = std::make_unique<gals::AsyncChannel<Flit>>(*this, nm, *clocks_[a],
+                                                             *clocks_[b]);
+        routers_[a]->out[ap][v](ch->producer_end());
+        routers_[b]->in[bp][v](ch->consumer_end());
+        async_links_.push_back(std::move(ch));
+      }
+    }
+  }
+
+  unsigned w_, h_;
+  std::vector<Clock*> clocks_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<connections::Buffer<Flit>>> inject_;
+  std::vector<std::unique_ptr<connections::Buffer<Flit>>> eject_;
+  std::vector<std::unique_ptr<connections::Buffer<Flit>>> sync_links_;
+  std::vector<std::unique_ptr<gals::AsyncChannel<Flit>>> async_links_;
+};
+
+inline void NodeNI::BindMesh(MeshNoc& noc, unsigned node) {
+  req_pk_.out(noc.inject(node, kVcRequest));
+  resp_pk_.out(noc.inject(node, kVcResponse));
+  req_dpk_.in(noc.eject(node, kVcRequest));
+  resp_dpk_.in(noc.eject(node, kVcResponse));
+}
+
+}  // namespace craft::soc

@@ -1,0 +1,374 @@
+#include "soc/workloads.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace craft::soc {
+
+namespace {
+
+// Per-PE global-memory layout (word addresses).
+constexpr std::uint32_t kGmStride = 0x600;
+std::uint32_t GmA(unsigned k) { return 0x100 + k * kGmStride; }
+std::uint32_t GmB(unsigned k) { return GmA(k) + 0x200; }
+std::uint32_t GmOut(unsigned k) { return GmA(k) + 0x400; }
+
+// Deterministic fp32 test data, exact in float.
+float ValA(unsigned k, unsigned i) {
+  return static_cast<float>(static_cast<int>((i * 7 + k * 3) % 33) - 16) * 0.25f;
+}
+float ValB(unsigned k, unsigned i) {
+  return static_cast<float>(static_cast<int>((i * 5 + k * 11) % 29) - 14) * 0.5f;
+}
+
+std::uint64_t W(float f) { return Float32::FromFloat(f).bits(); }
+Float32 F(std::uint64_t w) { return F32FromWord(w); }
+
+// ---- command-table helpers ----
+
+/// Emits one kernel launch for each PE (all configured and started before
+/// any poll, so PEs run concurrently), then polls all for completion.
+using CsrWrites = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+void EmitPhase(std::vector<Command>& cmds, const std::vector<unsigned>& nodes,
+               const std::function<CsrWrites(unsigned k, unsigned node)>& cfg) {
+  for (unsigned k = 0; k < nodes.size(); ++k) {
+    for (const auto& [csr, val] : cfg(k, nodes[k])) {
+      cmds.push_back(Command::Write(RemoteCsrAddr(nodes[k], csr), val));
+    }
+    cmds.push_back(Command::Write(RemoteCsrAddr(nodes[k], kCsrStart), 1));
+  }
+  for (unsigned node : nodes) {
+    cmds.push_back(Command::PollEq(RemoteCsrAddr(node, kCsrStatus), 2));
+  }
+}
+
+/// DMA a GM region into PE scratchpad.
+CsrWrites DmaInWrites(std::uint32_t gm_addr, std::uint32_t sp_addr, std::uint32_t len) {
+  return {{kCsrCmd, static_cast<std::uint32_t>(PeOp::kDmaIn)},
+          {kCsrArg1, gm_addr},
+          {kCsrArg2, sp_addr},
+          {kCsrLen, len}};
+}
+
+CsrWrites DmaOutWrites(std::uint32_t sp_addr, std::uint32_t gm_addr, std::uint32_t len) {
+  return {{kCsrCmd, static_cast<std::uint32_t>(PeOp::kDmaOut)},
+          {kCsrArg0, sp_addr},
+          {kCsrArg1, gm_addr},
+          {kCsrLen, len}};
+}
+
+bool CheckGmF32(SocTop& soc, std::uint32_t addr, const std::vector<Float32>& expect,
+                const std::string& what, std::string* err) {
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    const std::uint64_t got = soc.PeekGm(addr + static_cast<std::uint32_t>(i));
+    if (Float32::FromBits(static_cast<std::uint32_t>(got)).bits() != expect[i].bits()) {
+      std::ostringstream os;
+      os << what << "[" << i << "]: got bits 0x" << std::hex << got << " want 0x"
+         << expect[i].bits();
+      *err = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------- the six tests ----------------
+
+Workload MakeVecMul() {
+  static constexpr std::uint32_t kLen = 24;
+  Workload w;
+  w.name = "vecmul";
+  w.setup = [](SocTop& soc) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      for (std::uint32_t i = 0; i < kLen; ++i) {
+        soc.PreloadGm(GmA(k) + i, W(ValA(k, i)));
+        soc.PreloadGm(GmB(k) + i, W(ValB(k, i)));
+      }
+    }
+  };
+  w.commands = [](SocTop& soc) {
+    const auto& nodes = soc.pe_nodes();
+    std::vector<Command> c;
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaInWrites(GmA(k), 0, kLen); });
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaInWrites(GmB(k), kLen, kLen); });
+    EmitPhase(c, nodes, [&](unsigned, unsigned) -> CsrWrites {
+      return {{kCsrCmd, static_cast<std::uint32_t>(PeOp::kVmul)},
+              {kCsrArg0, 0},
+              {kCsrArg1, kLen},
+              {kCsrArg2, 2 * kLen},
+              {kCsrLen, kLen}};
+    });
+    EmitPhase(c, nodes,
+              [&](unsigned k, unsigned) { return DmaOutWrites(2 * kLen, GmOut(k), kLen); });
+    c.push_back(Command::Halt());
+    return c;
+  };
+  w.check = [](SocTop& soc, std::string* err) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      std::vector<Float32> expect;
+      for (std::uint32_t i = 0; i < kLen; ++i) {
+        expect.push_back(FpMul(Float32::FromFloat(ValA(k, i)), Float32::FromFloat(ValB(k, i))));
+      }
+      if (!CheckGmF32(soc, GmOut(k), expect, "vecmul.pe" + std::to_string(k), err)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return w;
+}
+
+Workload MakeDot() {
+  static constexpr std::uint32_t kLen = 32;
+  Workload w;
+  w.name = "dot";
+  w.setup = [](SocTop& soc) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      for (std::uint32_t i = 0; i < kLen; ++i) {
+        soc.PreloadGm(GmA(k) + i, W(ValA(k, i)));
+        soc.PreloadGm(GmB(k) + i, W(ValB(k, i)));
+      }
+    }
+  };
+  w.commands = [](SocTop& soc) {
+    const auto& nodes = soc.pe_nodes();
+    std::vector<Command> c;
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaInWrites(GmA(k), 0, kLen); });
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaInWrites(GmB(k), kLen, kLen); });
+    EmitPhase(c, nodes, [&](unsigned, unsigned) -> CsrWrites {
+      return {{kCsrCmd, static_cast<std::uint32_t>(PeOp::kDot)},
+              {kCsrArg0, 0},
+              {kCsrArg1, kLen},
+              {kCsrArg2, 2 * kLen},
+              {kCsrLen, kLen}};
+    });
+    EmitPhase(c, nodes,
+              [&](unsigned k, unsigned) { return DmaOutWrites(2 * kLen, GmOut(k), 1); });
+    c.push_back(Command::Halt());
+    return c;
+  };
+  w.check = [](SocTop& soc, std::string* err) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      std::vector<Float32> a, b;
+      for (std::uint32_t i = 0; i < kLen; ++i) {
+        a.push_back(Float32::FromFloat(ValA(k, i)));
+        b.push_back(Float32::FromFloat(ValB(k, i)));
+      }
+      if (!CheckGmF32(soc, GmOut(k), {DotChunked(a, b)}, "dot.pe" + std::to_string(k),
+                      err)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return w;
+}
+
+Workload MakeReduce() {
+  static constexpr std::uint32_t kLen = 32;
+  Workload w;
+  w.name = "reduce";
+  w.setup = [](SocTop& soc) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      for (std::uint32_t i = 0; i < kLen; ++i) soc.PreloadGm(GmA(k) + i, W(ValA(k, i)));
+    }
+  };
+  w.commands = [](SocTop& soc) {
+    const auto& nodes = soc.pe_nodes();
+    std::vector<Command> c;
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaInWrites(GmA(k), 0, kLen); });
+    EmitPhase(c, nodes, [&](unsigned, unsigned) -> CsrWrites {
+      return {{kCsrCmd, static_cast<std::uint32_t>(PeOp::kReduceSum)},
+              {kCsrArg0, 0},
+              {kCsrArg2, kLen},
+              {kCsrLen, kLen}};
+    });
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaOutWrites(kLen, GmOut(k), 1); });
+    c.push_back(Command::Halt());
+    return c;
+  };
+  w.check = [](SocTop& soc, std::string* err) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      std::vector<Float32> a;
+      for (std::uint32_t i = 0; i < kLen; ++i) a.push_back(Float32::FromFloat(ValA(k, i)));
+      if (!CheckGmF32(soc, GmOut(k), {SumSequential(a)}, "reduce.pe" + std::to_string(k),
+                      err)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return w;
+}
+
+Workload MakeConv1d() {
+  static constexpr std::uint32_t kLen = 16;
+  static constexpr std::uint32_t kTaps = 4;
+  Workload w;
+  w.name = "conv1d";
+  w.setup = [](SocTop& soc) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      for (std::uint32_t i = 0; i < kLen + kTaps - 1; ++i) {
+        soc.PreloadGm(GmA(k) + i, W(ValA(k, i)));
+      }
+      for (std::uint32_t i = 0; i < kTaps; ++i) soc.PreloadGm(GmB(k) + i, W(ValB(k, i)));
+    }
+  };
+  w.commands = [](SocTop& soc) {
+    const auto& nodes = soc.pe_nodes();
+    std::vector<Command> c;
+    EmitPhase(c, nodes,
+              [&](unsigned k, unsigned) { return DmaInWrites(GmA(k), 0, kLen + kTaps - 1); });
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaInWrites(GmB(k), 64, kTaps); });
+    EmitPhase(c, nodes, [&](unsigned, unsigned) -> CsrWrites {
+      return {{kCsrCmd, static_cast<std::uint32_t>(PeOp::kConv1d)},
+              {kCsrArg0, 0},
+              {kCsrArg1, 64},
+              {kCsrArg2, 128},
+              {kCsrLen, kLen},
+              {kCsrAux, kTaps}};
+    });
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaOutWrites(128, GmOut(k), kLen); });
+    c.push_back(Command::Halt());
+    return c;
+  };
+  w.check = [](SocTop& soc, std::string* err) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      std::vector<Float32> expect;
+      for (std::uint32_t i = 0; i < kLen; ++i) {
+        Float32 acc = Float32::Zero();
+        for (std::uint32_t t = 0; t < kTaps; ++t) {
+          acc = FpMulAdd(Float32::FromFloat(ValA(k, i + t)), Float32::FromFloat(ValB(k, t)),
+                         acc);
+        }
+        expect.push_back(acc);
+      }
+      if (!CheckGmF32(soc, GmOut(k), expect, "conv1d.pe" + std::to_string(k), err)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return w;
+}
+
+Workload MakeKmeans() {
+  static constexpr std::uint32_t kPoints = 12;
+  static constexpr std::uint32_t kDim = 2;
+  static constexpr std::uint32_t kK = 3;
+  Workload w;
+  w.name = "kmeans";
+  w.setup = [](SocTop& soc) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      for (std::uint32_t i = 0; i < kPoints * kDim; ++i) {
+        soc.PreloadGm(GmA(k) + i, W(ValA(k, i)));
+      }
+      for (std::uint32_t i = 0; i < kK * kDim; ++i) soc.PreloadGm(GmB(k) + i, W(ValB(k, i)));
+    }
+  };
+  w.commands = [](SocTop& soc) {
+    const auto& nodes = soc.pe_nodes();
+    std::vector<Command> c;
+    EmitPhase(c, nodes,
+              [&](unsigned k, unsigned) { return DmaInWrites(GmA(k), 0, kPoints * kDim); });
+    EmitPhase(c, nodes,
+              [&](unsigned k, unsigned) { return DmaInWrites(GmB(k), 64, kK * kDim); });
+    EmitPhase(c, nodes, [&](unsigned, unsigned) -> CsrWrites {
+      return {{kCsrCmd, static_cast<std::uint32_t>(PeOp::kDistArgmin)},
+              {kCsrArg0, 0},
+              {kCsrArg1, 64},
+              {kCsrArg2, 128},
+              {kCsrLen, kPoints},
+              {kCsrAux, (kK << 8) | kDim}};
+    });
+    EmitPhase(c, nodes,
+              [&](unsigned k, unsigned) { return DmaOutWrites(128, GmOut(k), kPoints); });
+    c.push_back(Command::Halt());
+    return c;
+  };
+  w.check = [](SocTop& soc, std::string* err) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      for (std::uint32_t p = 0; p < kPoints; ++p) {
+        std::uint32_t best = 0;
+        Float32 best_d = Float32::Inf(false);
+        for (std::uint32_t c = 0; c < kK; ++c) {
+          Float32 d = Float32::Zero();
+          for (std::uint32_t j = 0; j < kDim; ++j) {
+            const Float32 diff = FpSub(Float32::FromFloat(ValA(k, p * kDim + j)),
+                                       Float32::FromFloat(ValB(k, c * kDim + j)));
+            d = FpMulAdd(diff, diff, d);
+          }
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
+        }
+        const std::uint64_t got = soc.PeekGm(GmOut(k) + p);
+        if (got != best) {
+          std::ostringstream os;
+          os << "kmeans.pe" << k << " point " << p << ": got " << got << " want " << best;
+          *err = os.str();
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  return w;
+}
+
+Workload MakeDmaCopy() {
+  static constexpr std::uint32_t kLen = 48;
+  Workload w;
+  w.name = "dma_copy";
+  w.setup = [](SocTop& soc) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      for (std::uint32_t i = 0; i < kLen; ++i) {
+        soc.PreloadGm(GmA(k) + i, 0xC0DE0000ull + k * 0x1000 + i);
+      }
+    }
+  };
+  w.commands = [](SocTop& soc) {
+    const auto& nodes = soc.pe_nodes();
+    std::vector<Command> c;
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaInWrites(GmA(k), 0, kLen); });
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaOutWrites(0, GmOut(k), kLen); });
+    c.push_back(Command::Halt());
+    return c;
+  };
+  w.check = [](SocTop& soc, std::string* err) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      for (std::uint32_t i = 0; i < kLen; ++i) {
+        const std::uint64_t want = 0xC0DE0000ull + k * 0x1000 + i;
+        if (soc.PeekGm(GmOut(k) + i) != want) {
+          std::ostringstream os;
+          os << "dma_copy.pe" << k << "[" << i << "]: got 0x" << std::hex
+             << soc.PeekGm(GmOut(k) + i) << " want 0x" << want;
+          *err = os.str();
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  return w;
+}
+
+}  // namespace
+
+std::vector<Workload> SixSocTests() {
+  return {MakeVecMul(), MakeDot(),    MakeReduce(),
+          MakeConv1d(), MakeKmeans(), MakeDmaCopy()};
+}
+
+WorkloadRun RunWorkload(SocTop& soc, const Workload& w, Time max_time) {
+  WorkloadRun r;
+  r.name = w.name;
+  w.setup(soc);
+  r.cycles = soc.RunCommands(w.commands(soc), max_time);
+  r.ok = w.check(soc, &r.error);
+  return r;
+}
+
+}  // namespace craft::soc

@@ -1,0 +1,36 @@
+// The six SoC-level tests of the Fig. 6 experiment, plus helpers to run
+// them. Each workload preloads global memory, emits a command table for the
+// RISC-V controller (configure PEs -> start -> poll -> move data), and
+// checks the results in global memory against a golden model that uses the
+// exact same MatchLib float operations as the PE datapath.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "soc/soc.hpp"
+
+namespace craft::soc {
+
+struct Workload {
+  std::string name;
+  std::function<void(SocTop&)> setup;                       ///< preload GM
+  std::function<std::vector<Command>(SocTop&)> commands;    ///< command table
+  std::function<bool(SocTop&, std::string*)> check;         ///< golden compare
+};
+
+/// The six SoC-level tests: vecmul, dot, reduce, conv1d, kmeans, dma_copy.
+std::vector<Workload> SixSocTests();
+
+struct WorkloadRun {
+  std::string name;
+  std::uint64_t cycles = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Runs one workload on a fresh command table; returns controller cycles.
+WorkloadRun RunWorkload(SocTop& soc, const Workload& w, Time max_time);
+
+}  // namespace craft::soc

@@ -1,0 +1,520 @@
+// Tests for the Connections LI-channel library: Table 1 API behaviour, both
+// simulation models, stall injection, and packetization.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "connections/connections.hpp"
+#include "connections/packetizer.hpp"
+#include "kernel/kernel.hpp"
+
+namespace craft::connections {
+namespace {
+
+using namespace craft::literals;
+
+// ---------- harness ----------
+
+/// Producer pushing `count` sequential values with blocking Push.
+class Producer : public Module {
+ public:
+  Producer(Module& parent, const std::string& name, Clock& clk, int count)
+      : Module(parent, name) {
+    Thread("run", clk, [this, count] {
+      for (int i = 0; i < count; ++i) out.Push(i);
+      done_cycle = this_cycle();
+    });
+  }
+  Out<int> out;
+  std::uint64_t done_cycle = 0;
+};
+
+/// Consumer popping `count` values with blocking Pop.
+class Consumer : public Module {
+ public:
+  Consumer(Module& parent, const std::string& name, Clock& clk, int count)
+      : Module(parent, name) {
+    Thread("run", clk, [this, count] {
+      for (int i = 0; i < count; ++i) received.push_back(in.Pop());
+      done_cycle = this_cycle();
+    });
+  }
+  In<int> in;
+  std::vector<int> received;
+  std::uint64_t done_cycle = 0;
+};
+
+std::unique_ptr<Channel<int>> MakeChannel(Module& parent, Clock& clk, ChannelKind kind,
+                                          unsigned capacity = 4) {
+  return std::make_unique<Channel<int>>(parent, "ch", clk, kind, capacity);
+}
+
+struct ModeKind {
+  SimMode mode;
+  ChannelKind kind;
+};
+
+std::string ModeKindName(const ::testing::TestParamInfo<ModeKind>& info) {
+  std::string m = info.param.mode == SimMode::kSimAccurate ? "SimAccurate" : "SignalAccurate";
+  return m + "_" + ToString(info.param.kind);
+}
+
+class ChannelPropertyTest : public ::testing::TestWithParam<ModeKind> {};
+
+// Property: every message arrives, exactly once, in order — the latency-
+// insensitive correctness guarantee — for every mode and channel kind.
+TEST_P(ChannelPropertyTest, DeliversAllInOrder) {
+  Simulator sim;
+  sim.set_mode(GetParam().mode);
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  auto ch = MakeChannel(top, clk, GetParam().kind);
+  Producer prod(top, "prod", clk, 50);
+  Consumer cons(top, "cons", clk, 50);
+  prod.out(*ch);
+  cons.in(*ch);
+  sim.Run(2000_ns);
+  ASSERT_EQ(cons.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(cons.received[i], i);
+}
+
+// Property: random valid-side stalls perturb timing but never correctness.
+TEST_P(ChannelPropertyTest, StallInjectionPreservesCorrectness) {
+  Simulator sim;
+  sim.set_mode(GetParam().mode);
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  auto ch = MakeChannel(top, clk, GetParam().kind);
+  ch->SetStall({.valid_stall_prob = 0.3, .ready_stall_prob = 0.0, .seed = 42});
+  Producer prod(top, "prod", clk, 40);
+  Consumer cons(top, "cons", clk, 40);
+  prod.out(*ch);
+  cons.in(*ch);
+  sim.Run(20000_ns);
+  ASSERT_EQ(cons.received.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(cons.received[i], i);
+}
+
+// Property: stalling delays completion relative to the unstalled run.
+TEST_P(ChannelPropertyTest, StallInjectionDelaysCompletion) {
+  auto run = [&](double p) {
+    Simulator sim;
+    sim.set_mode(GetParam().mode);
+    Clock clk(sim, "clk", 1_ns);
+    Module top(sim, "top");
+    auto ch = MakeChannel(top, clk, GetParam().kind);
+    ch->SetStall({.valid_stall_prob = p, .ready_stall_prob = 0.0, .seed = 7});
+    Producer prod(top, "prod", clk, 60);
+    Consumer cons(top, "cons", clk, 60);
+    prod.out(*ch);
+    cons.in(*ch);
+    sim.Run(50000_ns);
+    EXPECT_EQ(cons.received.size(), 60u);
+    return cons.done_cycle;
+  };
+  EXPECT_GT(run(0.5), run(0.0));
+}
+
+// Property: both models sustain one token per cycle through a deep pipe.
+TEST_P(ChannelPropertyTest, SteadyStateThroughputNearOnePerCycle) {
+  if (GetParam().kind == ChannelKind::kCombinational &&
+      GetParam().mode == SimMode::kSimAccurate) {
+    // Rendezvous semantics: producer blocks until consumption; still 1/cycle
+    // but covered by the dedicated combinational tests below.
+    GTEST_SKIP();
+  }
+  Simulator sim;
+  sim.set_mode(GetParam().mode);
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  auto ch = MakeChannel(top, clk, GetParam().kind, 8);
+  const int n = 200;
+  Producer prod(top, "prod", clk, n);
+  Consumer cons(top, "cons", clk, n);
+  prod.out(*ch);
+  cons.in(*ch);
+  sim.Run(5000_ns);
+  ASSERT_EQ(cons.received.size(), static_cast<size_t>(n));
+  // Blocking Push/Pop cost one cycle per token in both models: ~n cycles
+  // plus a small pipe-fill constant.
+  EXPECT_LE(cons.done_cycle, static_cast<std::uint64_t>(n) + 12);
+  EXPECT_GE(cons.done_cycle, static_cast<std::uint64_t>(n) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModesAllKinds, ChannelPropertyTest,
+    ::testing::Values(ModeKind{SimMode::kSimAccurate, ChannelKind::kCombinational},
+                      ModeKind{SimMode::kSimAccurate, ChannelKind::kBypass},
+                      ModeKind{SimMode::kSimAccurate, ChannelKind::kPipeline},
+                      ModeKind{SimMode::kSimAccurate, ChannelKind::kBuffer},
+                      ModeKind{SimMode::kSignalAccurate, ChannelKind::kCombinational},
+                      ModeKind{SimMode::kSignalAccurate, ChannelKind::kBypass},
+                      ModeKind{SimMode::kSignalAccurate, ChannelKind::kPipeline},
+                      ModeKind{SimMode::kSignalAccurate, ChannelKind::kBuffer}),
+    ModeKindName);
+
+// ---------- targeted semantics ----------
+
+TEST(BufferChannel, NonBlockingPushFailsWhenFull) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk, 2);
+  std::vector<bool> results;
+  struct B : Module {
+    B(Module& p, Clock& clk, Buffer<int>& ch, std::vector<bool>& results)
+        : Module(p, "b") {
+      Thread("t", clk, [&] {
+        wait();
+        for (int i = 0; i < 4; ++i) {
+          results.push_back(ch.PushNB(i));
+          wait();
+        }
+      });
+    }
+  } b(top, clk, ch, results);
+  sim.Run(20_ns);
+  // Capacity 2, nobody pops: two accepts then refusals.
+  EXPECT_EQ(results, (std::vector<bool>{true, true, false, false}));
+}
+
+TEST(BufferChannel, NonBlockingPopFailsWhenEmpty) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk, 2);
+  bool popped = true;
+  struct B : Module {
+    B(Module& p, Clock& clk, Buffer<int>& ch, bool& popped) : Module(p, "b") {
+      Thread("t", clk, [&] {
+        wait();
+        int v;
+        popped = ch.PopNB(v);
+      });
+    }
+  } b(top, clk, ch, popped);
+  sim.Run(10_ns);
+  EXPECT_FALSE(popped);
+}
+
+TEST(BufferChannel, EnqueueToVisibleLatencyIsOneCycle) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk, 4);
+  std::uint64_t push_cycle = 0, pop_cycle = 0;
+  struct B : Module {
+    B(Module& p, Clock& clk, Buffer<int>& ch, std::uint64_t& push_cycle,
+      std::uint64_t& pop_cycle)
+        : Module(p, "b") {
+      Thread("prod", clk, [&] {
+        wait(2);
+        ch.Push(7);
+        push_cycle = this_cycle();
+      });
+      Thread("cons", clk, [&] {
+        int v = ch.Pop();
+        EXPECT_EQ(v, 7);
+        pop_cycle = this_cycle();
+      });
+    }
+  } b(top, clk, ch, push_cycle, pop_cycle);
+  sim.Run(20_ns);
+  // Data staged in cycle k commits at the edge of k+1: visible one cycle later.
+  EXPECT_GE(pop_cycle, push_cycle);
+  EXPECT_LE(pop_cycle - push_cycle, 1u);
+}
+
+TEST(CombinationalChannel, SameCycleRendezvousInSimAccurateMode) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Combinational<int> ch(top, "ch", clk);
+  std::uint64_t push_cycle = 0, pop_cycle = 0;
+  struct B : Module {
+    B(Module& p, Clock& clk, Combinational<int>& ch, std::uint64_t& push_cycle,
+      std::uint64_t& pop_cycle)
+        : Module(p, "b") {
+      Thread("prod", clk, [&] {
+        wait(3);
+        push_cycle = this_cycle();
+        ch.Push(9);
+      });
+      Thread("cons", clk, [&] {
+        EXPECT_EQ(ch.Pop(), 9);
+        pop_cycle = this_cycle();
+      });
+    }
+  } b(top, clk, ch, push_cycle, pop_cycle);
+  sim.Run(20_ns);
+  EXPECT_EQ(pop_cycle, push_cycle);  // combinational: same-cycle transfer
+}
+
+TEST(BypassChannel, DequeueWhenEmptySameCycle) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Bypass<int> ch(top, "ch", clk);
+  std::uint64_t push_cycle = 0, pop_cycle = 0;
+  struct B : Module {
+    B(Module& p, Clock& clk, Bypass<int>& ch, std::uint64_t& push_cycle,
+      std::uint64_t& pop_cycle)
+        : Module(p, "b") {
+      Thread("prod", clk, [&] {
+        wait(5);
+        push_cycle = this_cycle();
+        ch.Push(3);
+      });
+      Thread("cons", clk, [&] {
+        EXPECT_EQ(ch.Pop(), 3);
+        pop_cycle = this_cycle();
+      });
+    }
+  } b(top, clk, ch, push_cycle, pop_cycle);
+  sim.Run(20_ns);
+  // Bypass path: empty queue lets the consumer dequeue in the push cycle.
+  EXPECT_EQ(pop_cycle, push_cycle);
+}
+
+TEST(PipelineChannel, EnqueueWhenFullWithSameCycleDequeue) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Pipeline<int> ch(top, "ch", clk);
+  std::vector<int> got;
+  struct B : Module {
+    B(Module& p, Clock& clk, Pipeline<int>& ch, std::vector<int>& got)
+        : Module(p, "b") {
+      // Consumer pops every cycle; registered first so its pop is observed
+      // before the producer's push attempt within each cycle.
+      Thread("cons", clk, [&] {
+        for (int i = 0; i < 6; ++i) got.push_back(ch.Pop());
+      });
+      Thread("prod", clk, [&] {
+        for (int i = 0; i < 6; ++i) ch.Push(i);
+      });
+    }
+  } b(top, clk, ch, got);
+  sim.Run(40_ns);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+// The headline mechanism behind Fig. 3: in the signal-accurate model each
+// non-blocking port operation consumes one cycle (delayed valid/ready ops);
+// in the sim-accurate model operations on multiple ports overlap in a single
+// cycle, as HLS would schedule them.
+TEST(ModelComparison, MultiPortLoopCyclesMatchHlsOnlyInSimAccurateModel) {
+  auto run = [&](SimMode mode) {
+    Simulator sim;
+    sim.set_mode(mode);
+    Clock clk(sim, "clk", 1_ns);
+    Module top(sim, "top");
+    constexpr int kPorts = 4;
+    std::vector<std::unique_ptr<Buffer<int>>> chans;
+    for (int i = 0; i < kPorts; ++i) {
+      chans.push_back(std::make_unique<Buffer<int>>(top, "ch" + std::to_string(i), clk, 8));
+    }
+    std::uint64_t done_cycle = 0;
+    struct B : Module {
+      B(Module& p, Clock& clk, std::vector<std::unique_ptr<Buffer<int>>>& chans,
+        std::uint64_t& done_cycle)
+          : Module(p, "b") {
+        Thread("multiport", clk, [&] {
+          // 20 iterations of a loop pushing to all 4 ports.
+          for (int it = 0; it < 20; ++it) {
+            for (auto& ch : chans) ch->PushNB(it);
+            wait();
+          }
+          done_cycle = this_cycle();
+        });
+        Thread("sink", clk, [&] {
+          for (;;) {
+            int v;
+            for (auto& ch : chans) ch->PopNB(v);
+            wait();
+          }
+        });
+      }
+    } b(top, clk, chans, done_cycle);
+    sim.Run(1000_ns);
+    return done_cycle;
+  };
+  const std::uint64_t sim_accurate = run(SimMode::kSimAccurate);
+  const std::uint64_t signal_accurate = run(SimMode::kSignalAccurate);
+  EXPECT_LE(sim_accurate, 22u);           // ~1 cycle per iteration
+  EXPECT_GE(signal_accurate, 4u * 20u);   // ~1 cycle per port per iteration
+}
+
+TEST(ChannelStats, TransferAndBackpressureCounters) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk, 1);
+  Producer prod(top, "prod", clk, 10);
+  Consumer cons(top, "cons", clk, 10);
+  prod.out(ch);
+  cons.in(ch);
+  sim.Run(1000_ns);
+  EXPECT_EQ(ch.transfer_count(), 10u);
+  EXPECT_EQ(ChannelControl::TotalTransfers(), 10u);
+}
+
+TEST(ChannelStats, TransactionLogRecordsBoundedTimestamps) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk, 4);
+  ch.SetTransactionLogDepth(8);
+  Producer prod(top, "prod", clk, 20);
+  Consumer cons(top, "cons", clk, 20);
+  prod.out(ch);
+  cons.in(ch);
+  sim.Run(1000_ns);
+  ASSERT_EQ(cons.received.size(), 20u);
+  const auto& log = ch.transaction_log();
+  ASSERT_EQ(log.size(), 8u);  // bounded to depth, keeps the newest
+  for (std::size_t i = 1; i < log.size(); ++i) EXPECT_GE(log[i], log[i - 1]);
+  EXPECT_GT(log.back(), 0u);
+}
+
+TEST(ChannelStats, EnableLoggingAllCoversEveryChannel) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Buffer<int> a(top, "a", clk, 2), b(top, "b", clk, 2);
+  ChannelControl::EnableLoggingAll(4);
+  Producer prod(top, "prod", clk, 6);
+  Consumer cons(top, "cons", clk, 6);
+  prod.out(a);
+  cons.in(a);
+  Producer prod2(top, "prod2", clk, 6);
+  Consumer cons2(top, "cons2", clk, 6);
+  prod2.out(b);
+  cons2.in(b);
+  sim.Run(1000_ns);
+  EXPECT_EQ(a.transaction_log().size(), 4u);
+  EXPECT_EQ(b.transaction_log().size(), 4u);
+}
+
+TEST(ChannelControl, ApplyStallToAllReachesEveryChannel) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Buffer<int> a(top, "a", clk, 2);
+  Buffer<int> b(top, "b", clk, 2);
+  ChannelControl::ApplyStallToAll({.valid_stall_prob = 0.5, .ready_stall_prob = 0.1, .seed = 9});
+  Producer prod(top, "prod", clk, 30);
+  Consumer cons(top, "cons", clk, 30);
+  prod.out(a);
+  cons.in(a);
+  Producer prod2(top, "prod2", clk, 30);
+  Consumer cons2(top, "cons2", clk, 30);
+  prod2.out(b);
+  cons2.in(b);
+  sim.Run(10000_ns);
+  EXPECT_EQ(cons.received.size(), 30u);
+  EXPECT_EQ(cons2.received.size(), 30u);
+  // With 50% valid stalls the run must take visibly longer than 30 cycles.
+  EXPECT_GT(cons.done_cycle, 40u);
+}
+
+// ---------- packetizer / depacketizer ----------
+
+struct TestMsg {
+  std::uint32_t addr = 0;
+  std::uint16_t data = 0;
+  bool operator==(const TestMsg&) const = default;
+};
+
+}  // namespace
+}  // namespace craft::connections
+
+namespace craft {
+template <>
+struct Marshal<connections::TestMsg> {
+  static constexpr unsigned kWidth = 48;
+  static void Write(BitStream& s, const connections::TestMsg& m) {
+    s.PutBits(m.addr, 32);
+    s.PutBits(m.data, 16);
+  }
+  static connections::TestMsg Read(BitStream& s) {
+    connections::TestMsg m;
+    m.addr = static_cast<std::uint32_t>(s.GetBits(32));
+    m.data = static_cast<std::uint16_t>(s.GetBits(16));
+    return m;
+  }
+};
+}  // namespace craft
+
+namespace craft::connections {
+namespace {
+
+using namespace craft::literals;
+
+TEST(Packetization, RoundTripOverFlitChannel) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Buffer<TestMsg> in_ch(top, "in_ch", clk, 2);
+  Buffer<Flit> flit_ch(top, "flit_ch", clk, 2);
+  Buffer<TestMsg> out_ch(top, "out_ch", clk, 2);
+  Packetizer<TestMsg, 16> pk(top, "pk", clk, /*dest=*/3);
+  DePacketizer<TestMsg, 16> dpk(top, "dpk", clk);
+  pk.in(in_ch);
+  pk.out(flit_ch);
+  dpk.in(flit_ch);
+  dpk.out(out_ch);
+
+  std::vector<TestMsg> sent, got;
+  struct B : Module {
+    B(Module& p, Clock& clk, Buffer<TestMsg>& in_ch, Buffer<TestMsg>& out_ch,
+      std::vector<TestMsg>& sent, std::vector<TestMsg>& got)
+        : Module(p, "b") {
+      Thread("src", clk, [&] {
+        for (std::uint32_t i = 0; i < 10; ++i) {
+          TestMsg m{0x1000 + i, static_cast<std::uint16_t>(i * 7)};
+          sent.push_back(m);
+          in_ch.Push(m);
+        }
+      });
+      Thread("dst", clk, [&] {
+        for (int i = 0; i < 10; ++i) got.push_back(out_ch.Pop());
+      });
+    }
+  } b(top, clk, in_ch, out_ch, sent, got);
+  sim.Run(2000_ns);
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ((Packetizer<TestMsg, 16>::FlitsPerMessage()), 3u);
+}
+
+TEST(Packetization, FlitsCarryFramingAndDest) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Buffer<TestMsg> in_ch(top, "in_ch", clk, 2);
+  Buffer<Flit> flit_ch(top, "flit_ch", clk, 8);
+  Packetizer<TestMsg, 16> pk(top, "pk", clk, /*dest=*/5);
+  pk.in(in_ch);
+  pk.out(flit_ch);
+  std::vector<Flit> flits;
+  struct B : Module {
+    B(Module& p, Clock& clk, Buffer<TestMsg>& in_ch, Buffer<Flit>& flit_ch,
+      std::vector<Flit>& flits)
+        : Module(p, "b") {
+      Thread("src", clk, [&] { in_ch.Push(TestMsg{0xAB, 0xCD}); });
+      Thread("dst", clk, [&] {
+        for (int i = 0; i < 3; ++i) flits.push_back(flit_ch.Pop());
+      });
+    }
+  } b(top, clk, in_ch, flit_ch, flits);
+  sim.Run(100_ns);
+  ASSERT_EQ(flits.size(), 3u);
+  EXPECT_TRUE(flits[0].first);
+  EXPECT_FALSE(flits[0].last);
+  EXPECT_TRUE(flits[2].last);
+  for (const auto& f : flits) EXPECT_EQ(f.dest, 5);
+}
+
+}  // namespace
+}  // namespace craft::connections

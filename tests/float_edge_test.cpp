@@ -1,0 +1,116 @@
+// Edge-case and property sweeps for the MatchLib soft-float: rounding
+// boundaries, carry propagation through rounding, format-parameterized
+// properties, and large randomized bit-exactness sweeps against the host's
+// IEEE-754 hardware.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernel/rng.hpp"
+#include "matchlib/float.hpp"
+
+namespace craft::matchlib {
+namespace {
+
+using F32 = Float32;
+
+TEST(FloatEdge, RoundToNearestEvenTieCases) {
+  // 1 + 2^-24 is exactly halfway between 1.0 and the next float: RNE keeps
+  // the even mantissa (1.0). 1 + 3*2^-25 rounds up.
+  const double tie = 1.0 + std::ldexp(1.0, -24);
+  EXPECT_EQ(F32::FromDouble(tie).ToFloat(), 1.0f);
+  const double above = 1.0 + 3 * std::ldexp(1.0, -25);
+  EXPECT_EQ(F32::FromDouble(above).ToFloat(), 1.0f + std::ldexp(1.0f, -23));
+}
+
+TEST(FloatEdge, RoundingCarryPropagatesIntoExponent) {
+  // The largest float below 2.0, plus an ulp nudge, must round to exactly
+  // 2.0 (mantissa overflow increments the exponent).
+  const float just_below_2 = std::nextafterf(2.0f, 0.0f);
+  const float half_ulp_up = FpAdd(F32::FromFloat(just_below_2),
+                                  F32::FromFloat(std::ldexp(1.0f, -24)))
+                                .ToFloat();
+  EXPECT_EQ(half_ulp_up, 2.0f);
+}
+
+TEST(FloatEdge, CancellationNormalizesFully) {
+  // Subtracting nearly equal values must renormalize a long way.
+  const float a = 1.0f + std::ldexp(1.0f, -23);
+  const float b = 1.0f;
+  EXPECT_EQ(FpSub(F32::FromFloat(a), F32::FromFloat(b)).ToFloat(),
+            std::ldexp(1.0f, -23));
+}
+
+TEST(FloatEdge, OverflowToInfinityOnMulAndAdd) {
+  const float big = 3e38f;
+  EXPECT_TRUE(FpMul(F32::FromFloat(big), F32::FromFloat(10.0f)).IsInf());
+  EXPECT_TRUE(FpAdd(F32::FromFloat(big), F32::FromFloat(big)).IsInf());
+  EXPECT_TRUE(FpMul(F32::FromFloat(-big), F32::FromFloat(10.0f)).sign());
+}
+
+TEST(FloatEdge, UnderflowFlushesToZero) {
+  const float tiny = 1e-38f;
+  EXPECT_TRUE(FpMul(F32::FromFloat(tiny), F32::FromFloat(tiny)).IsZero());
+}
+
+TEST(FloatEdge, MassiveRandomSweepBitExactVsHost) {
+  Rng rng(20260706);
+  int checked = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const float a = std::ldexp(static_cast<float>(rng.NextDouble()) * 2 - 1,
+                               static_cast<int>(rng.NextBelow(60)) - 30);
+    const float b = std::ldexp(static_cast<float>(rng.NextDouble()) * 2 - 1,
+                               static_cast<int>(rng.NextBelow(60)) - 30);
+    const float pm = a * b;
+    if (std::isnormal(pm) || pm == 0.0f) {
+      ASSERT_EQ(FpMul(F32::FromFloat(a), F32::FromFloat(b)).ToFloat(), pm)
+          << a << " * " << b;
+      ++checked;
+    }
+    const float ps = a + b;
+    if (std::isnormal(ps) || ps == 0.0f) {
+      ASSERT_EQ(FpAdd(F32::FromFloat(a), F32::FromFloat(b)).ToFloat(), ps)
+          << a << " + " << b;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 30000);  // the sweep must not silently skip everything
+}
+
+// ---- format-parameterized properties ----
+
+template <typename FpT>
+void CheckFormatProperties() {
+  // Identity, zero, and sign properties hold in every format.
+  const FpT one = FpT::FromDouble(1.0);
+  const FpT x = FpT::FromDouble(2.5);
+  EXPECT_EQ(FpMul(x, one).bits(), x.bits());
+  EXPECT_EQ(FpAdd(x, FpT::Zero()).bits(), x.bits());
+  EXPECT_TRUE(FpSub(x, x).IsZero());
+  EXPECT_TRUE(FpMul(x, FpT::Zero()).IsZero());
+  // a*b == b*a over a deterministic sample.
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const FpT a = FpT::FromDouble(rng.NextDouble() * 8 - 4);
+    const FpT b = FpT::FromDouble(rng.NextDouble() * 8 - 4);
+    EXPECT_EQ(FpMul(a, b).bits(), FpMul(b, a).bits());
+    EXPECT_EQ(FpAdd(a, b).bits(), FpAdd(b, a).bits());
+  }
+}
+
+TEST(FloatFormats, Float32Properties) { CheckFormatProperties<Float32>(); }
+TEST(FloatFormats, Float16Properties) { CheckFormatProperties<Float16>(); }
+TEST(FloatFormats, BFloat16Properties) { CheckFormatProperties<BFloat16>(); }
+TEST(FloatFormats, OddWidthFp19Properties) { CheckFormatProperties<Fp<6, 12>>(); }
+
+TEST(FloatFormats, NarrowerMantissaLosesPrecisionMonotonically) {
+  const double v = 1.0 + 1.0 / 3.0;
+  const double e32 = std::abs(Float32::FromDouble(v).ToDouble() - v);
+  const double e16 = std::abs(Float16::FromDouble(v).ToDouble() - v);
+  const double ebf = std::abs(BFloat16::FromDouble(v).ToDouble() - v);
+  EXPECT_LE(e32, e16);
+  EXPECT_LE(e16, ebf);  // bf16 has fewer mantissa bits than fp16
+}
+
+}  // namespace
+}  // namespace craft::matchlib

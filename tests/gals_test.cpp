@@ -1,0 +1,246 @@
+// Tests for the fine-grained GALS back end: local clock generators,
+// pausible bisynchronous FIFOs, async channels between partitions, and the
+// area-overhead model.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gals/gals.hpp"
+#include "kernel/kernel.hpp"
+
+namespace craft::gals {
+namespace {
+
+using namespace craft::literals;
+using connections::Buffer;
+
+// ---------------- LocalClockGenerator ----------------
+
+TEST(ClockGen, StaticOffsetShiftsFrequency) {
+  Simulator sim;
+  LocalClockGenerator fast(sim, "fast", {.nominal_period = 1000, .static_offset = -0.05});
+  LocalClockGenerator slow(sim, "slow", {.nominal_period = 1000, .static_offset = +0.05});
+  sim.Run(1_ms);
+  EXPECT_GT(fast.cycle(), slow.cycle());
+  // ~1e6 cycles nominal; offsets ~ +-5%.
+  EXPECT_NEAR(static_cast<double>(fast.cycle()), 1.0e6 / 0.95, 2000.0);
+  EXPECT_NEAR(static_cast<double>(slow.cycle()), 1.0e6 / 1.05, 2000.0);
+}
+
+TEST(ClockGen, NoiseModulatesPeriodWithinBounds) {
+  Simulator sim;
+  LocalClockGenerator g(sim, "g",
+                        {.nominal_period = 1000, .noise_amplitude = 0.10, .seed = 5});
+  sim.Run(100_us);
+  EXPECT_GT(g.max_period_seen(), g.min_period_seen());
+  // AR(1) noise state stays within +-1, so periods within +-10%.
+  EXPECT_GE(g.min_period_seen(), 900u);
+  EXPECT_LE(g.max_period_seen(), 1100u);
+}
+
+TEST(ClockGen, DeterministicForFixedSeed) {
+  auto run = [] {
+    Simulator sim;
+    LocalClockGenerator g(sim, "g",
+                          {.nominal_period = 997, .noise_amplitude = 0.08, .seed = 42});
+    sim.Run(10_us);
+    return g.cycle();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ClockGen, UntrackedClockHasStablePeriod) {
+  Simulator sim;
+  LocalClockGenerator g(sim, "g",
+                        {.nominal_period = 1000, .noise_amplitude = 0.10,
+                         .tracking = 0.0, .seed = 7});
+  sim.Run(10_us);
+  EXPECT_EQ(g.min_period_seen(), 1000u);
+  EXPECT_EQ(g.max_period_seen(), 1000u);
+}
+
+// ---------------- PausibleBisyncFifo ----------------
+
+/// Crossing harness: producer domain pushes `count` sequential ints through
+/// a pausible FIFO into the consumer domain.
+struct CrossingDut : Module {
+  CrossingDut(Simulator& sim, Clock& pclk, Clock& cclk, int count)
+      : Module(sim, "dut"),
+        in_ch(*this, "in_ch", pclk, 2),
+        out_ch(*this, "out_ch", cclk, 2),
+        fifo(*this, "fifo", pclk, cclk) {
+    fifo.in(in_ch);
+    fifo.out(out_ch);
+    Thread("producer", pclk, [this, count] {
+      for (int i = 0; i < count; ++i) in_ch.Push(i);
+    });
+    Thread("consumer", cclk, [this, count] {
+      for (int i = 0; i < count; ++i) received.push_back(out_ch.Pop());
+      done = true;
+      Simulator::Current().Stop();
+    });
+  }
+  Buffer<int> in_ch;
+  Buffer<int> out_ch;
+  PausibleBisyncFifo<int, 4> fifo;
+  std::vector<int> received;
+  bool done = false;
+};
+
+struct FreqPair {
+  Time producer_period;
+  Time consumer_period;
+};
+
+class PausibleFifoFreqTest : public ::testing::TestWithParam<FreqPair> {};
+
+// Property (the correct-by-construction claim): every token crosses exactly
+// once, in order, for ANY frequency ratio between the two domains.
+TEST_P(PausibleFifoFreqTest, ErrorFreeCrossingAtAnyFrequencyRatio) {
+  Simulator sim;
+  Clock pclk(sim, "pclk", GetParam().producer_period);
+  Clock cclk(sim, "cclk", GetParam().consumer_period);
+  CrossingDut dut(sim, pclk, cclk, 200);
+  sim.Run(10_ms);
+  ASSERT_TRUE(dut.done) << "crossing deadlocked";
+  ASSERT_EQ(dut.received.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(dut.received[i], i);
+  EXPECT_EQ(dut.fifo.transfer_count(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FrequencyRatios, PausibleFifoFreqTest,
+    ::testing::Values(FreqPair{1000, 1000},   // matched
+                      FreqPair{1000, 3000},   // fast -> slow
+                      FreqPair{3000, 1000},   // slow -> fast
+                      FreqPair{1000, 1370},   // irrational-ish ratio
+                      FreqPair{997, 1009},    // near-matched, drifting phase
+                      FreqPair{250, 4000}),   // 16:1
+    [](const ::testing::TestParamInfo<FreqPair>& info) {
+      return "p" + std::to_string(info.param.producer_period) + "_c" +
+             std::to_string(info.param.consumer_period);
+    });
+
+TEST(PausibleFifo, ErrorFreeUnderJitteringGalsClocks) {
+  Simulator sim;
+  LocalClockGenerator pclk(sim, "pclk",
+                           {.nominal_period = 1000, .noise_amplitude = 0.10, .seed = 11});
+  LocalClockGenerator cclk(sim, "cclk",
+                           {.nominal_period = 1100, .noise_amplitude = 0.10, .seed = 23});
+  CrossingDut dut(sim, pclk, cclk, 500);
+  sim.Run(50_ms);
+  ASSERT_TRUE(dut.done);
+  ASSERT_EQ(dut.received.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(dut.received[i], i);
+}
+
+TEST(PausibleFifo, LowLatencyCrossing) {
+  Simulator sim;
+  Clock pclk(sim, "pclk", 1000);
+  Clock cclk(sim, "cclk", 1000);
+  CrossingDut dut(sim, pclk, cclk, 100);
+  sim.Run(1_ms);
+  ASSERT_TRUE(dut.done);
+  // Paper: low-latency crossings. Mean latency within a few receiver cycles.
+  EXPECT_LT(dut.fifo.mean_latency_cycles(), 3.0);
+  EXPECT_GT(dut.fifo.mean_latency_cycles(), 0.0);
+}
+
+TEST(PausibleFifo, SustainsNearFullThroughputWhenMatched) {
+  Simulator sim;
+  Clock pclk(sim, "pclk", 1000);
+  Clock cclk(sim, "cclk", 1000);
+  CrossingDut dut(sim, pclk, cclk, 400);
+  const Time start = sim.now();
+  sim.Run(2_ms);
+  ASSERT_TRUE(dut.done);
+  // 400 tokens in < 3x the ideal 400 cycles (sync delay costs a fraction).
+  EXPECT_LT(sim.now() - start, 1200u * 1000u);
+}
+
+// ---------------- Partition + AsyncChannel integration ----------------
+
+TEST(GalsPartitions, PingPongAcrossThreeDomains) {
+  Simulator sim;
+  Module top(sim, "soc");
+  Partition pa(top, "pa", {.nominal_period = 1000, .noise_amplitude = 0.05, .seed = 1});
+  Partition pb(top, "pb", {.nominal_period = 1500, .noise_amplitude = 0.05, .seed = 2});
+  Partition pc(top, "pc", {.nominal_period = 800, .noise_amplitude = 0.05, .seed = 3});
+  AsyncChannel<int> ab(top, "ab", pa.clk(), pb.clk());
+  AsyncChannel<int> bc(top, "bc", pb.clk(), pc.clk());
+
+  struct Stage : Module {
+    Stage(Module& parent, const std::string& name, Clock& clk,
+          connections::Channel<int>& in_ch, connections::Channel<int>& out_ch)
+        : Module(parent, name) {
+      in(in_ch);
+      out(out_ch);
+      Thread("run", clk, [this] {
+        for (;;) out.Push(in.Pop() + 1);
+      });
+    }
+    connections::In<int> in;
+    connections::Out<int> out;
+  };
+
+  // pa: source -> ab -> pb: +1 -> bc -> pc: sink
+  std::vector<int> got;
+  struct Source : Module {
+    Source(Module& p, Clock& clk, connections::Channel<int>& ch) : Module(p, "src") {
+      out(ch);
+      Thread("run", clk, [this] {
+        for (int i = 0; i < 50; ++i) out.Push(i * 10);
+      });
+    }
+    connections::Out<int> out;
+  } src(pa, pa.clk(), ab.producer_end());
+  Stage mid(pb, "mid", pb.clk(), ab.consumer_end(), bc.producer_end());
+  struct Sink : Module {
+    Sink(Module& p, Clock& clk, connections::Channel<int>& ch, std::vector<int>& got)
+        : Module(p, "sink") {
+      in(ch);
+      Thread("run", clk, [this, &got] {
+        for (int i = 0; i < 50; ++i) got.push_back(in.Pop());
+        Simulator::Current().Stop();
+      });
+    }
+    connections::In<int> in;
+  } sink(pc, pc.clk(), bc.consumer_end(), got);
+
+  sim.Run(10_ms);
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i * 10 + 1);
+}
+
+// ---------------- Area model ----------------
+
+TEST(GalsArea, OverheadUnder3PercentForTypicalPartitions) {
+  GalsAreaModel m;
+  // The prototype SoC's partitions (PE, global memory halves, RISC-V, I/O)
+  // are hundreds of kilogates; each has a clock generator and a handful of
+  // async router-to-router interfaces (64-bit, depth-4 FIFOs).
+  for (double partition_gates : {300e3, 500e3, 1e6, 2e6}) {
+    const double f = m.OverheadFraction(partition_gates, /*ifaces=*/4,
+                                        /*depth=*/4, /*width=*/64);
+    EXPECT_LT(f, 0.03) << partition_gates;
+  }
+}
+
+TEST(GalsArea, OverheadGrowsForTinyPartitions) {
+  GalsAreaModel m;
+  const double tiny = m.OverheadFraction(50e3, 4, 4, 64);
+  const double typical = m.OverheadFraction(1e6, 4, 4, 64);
+  EXPECT_GT(tiny, typical);
+  EXPECT_GT(tiny, 0.03);  // fine-grained GALS has a partition-size floor
+}
+
+TEST(GalsArea, FifoCostScalesWithDepthAndWidth) {
+  GalsAreaModel m;
+  EXPECT_GT(m.FifoGates(8, 64), m.FifoGates(4, 64));
+  EXPECT_GT(m.FifoGates(4, 128), m.FifoGates(4, 64));
+  EXPECT_NEAR(m.FifoGates(4, 64), 400.0 + 1.75 * 4 * 64, 1e-9);
+}
+
+}  // namespace
+}  // namespace craft::gals

@@ -1,0 +1,243 @@
+// Tests for the HLS model: IR construction, scheduling, area/timing
+// estimation, the §2.4 crossbar coding-style study, and QoR parity.
+#include <gtest/gtest.h>
+
+#include "hls/power_model.hpp"
+#include "hls/qor.hpp"
+#include "hls/rtl_emit.hpp"
+
+namespace craft::hls {
+namespace {
+
+TEST(Ir, TopologicalDepsEnforced) {
+  DataflowGraph g("t");
+  const int a = g.Add(OpKind::kInput, 8);
+  EXPECT_THROW(g.Add(OpKind::kAdd, 8, {a, 99}), SimError);
+}
+
+TEST(Ir, MuxTreeElaboratesNMinus1Muxes) {
+  DataflowGraph g("t");
+  std::vector<int> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(g.Add(OpKind::kInput, 16));
+  g.AddMuxTree(ins, 16, "m");
+  std::size_t muxes = 0;
+  for (const Op& op : g.ops()) muxes += (op.kind == OpKind::kMux2);
+  EXPECT_EQ(muxes, 7u);
+}
+
+TEST(Ir, SchedulableOpCountExcludesPorts) {
+  DataflowGraph g = BuildAdder(32);
+  EXPECT_EQ(g.SchedulableOpCount(), 1u);  // the single add
+}
+
+TEST(AreaModel, WiderOpsCostMore) {
+  AreaModel m;
+  EXPECT_GT(m.Gates({OpKind::kAdd, 32, {}, {}}), m.Gates({OpKind::kAdd, 8, {}, {}}));
+  EXPECT_GT(m.Gates({OpKind::kMul, 16, {}, {}}), m.Gates({OpKind::kAdd, 16, {}, {}}));
+  EXPECT_EQ(m.Gates({OpKind::kInput, 64, {}, {}}), 0.0);
+}
+
+TEST(AreaModel, MultiplierQuadraticInWidth) {
+  AreaModel m;
+  const double g8 = m.Gates({OpKind::kMul, 8, {}, {}});
+  const double g16 = m.Gates({OpKind::kMul, 16, {}, {}});
+  EXPECT_NEAR(g16 / g8, 4.0, 0.01);
+}
+
+TEST(AreaModel, UnitConversions) {
+  AreaModel m;
+  EXPECT_NEAR(m.GatesToUm2(1000), 200.0, 1e-9);
+  EXPECT_NEAR(m.GatesToTransistors(1000), 4000.0, 1e-9);
+}
+
+TEST(Scheduler, SingleCycleWhenUnderBudget) {
+  AreaModel m;
+  const ScheduleResult r = Schedule(BuildAdder(32), m, {.levels_per_cycle = 32});
+  EXPECT_EQ(r.latency_cycles, 0u);  // pure combinational, fits one cycle
+  EXPECT_EQ(r.initiation_interval, 1u);
+  EXPECT_EQ(r.register_gates, 0.0);
+  EXPECT_NEAR(r.logic_gates, 7.0 * 32, 1e-9);
+}
+
+TEST(Scheduler, DeepLogicGetsPipelined) {
+  AreaModel m;
+  // A 16-tap FIR has mul (20 levels at w=16) followed by an adder-tree; with
+  // a tight 12-level budget, the tree must spill across cycles.
+  const ScheduleResult tight = Schedule(BuildFir(16, 16), m, {.levels_per_cycle = 12});
+  const ScheduleResult loose = Schedule(BuildFir(16, 16), m, {.levels_per_cycle = 200});
+  EXPECT_GT(tight.latency_cycles, loose.latency_cycles);
+  EXPECT_GT(tight.register_gates, 0.0);
+  EXPECT_EQ(loose.latency_cycles, 0u);
+  // Pipelining changes registers, not combinational function.
+  EXPECT_EQ(tight.logic_gates, loose.logic_gates);
+}
+
+TEST(Scheduler, CriticalPathRespectsBudget) {
+  AreaModel m;
+  // Budgets at or above the deepest single operator (a 16-bit multiply is
+  // 20 levels); an indivisible op wider than the budget gets its own cycle.
+  for (unsigned budget : {24u, 32u, 64u}) {
+    const ScheduleResult r =
+        Schedule(BuildDotProduct(8, 16), m, {.levels_per_cycle = budget});
+    EXPECT_LE(r.critical_path_levels, static_cast<double>(budget)) << budget;
+  }
+}
+
+TEST(Scheduler, ResourceConstraintRaisesIi) {
+  AreaModel m;
+  const ScheduleResult unconstrained = Schedule(BuildFir(8, 16), m, {});
+  const ScheduleResult shared =
+      Schedule(BuildFir(8, 16), m, {.levels_per_cycle = 32, .max_multipliers = 2});
+  EXPECT_EQ(unconstrained.initiation_interval, 1u);
+  EXPECT_GE(shared.initiation_interval, 4u);  // 8 muls on 2 units
+}
+
+// ---- §2.4 crossbar coding-style study ----
+
+TEST(CrossbarStudyTest, SrcLoopCostsAbout25PercentMoreAt32x32) {
+  AreaModel m;
+  const CrossbarStudy s = RunCrossbarStudy(32, 32, m);
+  // Paper: "we measured a 25% area penalty for the src-loop implementation
+  // over the dst-loop implementation."
+  EXPECT_GT(s.area_penalty(), 0.15);
+  EXPECT_LT(s.area_penalty(), 0.35);
+}
+
+TEST(CrossbarStudyTest, SrcLoopSchedulesManyMoreOps) {
+  AreaModel m;
+  const CrossbarStudy s = RunCrossbarStudy(32, 32, m);
+  // Compile-time proxy: src-loop must schedule ~3x the operations.
+  EXPECT_GT(s.src_loop.scheduled_ops, 2 * s.dst_loop.scheduled_ops);
+}
+
+TEST(CrossbarStudyTest, SrcLoopHasLongerDependencyPath) {
+  AreaModel m;
+  // Unbounded budget exposes the raw combinational depth: the priority
+  // chain makes src-loop's path much deeper.
+  const ScheduleConstraints c{.levels_per_cycle = 10000};
+  const CrossbarStudy s = RunCrossbarStudy(32, 32, m, c);
+  EXPECT_GT(s.src_loop.critical_path_levels, 2.0 * s.dst_loop.critical_path_levels);
+}
+
+TEST(CrossbarStudyTest, PenaltyGrowsWithLaneCount) {
+  AreaModel m;
+  const double p8 = RunCrossbarStudy(8, 32, m).area_penalty();
+  const double p64 = RunCrossbarStudy(64, 32, m).area_penalty();
+  EXPECT_GT(p64, p8);  // "better scalability to larger N" for dst-loop
+}
+
+// ---- §2.2 QoR parity ----
+
+TEST(QorStudy, AllModulesWithinPlusMinus10Percent) {
+  AreaModel m;
+  const auto results = RunQorStudy(m);
+  EXPECT_EQ(results.size(), 10u);
+  for (const QorComparison& c : results) {
+    EXPECT_LT(std::abs(c.delta()), 0.10) << c.name << ": hls=" << c.hls_gates
+                                         << " hand=" << c.hand_rtl_gates;
+  }
+}
+
+// ---- Fig. 1 RTL emission stage ----
+
+TEST(RtlEmit, CombinationalDesignHasNoRegisters) {
+  AreaModel m;
+  const DataflowGraph g = BuildAdder(32);
+  const ScheduleResult r = Schedule(g, m);
+  RtlStats st;
+  const std::string rtl = EmitRtl(g, r, &st);
+  EXPECT_EQ(st.registers, 0u);
+  EXPECT_NE(rtl.find("module adder32"), std::string::npos);
+  EXPECT_NE(rtl.find("input clk"), std::string::npos);
+  EXPECT_NE(rtl.find(" + "), std::string::npos);
+  EXPECT_EQ(rtl.find("always"), std::string::npos);
+  EXPECT_NE(rtl.find("endmodule"), std::string::npos);
+}
+
+TEST(RtlEmit, PipelinedDesignEmitsRegistersMatchingSchedule) {
+  AreaModel m;
+  const DataflowGraph g = BuildFir(16, 16);
+  const ScheduleResult r = Schedule(g, m, {.levels_per_cycle = 12});
+  ASSERT_GT(r.register_gates, 0.0);
+  RtlStats st;
+  const std::string rtl = EmitRtl(g, r, &st);
+  EXPECT_GT(st.registers, 0u);
+  EXPECT_NE(rtl.find("always @(posedge clk)"), std::string::npos);
+  // Register gate area == 6 gates/bit summed over emitted register widths;
+  // cheaper cross-check: every emitted reg appears in the always block.
+  EXPECT_NE(rtl.find("_r1 <= "), std::string::npos);
+}
+
+TEST(RtlEmit, EveryWireIsDeclaredAndDriven) {
+  AreaModel m;
+  const DataflowGraph g = BuildDotProduct(4, 16);
+  const ScheduleResult r = Schedule(g, m);
+  RtlStats st;
+  const std::string rtl = EmitRtl(g, r, &st);
+  // One assign per non-port op plus one per output; one wire decl per
+  // non-port op.
+  std::size_t declared = 0, assigned = 0, pos = 0;
+  while ((pos = rtl.find("  wire ", pos)) != std::string::npos) {
+    ++declared;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = rtl.find("  assign ", pos)) != std::string::npos) {
+    ++assigned;
+    ++pos;
+  }
+  EXPECT_EQ(declared, st.wires);
+  EXPECT_EQ(assigned, st.assigns);
+  EXPECT_GT(st.wires, 0u);
+}
+
+TEST(RtlEmit, DeterministicOutput) {
+  AreaModel m;
+  const DataflowGraph g = BuildAlu(32);
+  const ScheduleResult r = Schedule(g, m);
+  EXPECT_EQ(EmitRtl(g, r), EmitRtl(g, r));
+}
+
+// ---- Fig. 1 power-analysis stage ----
+
+TEST(PowerModel, ScalesWithFrequencyAndArea) {
+  AreaModel area;
+  PowerModel power;
+  const ScheduleResult small = Schedule(BuildMac(8), area);
+  const ScheduleResult big = Schedule(BuildMac(32), area);
+  EXPECT_GT(power.Analyze(big, 1000).total_mw(), power.Analyze(small, 1000).total_mw());
+  EXPECT_GT(power.Analyze(small, 2000).dynamic_mw,
+            power.Analyze(small, 1000).dynamic_mw);
+}
+
+TEST(PowerModel, ResourceSharingTradesDynamicForClockPower) {
+  AreaModel area;
+  PowerModel power;
+  // Sharing multipliers raises II: fewer issues per second -> less dynamic
+  // power, at some register/mux cost.
+  const ScheduleResult fast = Schedule(BuildFir(8, 16), area, {});
+  const ScheduleResult shared =
+      Schedule(BuildFir(8, 16), area, {.levels_per_cycle = 48, .max_multipliers = 2});
+  EXPECT_GT(power.Analyze(fast, 1000).dynamic_mw,
+            power.Analyze(shared, 1000).dynamic_mw);
+}
+
+TEST(PowerModel, LeakageIndependentOfFrequency) {
+  AreaModel area;
+  PowerModel power;
+  const ScheduleResult r = Schedule(BuildAlu(32), area);
+  EXPECT_EQ(power.Analyze(r, 500).leakage_mw, power.Analyze(r, 2000).leakage_mw);
+}
+
+TEST(QorStudy, DeterministicAcrossRuns) {
+  AreaModel m;
+  const auto a = RunQorStudy(m);
+  const auto b = RunQorStudy(m);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].hls_gates, b[i].hls_gates);
+  }
+}
+
+}  // namespace
+}  // namespace craft::hls

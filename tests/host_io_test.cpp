@@ -1,0 +1,121 @@
+// Integration tests for the I/O partition: an external host on the AXI
+// master port reaching global memory, PE CSRs, and the mailbox, alongside
+// (and concurrently with) the RISC-V controller.
+#include <gtest/gtest.h>
+
+#include "matchlib/axi.hpp"
+#include "soc/workloads.hpp"
+
+namespace craft::soc {
+namespace {
+
+using namespace craft::literals;
+
+SocConfig IoConfig() {
+  SocConfig cfg;
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 2;
+  cfg.gals = true;
+  cfg.with_io = true;  // node 2 = I/O partition, node 3 = single PE
+  return cfg;
+}
+
+/// Testbench module standing in for the FPGA host.
+struct Host : Module {
+  Host(Module& parent, Clock& clk, matchlib::axi::AxiLink& link,
+       std::function<void(matchlib::axi::AxiMasterPort&)> body)
+      : Module(parent, "host") {
+    master.BindLink(link);
+    Thread("run", clk, [this, body = std::move(body)] {
+      body(master);
+      Simulator::Current().Stop();
+    });
+  }
+  matchlib::axi::AxiMasterPort master;
+};
+
+TEST(HostIo, HostReachesGlobalMemoryOverAxi) {
+  Simulator sim;
+  SocTop soc(sim, IoConfig());
+  bool ok = false;
+  Host host(soc, soc.node_clock(SocTop::kIoNode), soc.io().host_link(),
+            [&](matchlib::axi::AxiMasterPort& m) {
+              m.Write(RemoteDataAddr(SocTop::kGlobalMemoryNode, 42), 0x1234);
+              ok = m.Read(RemoteDataAddr(SocTop::kGlobalMemoryNode, 42)) == 0x1234;
+            });
+  sim.Run(100_ms);
+  ASSERT_TRUE(sim.stopped()) << "host transaction deadlocked";
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(soc.PeekGm(42), 0x1234u);
+}
+
+TEST(HostIo, HostLaunchesPeKernelWithoutController) {
+  Simulator sim;
+  SocTop soc(sim, IoConfig());
+  const unsigned pe = soc.pe_nodes().front();
+  // Preload two fp32 vectors in GM.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    soc.PreloadGm(0x10 + i, Float32::FromFloat(static_cast<float>(i)).bits());
+    soc.PreloadGm(0x20 + i, Float32::FromFloat(2.0f).bits());
+  }
+  Host host(soc, soc.node_clock(SocTop::kIoNode), soc.io().host_link(),
+            [&](matchlib::axi::AxiMasterPort& m) {
+              auto csr = [&](std::uint32_t c, std::uint32_t v) {
+                m.Write(RemoteCsrAddr(pe, c), v);
+              };
+              auto kernel = [&](PeOp op, std::uint32_t a0, std::uint32_t a1,
+                                std::uint32_t a2, std::uint32_t len) {
+                csr(kCsrCmd, static_cast<std::uint32_t>(op));
+                csr(kCsrArg0, a0);
+                csr(kCsrArg1, a1);
+                csr(kCsrArg2, a2);
+                csr(kCsrLen, len);
+                csr(kCsrStart, 1);
+                while (m.Read(RemoteCsrAddr(pe, kCsrStatus)) != 2) {
+                }
+              };
+              kernel(PeOp::kDmaIn, 0, 0x10, 0, 8);
+              kernel(PeOp::kDmaIn, 0, 0x20, 8, 8);
+              kernel(PeOp::kVmul, 0, 8, 16, 8);
+              kernel(PeOp::kDmaOut, 16, 0x30, 0, 8);
+            });
+  sim.Run(500_ms);
+  ASSERT_TRUE(sim.stopped()) << "host-driven kernel deadlocked";
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(soc.PeekGm(0x30 + i),
+              FpMul(Float32::FromFloat(static_cast<float>(i)), Float32::FromFloat(2.0f))
+                  .bits())
+        << i;
+  }
+}
+
+TEST(HostIo, MailboxSharedBetweenHostAndController) {
+  Simulator sim;
+  SocTop soc(sim, IoConfig());
+  // Controller writes mailbox register 3 over the NoC...
+  std::vector<Command> cmds = {
+      Command::Write(RemoteDataAddr(SocTop::kIoNode, 3), 0xBEEF),
+      Command::PollEq(RemoteDataAddr(SocTop::kIoNode, 3), 0xBEEF),
+      Command::Halt(),
+  };
+  soc.RunCommands(cmds, 10_ms);
+  EXPECT_EQ(soc.io().mailbox(3), 0xBEEFu);
+}
+
+TEST(HostIo, PeCountShrinksWhenIoPresent) {
+  Simulator sim;
+  SocTop soc(sim, IoConfig());
+  EXPECT_EQ(soc.pe_nodes().size(), 1u);
+  EXPECT_EQ(soc.pe_nodes().front(), 3u);
+}
+
+TEST(HostIo, WorkloadsStillPassWithIoPartition) {
+  Simulator sim;
+  SocConfig cfg = IoConfig();
+  SocTop soc(sim, cfg);
+  const WorkloadRun r = RunWorkload(soc, SixSocTests()[0], 100_ms);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+}  // namespace
+}  // namespace craft::soc

@@ -1,0 +1,380 @@
+// Unit tests for the simulation kernel: fibers, scheduler, clocks, signals,
+// events, processes, tracing, and deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+namespace craft {
+namespace {
+
+using namespace craft::literals;
+
+TEST(Fiber, RunsToCompletion) {
+  int x = 0;
+  Fiber f([&] { x = 42; });
+  f.resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, SuspendResumeRoundTrips) {
+  std::vector<int> trace;
+  Fiber f([&] {
+    trace.push_back(1);
+    Fiber::Suspend();
+    trace.push_back(3);
+    Fiber::Suspend();
+    trace.push_back(5);
+  });
+  f.resume();
+  trace.push_back(2);
+  f.resume();
+  trace.push_back(4);
+  EXPECT_FALSE(f.done());
+  f.resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, ExceptionPropagatesToResumer) {
+  Fiber f([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.done());
+}
+
+TEST(Fiber, CurrentTracksExecution) {
+  EXPECT_EQ(Fiber::Current(), nullptr);
+  Fiber* seen = nullptr;
+  Fiber f([&] { seen = Fiber::Current(); });
+  f.resume();
+  EXPECT_EQ(seen, &f);
+  EXPECT_EQ(Fiber::Current(), nullptr);
+}
+
+TEST(Simulator, TimeAdvancesToRunBound) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  sim.Run(100_ns);
+  EXPECT_EQ(sim.now(), 100000u);
+}
+
+TEST(Simulator, CurrentInstalledByRaii) {
+  {
+    Simulator sim;
+    EXPECT_EQ(&Simulator::Current(), &sim);
+  }
+  EXPECT_THROW(Simulator::Current(), SimError);
+}
+
+TEST(Simulator, ScheduledCallbacksFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30_ns, [&] { order.push_back(3); });
+  sim.ScheduleAt(10_ns, [&] { order.push_back(1); });
+  sim.ScheduleAt(20_ns, [&] { order.push_back(2); });
+  sim.Run(100_ns);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimeCallbacksFireInFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(10_ns, [&order, i] { order.push_back(i); });
+  }
+  sim.Run(20_ns);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Clock, CountsCyclesAtExpectedRate) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  sim.Run(100_ns);
+  EXPECT_EQ(clk.cycle(), 100u);
+}
+
+TEST(Clock, FirstEdgeDefaultsToOnePeriod) {
+  Simulator sim;
+  Clock clk(sim, "clk", 10_ns);
+  sim.Run(9_ns);
+  EXPECT_EQ(clk.cycle(), 0u);
+  sim.Run(1_ns);
+  EXPECT_EQ(clk.cycle(), 1u);
+}
+
+TEST(Clock, EdgeHooksRunInPriorityOrder) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  std::vector<int> order;
+  clk.AddEdgeHook([&] { order.push_back(2); }, 10);
+  clk.AddEdgeHook([&] { order.push_back(1); }, 0);
+  sim.Run(1_ns);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Clock, MultipleIndependentClockDomains) {
+  Simulator sim;
+  Clock fast(sim, "fast", 1_ns);
+  Clock slow(sim, "slow", 3_ns);
+  sim.Run(30_ns);
+  EXPECT_EQ(fast.cycle(), 30u);
+  EXPECT_EQ(slow.cycle(), 10u);
+}
+
+TEST(Thread, WaitAdvancesOneClockCycle) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  struct Harness : Module {
+    using Module::Module;
+    std::vector<std::uint64_t> cycles;
+    void Build(Clock& clk) {
+      Thread("t", clk, [this] {
+        for (int i = 0; i < 5; ++i) {
+          wait();
+          cycles.push_back(ThreadProcess::Current()->clock().cycle());
+        }
+      });
+    }
+  };
+  Harness h(top, "h");
+  h.Build(clk);
+  sim.Run(10_ns);
+  EXPECT_EQ(h.cycles, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Thread, WaitNSkipsNCycles) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  std::uint64_t end_cycle = 0;
+  struct H : Module {
+    using Module::Module;
+  } h(top, "h");
+  struct Builder : Module {
+    Builder(Module& p, Clock& clk, std::uint64_t& out) : Module(p, "b") {
+      Thread("t", clk, [&out] {
+        wait(7);
+        out = this_cycle();
+      });
+    }
+  } b(top, clk, end_cycle);
+  sim.Run(20_ns);
+  EXPECT_EQ(end_cycle, 7u);
+}
+
+TEST(Signal, WriteVisibleOnlyAfterUpdatePhase) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Signal<int> s(sim, "s", 0);
+  Module top(sim, "top");
+  int seen_during_eval = -1;
+  struct B : Module {
+    B(Module& p, Clock& clk, Signal<int>& s, int& seen) : Module(p, "b") {
+      Thread("t", clk, [&s, &seen] {
+        wait();
+        s.write(5);
+        seen = s.read();  // old value: update phase has not run yet
+      });
+    }
+  } b(top, clk, s, seen_during_eval);
+  sim.Run(2_ns);
+  EXPECT_EQ(seen_during_eval, 0);
+  EXPECT_EQ(s.read(), 5);
+}
+
+TEST(Signal, SensitiveMethodRunsOnChangeOnly) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Signal<int> s(sim, "s", 0);
+  Module top(sim, "top");
+  int triggers = 0;
+  struct B : Module {
+    B(Module& p, Clock& clk, Signal<int>& s, int& triggers) : Module(p, "b") {
+      MethodProcess& m = Method("watcher", [&triggers] { ++triggers; });
+      s.AddSensitive(m);
+      Thread("driver", clk, [&s] {
+        wait();
+        s.write(1);
+        wait();
+        s.write(1);  // no change: watcher must not re-trigger
+        wait();
+        s.write(2);
+      });
+    }
+  } b(top, clk, s, triggers);
+  sim.Run(10_ns);
+  // One initial evaluation + two actual value changes.
+  EXPECT_EQ(triggers, 3);
+}
+
+TEST(Signal, DeltaCyclePropagationThroughMethodChain) {
+  // a -> m1 -> b -> m2 -> c, all within a single timestep via delta cycles.
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Signal<int> a(sim, "a", 0), b(sim, "b", 0), c(sim, "c", 0);
+  Module top(sim, "top");
+  struct B : Module {
+    B(Module& p, Clock& clk, Signal<int>& a, Signal<int>& b, Signal<int>& c)
+        : Module(p, "b") {
+      MethodProcess& m1 = Method("m1", [&] { b.write(a.read() + 1); });
+      a.AddSensitive(m1);
+      MethodProcess& m2 = Method("m2", [&] { c.write(b.read() + 1); });
+      b.AddSensitive(m2);
+      Thread("driver", clk, [&a] {
+        wait();
+        a.write(10);
+      });
+    }
+  } built(top, clk, a, b, c);
+  sim.Run(1_ns);
+  EXPECT_EQ(b.read(), 11);
+  EXPECT_EQ(c.read(), 12);
+}
+
+TEST(Event, NotifyWakesWaiterSameTimestep) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Event ev(sim);
+  Module top(sim, "top");
+  Time woke_at = kTimeNever;
+  struct B : Module {
+    B(Module& p, Clock& clk, Event& ev, Time& woke_at) : Module(p, "b") {
+      Thread("waiter", clk, [&] {
+        wait(ev);
+        woke_at = Simulator::Current().now();
+      });
+      Thread("notifier", clk, [&ev] {
+        wait(3);
+        ev.Notify();
+      });
+    }
+  } b(top, clk, ev, woke_at);
+  sim.Run(10_ns);
+  EXPECT_EQ(woke_at, 3000u);  // same timestep as the notify (cycle 3)
+}
+
+TEST(Event, NotifyAfterDelayFiresAtRightTime) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Event ev(sim);
+  Module top(sim, "top");
+  Time woke_at = kTimeNever;
+  struct B : Module {
+    B(Module& p, Clock& clk, Event& ev, Time& woke_at) : Module(p, "b") {
+      Thread("waiter", clk, [&] {
+        wait(ev);
+        woke_at = Simulator::Current().now();
+      });
+    }
+  } b(top, clk, ev, woke_at);
+  ev.NotifyAfter(5500);
+  sim.Run(10_ns);
+  EXPECT_EQ(woke_at, 5500u);
+}
+
+TEST(Simulator, StopEndsRunEarly) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  struct B : Module {
+    B(Module& p, Clock& clk) : Module(p, "b") {
+      Thread("t", clk, [] {
+        wait(5);
+        Simulator::Current().Stop();
+      });
+    }
+  } b(top, clk);
+  sim.Run(100_ns);
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_EQ(clk.cycle(), 5u);
+}
+
+TEST(Module, HierarchicalNames) {
+  Simulator sim;
+  Module root(sim, "soc");
+  Module child(root, "pe0");
+  Module grandchild(child, "dp");
+  EXPECT_EQ(grandchild.full_name(), "soc.pe0.dp");
+  EXPECT_EQ(grandchild.parent(), &child);
+}
+
+TEST(Tracer, ProducesWellFormedVcd) {
+  const std::string path = ::testing::TempDir() + "/craft_trace_test.vcd";
+  {
+    Simulator sim;
+    Clock clk(sim, "clk", 1_ns);
+    Signal<std::uint8_t> s(sim, "data", 0);
+    Tracer tracer(sim, path);
+    tracer.Trace(s, 8);
+    tracer.Start();
+    Module top(sim, "top");
+    struct B : Module {
+      B(Module& p, Clock& clk, Signal<std::uint8_t>& s) : Module(p, "b") {
+        Thread("t", clk, [&s] {
+          for (int i = 1; i <= 3; ++i) {
+            wait();
+            s.write(static_cast<std::uint8_t>(i * 10));
+          }
+        });
+      }
+    } b(top, clk, s);
+    sim.Run(10_ns);
+  }
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("$timescale"), std::string::npos);
+  EXPECT_NE(content.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(content.find("b00011110"), std::string::npos);  // 30
+  std::remove(path.c_str());
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng r(7);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(BitStream, RoundTripsValues) {
+  BitStream s;
+  s.PutBits(0xABCD, 16);
+  s.PutBits(0x3, 2);
+  s.PutBits(0x1ffffffffull, 33);
+  EXPECT_EQ(s.GetBits(16), 0xABCDu);
+  EXPECT_EQ(s.GetBits(2), 0x3u);
+  EXPECT_EQ(s.GetBits(33), 0x1ffffffffull);
+  EXPECT_TRUE(s.exhausted());
+}
+
+TEST(BitStream, FlitRoundTrip) {
+  BitStream s;
+  s.PutBits(0xDEADBEEF, 32);
+  s.PutBits(0x5A, 8);
+  auto flits = s.ToFlits(13);
+  EXPECT_EQ(flits.size(), DivCeil(40, 13));
+  BitStream r = BitStream::FromFlits(flits, 13);
+  EXPECT_EQ(r.GetBits(32), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetBits(8), 0x5Au);
+}
+
+TEST(Marshal, IntegralWidths) {
+  EXPECT_EQ(BitWidthOf<std::uint8_t>(), 8u);
+  EXPECT_EQ(BitWidthOf<std::uint32_t>(), 32u);
+  BitStream s;
+  Marshal<std::uint32_t>::Write(s, 0xCAFEBABE);
+  EXPECT_EQ(Marshal<std::uint32_t>::Read(s), 0xCAFEBABEu);
+}
+
+}  // namespace
+}  // namespace craft

@@ -1,0 +1,417 @@
+// Tests for MatchLib C++ functions and classes: FIFO, arbiter, mem_array,
+// vector, crossbar styles, encoders, reorder buffer, arbitrated crossbar,
+// arbitrated scratchpad, and the soft-float components.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "kernel/rng.hpp"
+#include "matchlib/arbiter.hpp"
+#include "matchlib/arbitrated_crossbar.hpp"
+#include "matchlib/arbitrated_scratchpad.hpp"
+#include "matchlib/crossbar.hpp"
+#include "matchlib/encdec.hpp"
+#include "matchlib/fifo.hpp"
+#include "matchlib/float.hpp"
+#include "matchlib/mem_array.hpp"
+#include "matchlib/reorder_buffer.hpp"
+#include "matchlib/vector.hpp"
+
+namespace craft::matchlib {
+namespace {
+
+// ---------------- Fifo ----------------
+
+TEST(Fifo, FifoOrderAndWraparound) {
+  Fifo<int, 3> f;
+  EXPECT_TRUE(f.Empty());
+  for (int round = 0; round < 5; ++round) {
+    f.Push(round * 10 + 1);
+    f.Push(round * 10 + 2);
+    EXPECT_EQ(f.Size(), 2u);
+    EXPECT_EQ(f.Peek(), round * 10 + 1);
+    EXPECT_EQ(f.Pop(), round * 10 + 1);
+    EXPECT_EQ(f.Pop(), round * 10 + 2);
+  }
+}
+
+TEST(Fifo, FullAndEmptyContracts) {
+  Fifo<int, 2> f;
+  f.Push(1);
+  f.Push(2);
+  EXPECT_TRUE(f.Full());
+  EXPECT_THROW(f.Push(3), SimError);
+  f.Clear();
+  EXPECT_TRUE(f.Empty());
+  EXPECT_THROW(f.Pop(), SimError);
+}
+
+// ---------------- Arbiter ----------------
+
+TEST(Arbiter, GrantsAreOneHotSubsetOfRequests) {
+  Arbiter arb(8);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t req = rng.Next() & 0xFF;
+    const std::uint64_t grant = arb.Pick(req);
+    if (req == 0) {
+      EXPECT_EQ(grant, 0u);
+    } else {
+      EXPECT_TRUE(IsOneHot(grant));
+      EXPECT_EQ(grant & req, grant);
+    }
+  }
+}
+
+TEST(Arbiter, RoundRobinIsFairUnderFullLoad) {
+  Arbiter arb(4);
+  std::array<int, 4> grants{};
+  for (int i = 0; i < 400; ++i) {
+    const int g = arb.PickIndex(0xF);
+    ASSERT_GE(g, 0);
+    ++grants[g];
+  }
+  for (int g : grants) EXPECT_EQ(g, 100);
+}
+
+TEST(Arbiter, RotatesPriorityAfterGrant) {
+  Arbiter arb(4);
+  EXPECT_EQ(arb.PickIndex(0b1111), 0);
+  EXPECT_EQ(arb.PickIndex(0b1111), 1);
+  EXPECT_EQ(arb.PickIndex(0b0001), 0);  // only requester wins regardless
+  EXPECT_EQ(arb.PickIndex(0b1110), 1);  // priority pointer moved past 0
+}
+
+// ---------------- MemArray ----------------
+
+TEST(MemArray, ReadWriteAndAccounting) {
+  MemArray<std::uint32_t> mem(64, 4);
+  mem.Write(10, 0xAB);
+  EXPECT_EQ(mem.Read(10), 0xABu);
+  EXPECT_EQ(mem.read_count(), 1u);
+  EXPECT_EQ(mem.write_count(), 1u);
+  EXPECT_EQ(mem.BankOf(10), 10u % 4);
+}
+
+TEST(MemArray, OutOfBoundsThrows) {
+  MemArray<int> mem(16);
+  EXPECT_THROW(mem.Read(16), SimError);
+  EXPECT_THROW(mem.Write(99, 1), SimError);
+}
+
+// ---------------- Vector ----------------
+
+TEST(Vector, LaneWiseOpsAndReductions) {
+  Vector<int, 4> a{1, 2, 3, 4};
+  Vector<int, 4> b{10, 20, 30, 40};
+  EXPECT_EQ((a + b), (Vector<int, 4>{11, 22, 33, 44}));
+  EXPECT_EQ((b - a), (Vector<int, 4>{9, 18, 27, 36}));
+  EXPECT_EQ((a * b), (Vector<int, 4>{10, 40, 90, 160}));
+  EXPECT_EQ(a.Scale(3), (Vector<int, 4>{3, 6, 9, 12}));
+  EXPECT_EQ(a.ReduceSum(), 10);
+  EXPECT_EQ(b.ReduceMax(), 40);
+  EXPECT_EQ(b.ReduceMin(), 10);
+  EXPECT_EQ(Dot(a, b), 300);
+  EXPECT_EQ(a.MulAdd(b, a), (Vector<int, 4>{11, 42, 93, 164}));
+}
+
+// ---------------- Crossbar coding styles ----------------
+
+TEST(Crossbar, BothStylesComputeTheSamePermutation) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.NextBelow(30);
+    std::vector<std::uint32_t> in(n);
+    for (auto& v : in) v = static_cast<std::uint32_t>(rng.Next());
+    // Random permutation via Fisher-Yates.
+    std::vector<std::size_t> dst(n);
+    for (std::size_t i = 0; i < n; ++i) dst[i] = i;
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::swap(dst[i], dst[rng.NextBelow(i + 1)]);
+    }
+    const auto src = InvertPermutation(dst);
+    EXPECT_EQ(CrossbarSrcLoop(in, dst), CrossbarDstLoop(in, src));
+  }
+}
+
+TEST(Crossbar, SrcLoopHigherIndexWinsOnConflict) {
+  std::vector<int> in{100, 200, 300};
+  std::vector<std::size_t> dst{0, 0, 2};  // inputs 0 and 1 both target output 0
+  const auto out = CrossbarSrcLoop(in, dst);
+  EXPECT_EQ(out[0], 200);  // src 1 overwrites src 0: priority semantics
+  EXPECT_EQ(out[2], 300);
+}
+
+TEST(Crossbar, InvertPermutationRejectsConflicts) {
+  EXPECT_THROW(InvertPermutation({0, 0, 2}), SimError);
+}
+
+// ---------------- Encoder / Decoder ----------------
+
+TEST(EncDec, OneHotRoundTrip) {
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(OneHotDecode(OneHotEncode(i)), i);
+  }
+  EXPECT_THROW(OneHotDecode(0b0110), SimError);
+  EXPECT_THROW(OneHotDecode(0), SimError);
+}
+
+TEST(EncDec, PriorityEncoders) {
+  EXPECT_EQ(PriorityEncodeHigh(0b0110), 2);
+  EXPECT_EQ(PriorityEncodeLow(0b0110), 1);
+  EXPECT_EQ(PriorityEncodeHigh(0), -1);
+  EXPECT_EQ(PriorityEncodeLow(1ull << 63), 63);
+  EXPECT_EQ(PopCount(0xF0F0), 8u);
+}
+
+// ---------------- ReorderBuffer ----------------
+
+TEST(ReorderBuffer, OutOfOrderFillInOrderDrain) {
+  ReorderBuffer<int, 4> rob;
+  const auto t0 = rob.Allocate();
+  const auto t1 = rob.Allocate();
+  const auto t2 = rob.Allocate();
+  EXPECT_FALSE(rob.CanPop());
+  rob.Fill(t2, 300);
+  rob.Fill(t0, 100);
+  EXPECT_TRUE(rob.CanPop());
+  EXPECT_EQ(rob.Pop(), 100);
+  EXPECT_FALSE(rob.CanPop());  // head (t1) not filled yet
+  rob.Fill(t1, 200);
+  EXPECT_EQ(rob.Pop(), 200);
+  EXPECT_EQ(rob.Pop(), 300);
+  EXPECT_EQ(rob.Size(), 0u);
+}
+
+TEST(ReorderBuffer, ContractsEnforced) {
+  ReorderBuffer<int, 2> rob;
+  const auto t0 = rob.Allocate();
+  rob.Allocate();
+  EXPECT_FALSE(rob.CanAllocate());
+  EXPECT_THROW(rob.Allocate(), SimError);
+  rob.Fill(t0, 1);
+  EXPECT_THROW(rob.Fill(t0, 2), SimError);  // double fill
+  EXPECT_EQ(rob.Pop(), 1);
+  EXPECT_THROW(rob.Pop(), SimError);  // head unfilled
+}
+
+TEST(ReorderBuffer, WraparoundTagsStaySound) {
+  ReorderBuffer<int, 3> rob;
+  for (int round = 0; round < 10; ++round) {
+    const auto a = rob.Allocate();
+    const auto b = rob.Allocate();
+    rob.Fill(b, round * 2 + 1);
+    rob.Fill(a, round * 2);
+    EXPECT_EQ(rob.Pop(), round * 2);
+    EXPECT_EQ(rob.Pop(), round * 2 + 1);
+  }
+}
+
+// ---------------- ArbitratedCrossbar ----------------
+
+TEST(ArbitratedCrossbar, RoutesAllTrafficExactlyOnce) {
+  ArbitratedCrossbar<std::uint32_t, 4, 4, 4> xbar;
+  Rng rng(5);
+  std::array<std::multiset<std::uint32_t>, 4> expected;
+  std::array<std::multiset<std::uint32_t>, 4> got;
+  int sent = 0, received = 0;
+  std::uint32_t next_val = 0;
+  while (received < 200) {
+    for (unsigned i = 0; i < 4 && sent < 200; ++i) {
+      if (xbar.CanAccept(i)) {
+        const unsigned dest = static_cast<unsigned>(rng.NextBelow(4));
+        expected[dest].insert(next_val);
+        xbar.Push(i, next_val, dest);
+        ++next_val;
+        ++sent;
+      }
+    }
+    const auto out = xbar.Arbitrate();
+    for (unsigned o = 0; o < 4; ++o) {
+      if (out[o].has_value()) {
+        got[o].insert(*out[o]);
+        ++received;
+      }
+    }
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_TRUE(xbar.AllQueuesEmpty());
+  EXPECT_EQ(xbar.transfer_count(), 200u);
+}
+
+TEST(ArbitratedCrossbar, ConflictFreeTrafficMovesOnePerCyclePerOutput) {
+  ArbitratedCrossbar<int, 4, 4, 4> xbar;
+  // Identity routing: input i -> output i. No conflicts: full throughput.
+  for (unsigned i = 0; i < 4; ++i) {
+    xbar.Push(i, static_cast<int>(i), i);
+    xbar.Push(i, static_cast<int>(10 + i), i);
+  }
+  auto out1 = xbar.Arbitrate();
+  for (unsigned o = 0; o < 4; ++o) EXPECT_EQ(out1[o], static_cast<int>(o));
+  auto out2 = xbar.Arbitrate();
+  for (unsigned o = 0; o < 4; ++o) EXPECT_EQ(out2[o], static_cast<int>(10 + o));
+}
+
+TEST(ArbitratedCrossbar, ConflictSerializesOneWinnerPerCycle) {
+  ArbitratedCrossbar<int, 4, 4, 4> xbar;
+  for (unsigned i = 0; i < 4; ++i) xbar.Push(i, static_cast<int>(i), 0);
+  int delivered = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const auto out = xbar.Arbitrate();
+    EXPECT_TRUE(out[0].has_value());
+    for (unsigned o = 1; o < 4; ++o) EXPECT_FALSE(out[o].has_value());
+    ++delivered;
+  }
+  EXPECT_EQ(delivered, 4);
+}
+
+// ---------------- ArbitratedScratchpad ----------------
+
+TEST(ArbitratedScratchpad, WriteThenReadBack) {
+  ArbitratedScratchpad<std::uint64_t, 4, 16, 2> sp;
+  sp.Request(0, {.is_write = true, .addr = 5, .wdata = 0xDEAD});
+  auto r1 = sp.Tick();
+  ASSERT_TRUE(r1[0].has_value());
+  EXPECT_TRUE(r1[0]->is_write_ack);
+  sp.Request(1, {.is_write = false, .addr = 5, .wdata = 0});
+  auto r2 = sp.Tick();
+  ASSERT_TRUE(r2[1].has_value());
+  EXPECT_EQ(r2[1]->rdata, 0xDEADu);
+}
+
+TEST(ArbitratedScratchpad, BankConflictSerializesAndCounts) {
+  ArbitratedScratchpad<std::uint64_t, 4, 16, 2> sp;
+  // Same bank (addr % 4 == 1) from both ports.
+  sp.Request(0, {.is_write = true, .addr = 1, .wdata = 10});
+  sp.Request(1, {.is_write = true, .addr = 5, .wdata = 20});
+  auto r1 = sp.Tick();
+  EXPECT_EQ(r1[0].has_value() + r1[1].has_value(), 1);
+  auto r2 = sp.Tick();
+  EXPECT_EQ(r2[0].has_value() + r2[1].has_value(), 1);
+  EXPECT_EQ(sp.conflict_cycles(), 1u);
+}
+
+TEST(ArbitratedScratchpad, DistinctBanksServeInParallel) {
+  ArbitratedScratchpad<std::uint64_t, 4, 16, 2> sp;
+  sp.Request(0, {.is_write = true, .addr = 0, .wdata = 1});
+  sp.Request(1, {.is_write = true, .addr = 1, .wdata = 2});
+  auto r = sp.Tick();
+  EXPECT_TRUE(r[0].has_value());
+  EXPECT_TRUE(r[1].has_value());
+}
+
+// ---------------- Float ----------------
+
+using F32 = Float32;
+
+float MulRef(float a, float b) { return a * b; }
+float AddRef(float a, float b) { return a + b; }
+
+std::vector<float> TestFloats() {
+  std::vector<float> v = {0.0f,   -0.0f,  1.0f,   -1.0f,    1.5f,    -2.25f,
+                          3.1415f, 100.0f, 1e-3f, -1e3f,    0.333f,  7.0f,
+                          1e10f,  -1e-10f, 65504.0f, 2.0f,  0.5f,    -0.125f};
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    // Random normal floats with moderate exponents (avoid FTZ/overflow).
+    const float m = static_cast<float>(rng.NextDouble()) * 2.0f - 1.0f;
+    const int e = static_cast<int>(rng.NextBelow(40)) - 20;
+    v.push_back(std::ldexp(m == 0.0f ? 0.5f : m, e));
+  }
+  return v;
+}
+
+TEST(Float, Float32RoundTripConversion) {
+  for (float f : TestFloats()) {
+    EXPECT_EQ(F32::FromFloat(f).ToFloat(), f) << f;
+  }
+}
+
+TEST(Float, MulBitExactVsIeeeForNormals) {
+  const auto vals = TestFloats();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    for (std::size_t j = i; j < vals.size(); j += 17) {
+      const float a = vals[i], b = vals[j];
+      const float ref = MulRef(a, b);
+      if (!std::isnormal(ref) && ref != 0.0f) continue;  // FTZ/overflow domain
+      const float got = FpMul(F32::FromFloat(a), F32::FromFloat(b)).ToFloat();
+      EXPECT_EQ(got, ref) << a << " * " << b;
+    }
+  }
+}
+
+TEST(Float, AddBitExactVsIeeeForNormals) {
+  const auto vals = TestFloats();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    for (std::size_t j = i; j < vals.size(); j += 13) {
+      const float a = vals[i], b = vals[j];
+      const float ref = AddRef(a, b);
+      if (!std::isnormal(ref) && ref != 0.0f) continue;
+      const float got = FpAdd(F32::FromFloat(a), F32::FromFloat(b)).ToFloat();
+      EXPECT_EQ(got, ref) << a << " + " << b;
+    }
+  }
+}
+
+TEST(Float, MulAddMatchesDiscreteMulThenAdd) {
+  Rng rng(123);
+  for (int i = 0; i < 200; ++i) {
+    const float a = static_cast<float>(rng.NextDouble() * 4 - 2);
+    const float b = static_cast<float>(rng.NextDouble() * 4 - 2);
+    const float c = static_cast<float>(rng.NextDouble() * 4 - 2);
+    const F32 fa = F32::FromFloat(a), fb = F32::FromFloat(b), fc = F32::FromFloat(c);
+    EXPECT_EQ(FpMulAdd(fa, fb, fc).bits(), FpAdd(FpMul(fa, fb), fc).bits());
+  }
+}
+
+TEST(Float, SpecialValues) {
+  const F32 inf = F32::Inf(false);
+  const F32 ninf = F32::Inf(true);
+  const F32 one = F32::FromFloat(1.0f);
+  const F32 zero = F32::Zero();
+  EXPECT_TRUE(FpAdd(inf, ninf).IsNaN());
+  EXPECT_TRUE(FpMul(inf, zero).IsNaN());
+  EXPECT_TRUE(FpMul(inf, one).IsInf());
+  EXPECT_TRUE(FpAdd(inf, one).IsInf());
+  EXPECT_TRUE(FpMul(F32::QuietNaN(), one).IsNaN());
+  EXPECT_TRUE(FpAdd(zero, zero).IsZero());
+  // x + (-x) == +0
+  const F32 x = F32::FromFloat(3.25f);
+  EXPECT_TRUE(FpSub(x, x).IsZero());
+  EXPECT_FALSE(FpSub(x, x).sign());
+}
+
+TEST(Float, Float16AndBFloat16Basics) {
+  const Float16 h = Float16::FromFloat(1.5f);
+  EXPECT_EQ(h.ToFloat(), 1.5f);
+  EXPECT_EQ(FpMul(h, Float16::FromFloat(2.0f)).ToFloat(), 3.0f);
+  // fp16 overflow -> inf (max normal 65504)
+  EXPECT_TRUE(Float16::FromFloat(1e6f).IsInf());
+  const BFloat16 bf = BFloat16::FromFloat(2.0f);
+  EXPECT_EQ(FpMulAdd(bf, bf, BFloat16::FromFloat(1.0f)).ToFloat(), 5.0f);
+}
+
+TEST(Float, CommutativityProperty) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const float a = static_cast<float>(rng.NextDouble() * 100 - 50);
+    const float b = static_cast<float>(rng.NextDouble() * 100 - 50);
+    const F32 fa = F32::FromFloat(a), fb = F32::FromFloat(b);
+    EXPECT_EQ(FpAdd(fa, fb).bits(), FpAdd(fb, fa).bits());
+    EXPECT_EQ(FpMul(fa, fb).bits(), FpMul(fb, fa).bits());
+  }
+}
+
+TEST(Float, VectorOfFpDotProduct) {
+  Vector<F32, 4> a;
+  Vector<F32, 4> b;
+  for (int i = 0; i < 4; ++i) {
+    a[i] = F32::FromFloat(static_cast<float>(i + 1));
+    b[i] = F32::FromFloat(2.0f);
+  }
+  EXPECT_EQ(Dot(a, b).ToFloat(), 20.0f);
+}
+
+}  // namespace
+}  // namespace craft::matchlib

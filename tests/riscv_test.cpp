@@ -1,0 +1,278 @@
+// Tests for the RV32IM ISS: decoder, ALU semantics, control flow, memory,
+// M extension, CSRs, and whole programs via the assembler.
+#include <gtest/gtest.h>
+
+#include "riscv/assembler.hpp"
+#include "riscv/cpu.hpp"
+
+namespace craft::riscv {
+namespace {
+
+/// Loads a program at address 0 and runs until halt or `max_steps`.
+struct Machine {
+  explicit Machine(const std::vector<std::uint32_t>& program, std::size_t mem_bytes = 64 * 1024)
+      : bus(mem_bytes) {
+    for (std::size_t i = 0; i < program.size(); ++i) bus.words()[i] = program[i];
+  }
+  void Run(std::uint64_t max_steps = 100000) {
+    std::uint64_t n = 0;
+    while (!cpu.halted()) {
+      cpu.Step(bus);
+      CRAFT_ASSERT(++n <= max_steps, "program did not halt");
+    }
+  }
+  FlatMemoryBus bus;
+  Cpu cpu;
+};
+
+TEST(Decoder, RoundTripsRepresentativeEncodings) {
+  // addi x1, x2, -3
+  Decoded d = Decode(0xFFD10093);
+  EXPECT_EQ(d.kind, InsnKind::kAddi);
+  EXPECT_EQ(d.rd, 1);
+  EXPECT_EQ(d.rs1, 2);
+  EXPECT_EQ(d.imm, -3);
+  // add x5, x6, x7
+  d = Decode(0x007302B3);
+  EXPECT_EQ(d.kind, InsnKind::kAdd);
+  // mul x5, x6, x7
+  d = Decode(0x027302B3);
+  EXPECT_EQ(d.kind, InsnKind::kMul);
+  // lw x8, 16(x2)
+  d = Decode(0x01012403);
+  EXPECT_EQ(d.kind, InsnKind::kLw);
+  EXPECT_EQ(d.imm, 16);
+  // ebreak
+  EXPECT_EQ(Decode(0x00100073).kind, InsnKind::kEbreak);
+  EXPECT_EQ(Decode(0xFFFFFFFF).kind, InsnKind::kIllegal);
+}
+
+TEST(Cpu, X0IsHardwiredZero) {
+  Machine m(Assembler().Addi(zero, zero, 5).Ebreak().Assemble());
+  m.Run();
+  EXPECT_EQ(m.cpu.reg(0), 0u);
+}
+
+TEST(Cpu, ArithmeticAndLogic) {
+  Machine m(Assembler()
+                .Li(a0, 100)
+                .Li(a1, -7)
+                .Add(a2, a0, a1)   // 93
+                .Sub(a3, a0, a1)   // 107
+                .Xor(a4, a0, a1)
+                .And(a5, a0, a1)
+                .Or(s2, a0, a1)
+                .Slt(s3, a1, a0)   // -7 < 100 -> 1
+                .Sltu(s4, a1, a0)  // 0xFFFF..F9 < 100 unsigned -> 0
+                .Ebreak()
+                .Assemble());
+  m.Run();
+  EXPECT_EQ(m.cpu.reg(a2), 93u);
+  EXPECT_EQ(m.cpu.reg(a3), 107u);
+  EXPECT_EQ(m.cpu.reg(a4), (100u ^ 0xFFFFFFF9u));
+  EXPECT_EQ(m.cpu.reg(a5), (100u & 0xFFFFFFF9u));
+  EXPECT_EQ(m.cpu.reg(s2), (100u | 0xFFFFFFF9u));
+  EXPECT_EQ(m.cpu.reg(s3), 1u);
+  EXPECT_EQ(m.cpu.reg(s4), 0u);
+}
+
+TEST(Cpu, ShiftSemantics) {
+  Machine m(Assembler()
+                .Li(a0, -16)
+                .Srai(a1, a0, 2)  // arithmetic: -4
+                .Srli(a2, a0, 2)  // logical
+                .Slli(a3, a0, 1)  // -32
+                .Ebreak()
+                .Assemble());
+  m.Run();
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu.reg(a1)), -4);
+  EXPECT_EQ(m.cpu.reg(a2), 0xFFFFFFF0u >> 2);
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu.reg(a3)), -32);
+}
+
+TEST(Cpu, LoadStoreAllWidths) {
+  Machine m(Assembler()
+                .Li(s0, 0x1000)
+                .Li(a0, 0x12345678)
+                .Sw(a0, s0, 0)
+                .Lw(a1, s0, 0)
+                .Lb(a2, s0, 0)    // 0x78
+                .Lbu(a3, s0, 3)   // 0x12
+                .Lh(a4, s0, 0)    // 0x5678
+                .Lhu(a5, s0, 2)   // 0x1234
+                .Li(t0, -1)
+                .Sb(t0, s0, 4)
+                .Lb(s2, s0, 4)    // -1 sign-extended
+                .Lbu(s3, s0, 4)   // 255
+                .Ebreak()
+                .Assemble());
+  m.Run();
+  EXPECT_EQ(m.cpu.reg(a1), 0x12345678u);
+  EXPECT_EQ(m.cpu.reg(a2), 0x78u);
+  EXPECT_EQ(m.cpu.reg(a3), 0x12u);
+  EXPECT_EQ(m.cpu.reg(a4), 0x5678u);
+  EXPECT_EQ(m.cpu.reg(a5), 0x1234u);
+  EXPECT_EQ(m.cpu.reg(s2), 0xFFFFFFFFu);
+  EXPECT_EQ(m.cpu.reg(s3), 0xFFu);
+}
+
+TEST(Cpu, BranchesAndLoops) {
+  // Sum 1..10 with a loop.
+  Machine m(Assembler()
+                .Li(a0, 0)    // sum
+                .Li(t0, 1)    // i
+                .Li(t1, 10)   // bound
+                .Label("loop")
+                .Add(a0, a0, t0)
+                .Addi(t0, t0, 1)
+                .Bge(t1, t0, "loop")
+                .Ebreak()
+                .Assemble());
+  m.Run();
+  EXPECT_EQ(m.cpu.reg(a0), 55u);
+}
+
+TEST(Cpu, JalAndJalrFunctionCall) {
+  Machine m(Assembler()
+                .Li(a0, 5)
+                .Jal(ra, "double_it")
+                .Ebreak()
+                .Label("double_it")
+                .Add(a0, a0, a0)
+                .Ret()
+                .Assemble());
+  m.Run();
+  EXPECT_EQ(m.cpu.reg(a0), 10u);
+}
+
+TEST(Cpu, MExtension) {
+  Machine m(Assembler()
+                .Li(a0, -6)
+                .Li(a1, 7)
+                .Mul(a2, a0, a1)   // -42
+                .Div(a3, a0, a1)   // 0 (-6/7 truncates)
+                .Rem(a4, a0, a1)   // -6
+                .Li(t0, 100000)
+                .Li(t1, 100000)
+                .Mulhu(a5, t0, t1)  // high word of 1e10
+                .Divu(s2, t0, a1)
+                .Ebreak()
+                .Assemble());
+  m.Run();
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu.reg(a2)), -42);
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu.reg(a3)), 0);
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu.reg(a4)), -6);
+  EXPECT_EQ(m.cpu.reg(a5), static_cast<std::uint32_t>(10000000000ull >> 32));
+  EXPECT_EQ(m.cpu.reg(s2), 100000u / 7);
+}
+
+TEST(Cpu, DivisionEdgeCases) {
+  Machine m(Assembler()
+                .Li(a0, 42)
+                .Li(a1, 0)
+                .Div(a2, a0, a1)   // div by zero -> -1
+                .Rem(a3, a0, a1)   // rem by zero -> dividend
+                .Li(t0, INT32_MIN)
+                .Li(t1, -1)
+                .Div(a4, t0, t1)   // overflow -> INT32_MIN
+                .Rem(a5, t0, t1)   // overflow -> 0
+                .Ebreak()
+                .Assemble());
+  m.Run();
+  EXPECT_EQ(m.cpu.reg(a2), 0xFFFFFFFFu);
+  EXPECT_EQ(m.cpu.reg(a3), 42u);
+  EXPECT_EQ(m.cpu.reg(a4), 0x80000000u);
+  EXPECT_EQ(m.cpu.reg(a5), 0u);
+}
+
+TEST(Cpu, EcallHandlerReceivesArgs) {
+  Machine m(Assembler()
+                .Li(a7, 93)   // syscall id
+                .Li(a0, 17)   // arg
+                .Ecall()
+                .Ebreak()
+                .Assemble());
+  std::uint32_t got_id = 0, got_arg = 0;
+  m.cpu.ecall_handler = [&](std::uint32_t id, std::uint32_t arg) {
+    got_id = id;
+    got_arg = arg;
+  };
+  m.Run();
+  EXPECT_EQ(got_id, 93u);
+  EXPECT_EQ(got_arg, 17u);
+}
+
+TEST(Cpu, RdcycleReadsCycleCsr) {
+  Machine m(Assembler().Rdcycle(a0).Ebreak().Assemble());
+  m.cpu.cycle_csr = 12345;
+  m.Run();
+  EXPECT_EQ(m.cpu.reg(a0), 12345u);
+}
+
+TEST(Cpu, FibonacciProgram) {
+  // fib(12) = 144, iterative.
+  Machine m(Assembler()
+                .Li(a0, 0)
+                .Li(a1, 1)
+                .Li(t0, 12)
+                .Label("loop")
+                .Beq(t0, zero, "done")
+                .Add(t1, a0, a1)
+                .Mv(a0, a1)
+                .Mv(a1, t1)
+                .Addi(t0, t0, -1)
+                .J("loop")
+                .Label("done")
+                .Ebreak()
+                .Assemble());
+  m.Run();
+  EXPECT_EQ(m.cpu.reg(a0), 144u);
+}
+
+TEST(Cpu, MemcpyProgram) {
+  // Copy 16 words from 0x2000 to 0x3000.
+  Machine m(Assembler()
+                .Li(s0, 0x2000)
+                .Li(s1, 0x3000)
+                .Li(t0, 16)
+                .Label("loop")
+                .Beq(t0, zero, "done")
+                .Lw(t1, s0, 0)
+                .Sw(t1, s1, 0)
+                .Addi(s0, s0, 4)
+                .Addi(s1, s1, 4)
+                .Addi(t0, t0, -1)
+                .J("loop")
+                .Label("done")
+                .Ebreak()
+                .Assemble());
+  for (int i = 0; i < 16; ++i) m.bus.words()[0x2000 / 4 + i] = 0xA0000000u + i;
+  m.Run();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(m.bus.words()[0x3000 / 4 + i], 0xA0000000u + i);
+  }
+}
+
+TEST(Cpu, InstretCounts) {
+  Machine m(Assembler().Nop().Nop().Nop().Ebreak().Assemble());
+  m.Run();
+  EXPECT_EQ(m.cpu.instret(), 4u);
+}
+
+TEST(Assembler, LiHandlesFullRange) {
+  for (std::int32_t v : {0, 1, -1, 2047, -2048, 2048, -2049, 0x12345678,
+                         static_cast<std::int32_t>(0x80000000), 0x7FFFFFFF}) {
+    Machine m(Assembler().Li(a0, v).Ebreak().Assemble());
+    m.Run();
+    EXPECT_EQ(static_cast<std::int32_t>(m.cpu.reg(a0)), v) << v;
+  }
+}
+
+TEST(Assembler, UndefinedLabelThrows) {
+  Assembler a;
+  a.J("nowhere");
+  EXPECT_THROW(a.Assemble(), SimError);
+}
+
+}  // namespace
+}  // namespace craft::riscv

@@ -1,0 +1,184 @@
+// Integration tests for the prototype SoC: controller-to-node transactions
+// over the NoC, PE kernels, global memory, GALS operation, and the six
+// SoC-level workloads.
+#include <gtest/gtest.h>
+
+#include "soc/workloads.hpp"
+
+namespace craft::soc {
+namespace {
+
+using namespace craft::literals;
+
+SocConfig SingleClock2x2() {
+  SocConfig cfg;
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 2;
+  cfg.gals = false;
+  return cfg;
+}
+
+TEST(SocTransactions, ControllerWritesAndPollsGlobalMemory) {
+  Simulator sim;
+  SocTop soc(sim, SingleClock2x2());
+  // Write a GM word over the NoC, then poll it back: the poll only succeeds
+  // if the controller's remote read returns the written value.
+  std::vector<Command> cmds = {
+      Command::Write(RemoteDataAddr(SocTop::kGlobalMemoryNode, 10), 0xABCD),
+      Command::PollEq(RemoteDataAddr(SocTop::kGlobalMemoryNode, 10), 0xABCD),
+      Command::Halt(),
+  };
+  const std::uint64_t cycles = soc.RunCommands(cmds, 1_ms);
+  EXPECT_EQ(soc.PeekGm(10), 0xABCDu);
+  EXPECT_GT(cycles, 0u);
+  EXPECT_LT(cycles, 2000u);
+}
+
+TEST(SocTransactions, ControllerAccessesPeCsrAndScratchpad) {
+  Simulator sim;
+  SocTop soc(sim, SingleClock2x2());
+  const unsigned pe = soc.pe_nodes().front();
+  std::vector<Command> cmds = {
+      // CSR space: set ARG0 and read it back via poll.
+      Command::Write(RemoteCsrAddr(pe, kCsrArg0), 1234),
+      Command::PollEq(RemoteCsrAddr(pe, kCsrArg0), 1234),
+      // Data space: PE scratchpad word 7.
+      Command::Write(RemoteDataAddr(pe, 7), 0x55AA),
+      Command::PollEq(RemoteDataAddr(pe, 7), 0x55AA),
+      Command::Halt(),
+  };
+  soc.RunCommands(cmds, 1_ms);
+  EXPECT_EQ(soc.pe(pe).csr(kCsrArg0), 1234u);
+}
+
+TEST(SocTransactions, RemoteAccessRoundTripLatencyIsTensOfCycles) {
+  Simulator sim;
+  SocTop soc(sim, SingleClock2x2());
+  std::vector<Command> cmds = {
+      Command::Write(RemoteDataAddr(SocTop::kGlobalMemoryNode, 0), 1),
+      Command::Halt(),
+  };
+  const std::uint64_t cycles = soc.RunCommands(cmds, 1_ms);
+  // A single write + program prologue: a NoC round trip is tens of cycles,
+  // not hundreds (low-latency claim for the mesh + NI path).
+  EXPECT_LT(cycles, 300u);
+}
+
+class SocWorkloadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SocWorkloadTest, WorkloadProducesGoldenResultsSingleClock) {
+  Simulator sim;
+  SocTop soc(sim, SingleClock2x2());
+  const Workload w = SixSocTests()[GetParam()];
+  const WorkloadRun r = RunWorkload(soc, w, 50_ms);
+  EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_P(SocWorkloadTest, WorkloadProducesGoldenResultsGals) {
+  Simulator sim;
+  SocConfig cfg = SingleClock2x2();
+  cfg.gals = true;
+  SocTop soc(sim, cfg);
+  const Workload w = SixSocTests()[GetParam()];
+  const WorkloadRun r = RunWorkload(soc, w, 50_ms);
+  EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+  EXPECT_GT(soc.noc().async_link_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SixTests, SocWorkloadTest, ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return SixSocTests()[info.param].name;
+                         });
+
+TEST(SocTransactions, PeToPeDmaMovesScratchpadData) {
+  // Spatial-array halo exchange: PE B pulls a block directly from PE A's
+  // scratchpad over the NoC (kCsrDmaNode selects the peer), no global
+  // memory involved.
+  Simulator sim;
+  SocTop soc(sim, SingleClock2x2());
+  ASSERT_GE(soc.pe_nodes().size(), 2u);
+  const unsigned pe_a = soc.pe_nodes()[0];
+  const unsigned pe_b = soc.pe_nodes()[1];
+  std::vector<Command> cmds;
+  // Seed PE A's scratchpad words 0..7 via remote data-space writes.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    cmds.push_back(Command::Write(RemoteDataAddr(pe_a, i), 0x40 + i));
+  }
+  // PE B: DMA-in 8 words from PE A (addr 0) into its scratchpad at 32.
+  cmds.push_back(Command::Write(RemoteCsrAddr(pe_b, kCsrCmd),
+                                static_cast<std::uint32_t>(PeOp::kDmaIn)));
+  cmds.push_back(Command::Write(RemoteCsrAddr(pe_b, kCsrArg1), 0));
+  cmds.push_back(Command::Write(RemoteCsrAddr(pe_b, kCsrArg2), 32));
+  cmds.push_back(Command::Write(RemoteCsrAddr(pe_b, kCsrLen), 8));
+  cmds.push_back(Command::Write(RemoteCsrAddr(pe_b, kCsrDmaNode), pe_a));
+  cmds.push_back(Command::Write(RemoteCsrAddr(pe_b, kCsrStart), 1));
+  cmds.push_back(Command::PollEq(RemoteCsrAddr(pe_b, kCsrStatus), 2));
+  // Verify through the controller: poll PE B's scratchpad contents.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    cmds.push_back(Command::PollEq(RemoteDataAddr(pe_b, 32 + i), 0x40 + i));
+  }
+  cmds.push_back(Command::Halt());
+  soc.RunCommands(cmds, 50_ms);  // PollEq hangs (and the assert fires) on mismatch
+}
+
+TEST(SocMesh, LargerMeshRunsWorkloadAcrossSevenPes) {
+  Simulator sim;
+  SocConfig cfg;
+  cfg.mesh_width = 3;
+  cfg.mesh_height = 3;
+  cfg.gals = false;
+  SocTop soc(sim, cfg);
+  EXPECT_EQ(soc.pe_nodes().size(), 7u);
+  const Workload w = SixSocTests()[5];  // dma_copy exercises all NoC paths
+  const WorkloadRun r = RunWorkload(soc, w, 100_ms);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GT(soc.noc().total_flits_forwarded(), 0u);
+}
+
+TEST(SocDeterminism, SameConfigSameCycles) {
+  auto run = [] {
+    Simulator sim;
+    SocConfig cfg = SingleClock2x2();
+    cfg.gals = true;  // includes jittering clocks: still deterministic
+    SocTop soc(sim, cfg);
+    return RunWorkload(soc, SixSocTests()[0], 50_ms).cycles;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SocGals, AsyncLinksInstantiatedOnlyInGalsMode) {
+  Simulator sim;
+  {
+    SocConfig cfg = SingleClock2x2();
+    SocTop soc(sim, cfg);
+    EXPECT_EQ(soc.noc().async_link_count(), 0u);
+  }
+}
+
+TEST(SocRtlCosim, EmulationPreservesResultsAndKeepsCycleErrorSmall) {
+  auto run = [](bool rtl, unsigned drain) {
+    Simulator sim;
+    SocConfig cfg = SingleClock2x2();
+    cfg.rtl_cosim = rtl;
+    cfg.rtl_signals_per_node = 32;  // keep the test quick
+    cfg.rtl_pe_drain_cycles = drain;
+    SocTop soc(sim, cfg);
+    const WorkloadRun r = RunWorkload(soc, SixSocTests()[0], 50_ms);
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.cycles;
+  };
+  const std::uint64_t fast = run(false, 0);
+  const std::uint64_t rtl = run(true, 5);
+  // Pipeline-drain latencies shift cycles only slightly (paper: < 3%); the
+  // controller's poll quantization may absorb them entirely.
+  EXPECT_GE(rtl, fast);
+  EXPECT_LT(static_cast<double>(rtl - fast) / static_cast<double>(fast), 0.10);
+  // A deliberately huge drain must become visible end-to-end, proving the
+  // emulation actually runs.
+  const std::uint64_t heavy = run(true, 300);
+  EXPECT_GT(heavy, fast);
+}
+
+}  // namespace
+}  // namespace craft::soc
