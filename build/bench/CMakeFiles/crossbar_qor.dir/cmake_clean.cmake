@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_qor.dir/crossbar_qor.cpp.o"
+  "CMakeFiles/crossbar_qor.dir/crossbar_qor.cpp.o.d"
+  "crossbar_qor"
+  "crossbar_qor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_qor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

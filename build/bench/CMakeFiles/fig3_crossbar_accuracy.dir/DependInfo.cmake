@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_crossbar_accuracy.cpp" "bench/CMakeFiles/fig3_crossbar_accuracy.dir/fig3_crossbar_accuracy.cpp.o" "gcc" "bench/CMakeFiles/fig3_crossbar_accuracy.dir/fig3_crossbar_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/craft_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/connections/CMakeFiles/craft_connections.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/craft_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/craft_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/craft_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_crossbar_accuracy.dir/fig3_crossbar_accuracy.cpp.o"
+  "CMakeFiles/fig3_crossbar_accuracy.dir/fig3_crossbar_accuracy.cpp.o.d"
+  "fig3_crossbar_accuracy"
+  "fig3_crossbar_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_crossbar_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gals_crossing.dir/gals_crossing.cpp.o"
+  "CMakeFiles/gals_crossing.dir/gals_crossing.cpp.o.d"
+  "gals_crossing"
+  "gals_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gals_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

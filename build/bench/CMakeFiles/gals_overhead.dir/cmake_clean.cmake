@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gals_overhead.dir/gals_overhead.cpp.o"
+  "CMakeFiles/gals_overhead.dir/gals_overhead.cpp.o.d"
+  "gals_overhead"
+  "gals_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gals_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

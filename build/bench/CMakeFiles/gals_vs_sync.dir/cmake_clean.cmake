@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gals_vs_sync.dir/gals_vs_sync.cpp.o"
+  "CMakeFiles/gals_vs_sync.dir/gals_vs_sync.cpp.o.d"
+  "gals_vs_sync"
+  "gals_vs_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gals_vs_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

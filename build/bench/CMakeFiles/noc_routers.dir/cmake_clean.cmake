@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_routers.dir/noc_routers.cpp.o"
+  "CMakeFiles/noc_routers.dir/noc_routers.cpp.o.d"
+  "noc_routers"
+  "noc_routers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_routers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

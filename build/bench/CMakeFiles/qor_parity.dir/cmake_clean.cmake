@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qor_parity.dir/qor_parity.cpp.o"
+  "CMakeFiles/qor_parity.dir/qor_parity.cpp.o.d"
+  "qor_parity"
+  "qor_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qor_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_inventory.dir/soc_inventory.cpp.o"
+  "CMakeFiles/soc_inventory.dir/soc_inventory.cpp.o.d"
+  "soc_inventory"
+  "soc_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stall_coverage.dir/stall_coverage.cpp.o"
+  "CMakeFiles/stall_coverage.dir/stall_coverage.cpp.o.d"
+  "stall_coverage"
+  "stall_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stall_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gals_multiclock.dir/gals_multiclock.cpp.o"
+  "CMakeFiles/gals_multiclock.dir/gals_multiclock.cpp.o.d"
+  "gals_multiclock"
+  "gals_multiclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gals_multiclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_explorer.dir/hls_explorer.cpp.o"
+  "CMakeFiles/hls_explorer.dir/hls_explorer.cpp.o.d"
+  "hls_explorer"
+  "hls_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_accelerator.dir/ml_accelerator.cpp.o"
+  "CMakeFiles/ml_accelerator.dir/ml_accelerator.cpp.o.d"
+  "ml_accelerator"
+  "ml_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

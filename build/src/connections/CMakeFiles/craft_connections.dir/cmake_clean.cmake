@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craft_connections.dir/channel_control.cpp.o"
+  "CMakeFiles/craft_connections.dir/channel_control.cpp.o.d"
+  "libcraft_connections.a"
+  "libcraft_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craft_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

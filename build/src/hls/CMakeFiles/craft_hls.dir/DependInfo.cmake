@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/designs.cpp" "src/hls/CMakeFiles/craft_hls.dir/designs.cpp.o" "gcc" "src/hls/CMakeFiles/craft_hls.dir/designs.cpp.o.d"
+  "/root/repo/src/hls/qor.cpp" "src/hls/CMakeFiles/craft_hls.dir/qor.cpp.o" "gcc" "src/hls/CMakeFiles/craft_hls.dir/qor.cpp.o.d"
+  "/root/repo/src/hls/rtl_emit.cpp" "src/hls/CMakeFiles/craft_hls.dir/rtl_emit.cpp.o" "gcc" "src/hls/CMakeFiles/craft_hls.dir/rtl_emit.cpp.o.d"
+  "/root/repo/src/hls/scheduler.cpp" "src/hls/CMakeFiles/craft_hls.dir/scheduler.cpp.o" "gcc" "src/hls/CMakeFiles/craft_hls.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/craft_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

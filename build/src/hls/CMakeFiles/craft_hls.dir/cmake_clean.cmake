@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craft_hls.dir/designs.cpp.o"
+  "CMakeFiles/craft_hls.dir/designs.cpp.o.d"
+  "CMakeFiles/craft_hls.dir/qor.cpp.o"
+  "CMakeFiles/craft_hls.dir/qor.cpp.o.d"
+  "CMakeFiles/craft_hls.dir/rtl_emit.cpp.o"
+  "CMakeFiles/craft_hls.dir/rtl_emit.cpp.o.d"
+  "CMakeFiles/craft_hls.dir/scheduler.cpp.o"
+  "CMakeFiles/craft_hls.dir/scheduler.cpp.o.d"
+  "libcraft_hls.a"
+  "libcraft_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craft_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/clock.cpp" "src/kernel/CMakeFiles/craft_kernel.dir/clock.cpp.o" "gcc" "src/kernel/CMakeFiles/craft_kernel.dir/clock.cpp.o.d"
+  "/root/repo/src/kernel/fiber.cpp" "src/kernel/CMakeFiles/craft_kernel.dir/fiber.cpp.o" "gcc" "src/kernel/CMakeFiles/craft_kernel.dir/fiber.cpp.o.d"
+  "/root/repo/src/kernel/module.cpp" "src/kernel/CMakeFiles/craft_kernel.dir/module.cpp.o" "gcc" "src/kernel/CMakeFiles/craft_kernel.dir/module.cpp.o.d"
+  "/root/repo/src/kernel/process.cpp" "src/kernel/CMakeFiles/craft_kernel.dir/process.cpp.o" "gcc" "src/kernel/CMakeFiles/craft_kernel.dir/process.cpp.o.d"
+  "/root/repo/src/kernel/simulator.cpp" "src/kernel/CMakeFiles/craft_kernel.dir/simulator.cpp.o" "gcc" "src/kernel/CMakeFiles/craft_kernel.dir/simulator.cpp.o.d"
+  "/root/repo/src/kernel/trace.cpp" "src/kernel/CMakeFiles/craft_kernel.dir/trace.cpp.o" "gcc" "src/kernel/CMakeFiles/craft_kernel.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craft_kernel.dir/clock.cpp.o"
+  "CMakeFiles/craft_kernel.dir/clock.cpp.o.d"
+  "CMakeFiles/craft_kernel.dir/fiber.cpp.o"
+  "CMakeFiles/craft_kernel.dir/fiber.cpp.o.d"
+  "CMakeFiles/craft_kernel.dir/module.cpp.o"
+  "CMakeFiles/craft_kernel.dir/module.cpp.o.d"
+  "CMakeFiles/craft_kernel.dir/process.cpp.o"
+  "CMakeFiles/craft_kernel.dir/process.cpp.o.d"
+  "CMakeFiles/craft_kernel.dir/simulator.cpp.o"
+  "CMakeFiles/craft_kernel.dir/simulator.cpp.o.d"
+  "CMakeFiles/craft_kernel.dir/trace.cpp.o"
+  "CMakeFiles/craft_kernel.dir/trace.cpp.o.d"
+  "libcraft_kernel.a"
+  "libcraft_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craft_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

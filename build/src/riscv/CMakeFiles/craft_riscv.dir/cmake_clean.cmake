@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craft_riscv.dir/cpu.cpp.o"
+  "CMakeFiles/craft_riscv.dir/cpu.cpp.o.d"
+  "libcraft_riscv.a"
+  "libcraft_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craft_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

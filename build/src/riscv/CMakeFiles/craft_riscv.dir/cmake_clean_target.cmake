@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcraft_riscv.a"
+)

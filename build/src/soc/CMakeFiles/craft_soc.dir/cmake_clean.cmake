@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craft_soc.dir/workloads.cpp.o"
+  "CMakeFiles/craft_soc.dir/workloads.cpp.o.d"
+  "libcraft_soc.a"
+  "libcraft_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craft_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

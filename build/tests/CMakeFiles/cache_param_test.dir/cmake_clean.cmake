@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_param_test.dir/cache_param_test.cpp.o"
+  "CMakeFiles/cache_param_test.dir/cache_param_test.cpp.o.d"
+  "cache_param_test"
+  "cache_param_test.pdb"
+  "cache_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connections_test.dir/connections_test.cpp.o"
+  "CMakeFiles/connections_test.dir/connections_test.cpp.o.d"
+  "connections_test"
+  "connections_test.pdb"
+  "connections_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connections_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_edge_test.dir/float_edge_test.cpp.o"
+  "CMakeFiles/float_edge_test.dir/float_edge_test.cpp.o.d"
+  "float_edge_test"
+  "float_edge_test.pdb"
+  "float_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gals_test.dir/gals_test.cpp.o"
+  "CMakeFiles/gals_test.dir/gals_test.cpp.o.d"
+  "gals_test"
+  "gals_test.pdb"
+  "gals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

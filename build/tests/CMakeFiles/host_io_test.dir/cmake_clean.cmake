@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_io_test.dir/host_io_test.cpp.o"
+  "CMakeFiles/host_io_test.dir/host_io_test.cpp.o.d"
+  "host_io_test"
+  "host_io_test.pdb"
+  "host_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

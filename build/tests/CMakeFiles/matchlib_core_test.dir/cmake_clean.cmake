@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matchlib_core_test.dir/matchlib_core_test.cpp.o"
+  "CMakeFiles/matchlib_core_test.dir/matchlib_core_test.cpp.o.d"
+  "matchlib_core_test"
+  "matchlib_core_test.pdb"
+  "matchlib_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matchlib_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

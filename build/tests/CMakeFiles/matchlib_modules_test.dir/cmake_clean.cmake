@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matchlib_modules_test.dir/matchlib_modules_test.cpp.o"
+  "CMakeFiles/matchlib_modules_test.dir/matchlib_modules_test.cpp.o.d"
+  "matchlib_modules_test"
+  "matchlib_modules_test.pdb"
+  "matchlib_modules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matchlib_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retimer_test.dir/retimer_test.cpp.o"
+  "CMakeFiles/retimer_test.dir/retimer_test.cpp.o.d"
+  "retimer_test"
+  "retimer_test.pdb"
+  "retimer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retimer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serdes_param_test.dir/serdes_param_test.cpp.o"
+  "CMakeFiles/serdes_param_test.dir/serdes_param_test.cpp.o.d"
+  "serdes_param_test"
+  "serdes_param_test.pdb"
+  "serdes_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serdes_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/connections_test[1]_include.cmake")
+include("/root/repo/build/tests/matchlib_core_test[1]_include.cmake")
+include("/root/repo/build/tests/matchlib_modules_test[1]_include.cmake")
+include("/root/repo/build/tests/hls_test[1]_include.cmake")
+include("/root/repo/build/tests/gals_test[1]_include.cmake")
+include("/root/repo/build/tests/riscv_test[1]_include.cmake")
+include("/root/repo/build/tests/soc_test[1]_include.cmake")
+include("/root/repo/build/tests/retimer_test[1]_include.cmake")
+include("/root/repo/build/tests/host_io_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_param_test[1]_include.cmake")
+include("/root/repo/build/tests/serdes_param_test[1]_include.cmake")
+include("/root/repo/build/tests/noc_test[1]_include.cmake")
+include("/root/repo/build/tests/float_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
