@@ -14,6 +14,7 @@
 
 #include "gals/gals.hpp"
 #include "kernel/kernel.hpp"
+#include "lint/lint.hpp"
 
 using namespace craft;
 using namespace craft::literals;
@@ -86,6 +87,14 @@ int main() {
     connections::Out<int> src_out;
     connections::In<int> sink_in;
   } tb(top, p_src, p_inv, c01, sink_ch, results);
+
+  // Elaboration done: every port bound, every crossing through a pausible
+  // FIFO — prove it with the design-rule checks before simulating.
+  const auto findings = lint::CheckDesignGraph(sim.design_graph());
+  if (lint::ErrorCount(findings) > 0) {
+    std::fputs(lint::FormatText("gals_multiclock", findings).c_str(), stderr);
+    return 1;
+  }
 
   sim.Run(100_ms);
 

@@ -11,6 +11,21 @@
 
 #include "hls/designs.hpp"
 #include "hls/scheduler.hpp"
+#include "lint/lint.hpp"
+
+namespace {
+
+/// Lints one schedule point; a violation here means the scheduler produced
+/// an illegal design point, so the whole sweep is suspect.
+bool LintPoint(const craft::hls::DataflowGraph& g, const craft::hls::ScheduleResult& r,
+               const craft::hls::ScheduleConstraints& c) {
+  const auto findings = craft::lint::CheckSchedule(g, r, c);
+  if (craft::lint::ErrorCount(findings) == 0) return true;
+  std::fputs(craft::lint::FormatText(g.name(), findings).c_str(), stderr);
+  return false;
+}
+
+}  // namespace
 
 int main() {
   using namespace craft::hls;
@@ -24,7 +39,9 @@ int main() {
   std::printf("%14s %10s %6s %12s %12s %14s\n", "levels/cycle", "latency", "II",
               "logic gates", "reg gates", "total gates");
   for (unsigned budget : {12u, 16u, 24u, 32u, 48u, 96u}) {
-    const ScheduleResult r = Schedule(fir, model, {.levels_per_cycle = budget});
+    const ScheduleConstraints c{.levels_per_cycle = budget};
+    const ScheduleResult r = Schedule(fir, model, c);
+    if (!LintPoint(fir, r, c)) return 1;
     std::printf("%14u %10u %6u %12.0f %12.0f %14.0f\n", budget, r.latency_cycles,
                 r.initiation_interval, r.logic_gates, r.register_gates, r.total_gates());
   }
@@ -32,8 +49,9 @@ int main() {
   std::printf("\n-- multiplier-sharing sweep (48 levels/cycle) --\n");
   std::printf("%12s %10s %6s %14s\n", "multipliers", "latency", "II", "total gates");
   for (unsigned mults : {16u, 8u, 4u, 2u, 1u}) {
-    const ScheduleResult r =
-        Schedule(fir, model, {.levels_per_cycle = 48, .max_multipliers = mults});
+    const ScheduleConstraints c{.levels_per_cycle = 48, .max_multipliers = mults};
+    const ScheduleResult r = Schedule(fir, model, c);
+    if (!LintPoint(fir, r, c)) return 1;
     std::printf("%12u %10u %6u %14.0f\n", mults, r.latency_cycles,
                 r.initiation_interval, r.total_gates());
   }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "kernel/rng.hpp"
+#include "lint/lint.hpp"
 #include "soc/soc.hpp"
 
 using namespace craft;
@@ -33,6 +34,14 @@ int main() {
   cfg.mesh_height = 2;
   cfg.gals = true;
   SocTop soc(sim, cfg);
+
+  // Elaboration done: run the design-rule checks before simulating.
+  const auto findings = lint::CheckDesignGraph(sim.design_graph());
+  if (lint::ErrorCount(findings) > 0) {
+    std::fputs(lint::FormatText("kmeans_clustering", findings).c_str(), stderr);
+    return 1;
+  }
+
   const unsigned num_pes = static_cast<unsigned>(soc.pe_nodes().size());
   const unsigned n_points = num_pes * kPointsPerPe;
 

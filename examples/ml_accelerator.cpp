@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "lint/lint.hpp"
 #include "soc/soc.hpp"
 
 using namespace craft;
@@ -21,6 +22,13 @@ int main() {
   cfg.mesh_height = 2;
   cfg.gals = true;  // per-partition clock generators + pausible FIFO links
   SocTop soc(sim, cfg);
+
+  // Elaboration done: run the design-rule checks before simulating.
+  const auto findings = lint::CheckDesignGraph(sim.design_graph());
+  if (lint::ErrorCount(findings) > 0) {
+    std::fputs(lint::FormatText("ml_accelerator", findings).c_str(), stderr);
+    return 1;
+  }
 
   constexpr unsigned kTileLen = 32;  // outputs per PE
   constexpr unsigned kTaps = 5;

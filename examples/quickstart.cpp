@@ -8,9 +8,11 @@
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <cstdlib>
 
 #include "connections/connections.hpp"
 #include "kernel/kernel.hpp"
+#include "lint/lint.hpp"
 #include "matchlib/mem_msgs.hpp"
 #include "matchlib/scratchpad.hpp"
 
@@ -85,6 +87,13 @@ std::uint64_t RunOnce(double stall_probability) {
   reader.req(rreq);
   reader.resp(rresp);
   reader.start(done_ch);
+
+  // Elaboration done: run the design-rule checks before simulating.
+  const auto findings = lint::CheckDesignGraph(sim.design_graph());
+  if (lint::ErrorCount(findings) > 0) {
+    std::fputs(lint::FormatText("quickstart", findings).c_str(), stderr);
+    std::exit(1);
+  }
 
   // Stall injection: perturb every channel's timing without touching any of
   // the code above.

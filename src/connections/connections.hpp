@@ -41,11 +41,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
+#include <typeinfo>
+#include <utility>
 
 #include "connections/channel_control.hpp"
 #include "kernel/clock.hpp"
+#include "kernel/design_graph.hpp"
 #include "kernel/event.hpp"
 #include "kernel/module.hpp"
 #include "kernel/report.hpp"
@@ -82,6 +86,9 @@ class Channel : public Module, public ChannelControl {
         space_event_(sim()) {
     CRAFT_ASSERT(capacity_ >= 1 || kind_ == ChannelKind::kCombinational,
                  "channel capacity must be >= 1");
+    sim().design_graph().AddChannel(DesignGraph::ChannelNode{
+        full_name(), ToString(kind_), capacity_,
+        /*zero_storage=*/kind_ == ChannelKind::kCombinational, &clk_, clk_.name()});
     if (sim().mode() == SimMode::kSignalAccurate) {
       BuildSignalAccurate();
     } else {
@@ -514,17 +521,50 @@ class Buffer : public Channel<T> {
 };
 
 // ---- Ports (Table 1): unified endpoints usable with any channel kind ----
+//
+// Ports register themselves in the simulator's DesignGraph on construction
+// and record their channel on binding, so elaboration-time design-rule
+// checks (src/lint) can find dangling ports, double drivers, and raw
+// clock-domain crossings without any runtime cost.
 
 /// Input terminal. Bind to any channel, then Pop()/PopNB() from a thread.
 template <typename T>
 class In {
  public:
-  In() = default;
+  In() { RegisterSelf(); }
+  In(const In& o) : ch_(o.ch_), dg_(o.dg_) {
+    if (dg_) dg_->ClonePort(this, &o);
+  }
+  In(In&& o) noexcept : ch_(o.ch_), dg_(o.dg_) {
+    if (dg_) dg_->ClonePort(this, &o);
+  }
+  In& operator=(const In& o) {
+    ch_ = o.ch_;
+    SyncBinding();
+    return *this;
+  }
+  In& operator=(In&& o) noexcept {
+    ch_ = o.ch_;
+    SyncBinding();
+    return *this;
+  }
+  ~In() {
+    if (dg_) dg_->RemovePort(this);
+  }
 
   /// Binds this port to a channel (operator() mirrors SystemC port binding).
-  void operator()(Channel<T>& ch) { ch_ = &ch; }
-  void Bind(Channel<T>& ch) { ch_ = &ch; }
+  void operator()(Channel<T>& ch) { Bind(ch); }
+  void Bind(Channel<T>& ch) {
+    ch_ = &ch;
+    SyncBinding();
+  }
   bool bound() const { return ch_ != nullptr; }
+
+  /// Declares that this port may legitimately stay unbound (e.g. edge ports
+  /// of a mesh router); the dangling-port lint rule then skips it.
+  void MarkOptional() {
+    if (dg_) dg_->MarkPortOptional(this);
+  }
 
   /// Blocking pop: returns the next message, waiting as needed.
   T Pop() {
@@ -544,18 +584,57 @@ class In {
   Channel<T>* channel() const { return ch_; }
 
  private:
+  void RegisterSelf() {
+    if (Simulator* s = Simulator::CurrentOrNull()) {
+      dg_ = s->design_graph_ptr();
+      dg_->RegisterPort(this, /*is_input=*/true,
+                        "In<" + DemangleTypeName(typeid(T).name()) + ">");
+    }
+  }
+  void SyncBinding() {
+    if (dg_) dg_->BindPort(this, ch_ != nullptr ? ch_->full_name() : std::string());
+  }
+
   Channel<T>* ch_ = nullptr;
+  std::shared_ptr<DesignGraph> dg_;
 };
 
 /// Output terminal. Bind to any channel, then Push()/PushNB() from a thread.
 template <typename T>
 class Out {
  public:
-  Out() = default;
+  Out() { RegisterSelf(); }
+  Out(const Out& o) : ch_(o.ch_), dg_(o.dg_) {
+    if (dg_) dg_->ClonePort(this, &o);
+  }
+  Out(Out&& o) noexcept : ch_(o.ch_), dg_(o.dg_) {
+    if (dg_) dg_->ClonePort(this, &o);
+  }
+  Out& operator=(const Out& o) {
+    ch_ = o.ch_;
+    SyncBinding();
+    return *this;
+  }
+  Out& operator=(Out&& o) noexcept {
+    ch_ = o.ch_;
+    SyncBinding();
+    return *this;
+  }
+  ~Out() {
+    if (dg_) dg_->RemovePort(this);
+  }
 
-  void operator()(Channel<T>& ch) { ch_ = &ch; }
-  void Bind(Channel<T>& ch) { ch_ = &ch; }
+  void operator()(Channel<T>& ch) { Bind(ch); }
+  void Bind(Channel<T>& ch) {
+    ch_ = &ch;
+    SyncBinding();
+  }
   bool bound() const { return ch_ != nullptr; }
+
+  /// See In<T>::MarkOptional().
+  void MarkOptional() {
+    if (dg_) dg_->MarkPortOptional(this);
+  }
 
   /// Blocking push.
   void Push(const T& v) {
@@ -572,7 +651,19 @@ class Out {
   Channel<T>* channel() const { return ch_; }
 
  private:
+  void RegisterSelf() {
+    if (Simulator* s = Simulator::CurrentOrNull()) {
+      dg_ = s->design_graph_ptr();
+      dg_->RegisterPort(this, /*is_input=*/false,
+                        "Out<" + DemangleTypeName(typeid(T).name()) + ">");
+    }
+  }
+  void SyncBinding() {
+    if (dg_) dg_->BindPort(this, ch_ != nullptr ? ch_->full_name() : std::string());
+  }
+
   Channel<T>* ch_ = nullptr;
+  std::shared_ptr<DesignGraph> dg_;
 };
 
 }  // namespace craft::connections

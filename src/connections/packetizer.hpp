@@ -73,6 +73,9 @@ class Packetizer : public Module {
   Packetizer(Module& parent, const std::string& name, Clock& clk,
              std::function<std::uint8_t(const T&)> route)
       : Module(parent, name), route_(std::move(route)) {
+    sim().design_graph().AddPacketizer(DesignGraph::PacketizerNode{
+        full_name(), DemangleTypeName(typeid(T).name()), Marshal<T>::kWidth,
+        kFlitBits, /*is_packetizer=*/true});
     Thread("run", clk, [this] { Run(); });
   }
 
@@ -113,6 +116,9 @@ class DePacketizer : public Module {
 
   DePacketizer(Module& parent, const std::string& name, Clock& clk)
       : Module(parent, name) {
+    sim().design_graph().AddPacketizer(DesignGraph::PacketizerNode{
+        full_name(), DemangleTypeName(typeid(T).name()), Marshal<T>::kWidth,
+        kFlitBits, /*is_packetizer=*/false});
     Thread("run", clk, [this] { Run(); });
   }
 

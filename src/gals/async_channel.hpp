@@ -25,6 +25,9 @@ class AsyncChannel : public Module {
         ingress_(*this, "ingress", producer_clk, 2),
         egress_(*this, "egress", consumer_clk, 2),
         fifo_(*this, "cdc", producer_clk, consumer_clk) {
+    // A designated CDC element: the crossing inside is correct by
+    // construction, so the CDC lint rules exempt this subtree.
+    sim().design_graph().MarkCdcSafe(full_name());
     fifo_.in(ingress_);
     fifo_.out(egress_);
   }

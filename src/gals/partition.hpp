@@ -7,6 +7,7 @@
 #include <string>
 
 #include "gals/clock_gen.hpp"
+#include "kernel/design_graph.hpp"
 #include "kernel/module.hpp"
 
 namespace craft::gals {
@@ -15,7 +16,12 @@ class Partition : public Module {
  public:
   Partition(Module& parent, const std::string& name, const ClockGenConfig& cfg)
       : Module(parent, name),
-        clock_gen_(std::make_unique<LocalClockGenerator>(sim(), full_name() + ".clk", cfg)) {}
+        clock_gen_(std::make_unique<LocalClockGenerator>(sim(), full_name() + ".clk", cfg)) {
+    // Tag this subtree as a clock domain so the CDC lint rules can flag raw
+    // (non-AsyncChannel) signals crossing partition boundaries.
+    sim().design_graph().AddDomainScope(full_name(), static_cast<Clock*>(clock_gen_.get()),
+                                        clock_gen_->name());
+  }
 
   /// The partition-local clock every process inside this partition uses.
   Clock& clk() { return *clock_gen_; }

@@ -41,6 +41,8 @@ class PausibleBisyncFifo : public Module {
         pclk_(producer_clk),
         cclk_(consumer_clk),
         sync_delay_(sync_delay == 0 ? DefaultSyncDelay(consumer_clk) : sync_delay) {
+    // The pausible FIFO *is* the legal clock-domain-crossing element.
+    sim().design_graph().MarkCdcSafe(full_name());
     Thread("enq", pclk_, [this] { RunEnqueue(); });
     Thread("deq", cclk_, [this] { RunDequeue(); });
   }

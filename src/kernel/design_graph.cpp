@@ -1,0 +1,116 @@
+#include "kernel/design_graph.hpp"
+
+#include <cxxabi.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace craft {
+
+std::string DemangleTypeName(const char* mangled) {
+  int status = 0;
+  std::unique_ptr<char, void (*)(void*)> demangled(
+      abi::__cxa_demangle(mangled, nullptr, nullptr, &status), std::free);
+  return (status == 0 && demangled) ? std::string(demangled.get())
+                                    : std::string(mangled);
+}
+
+bool PathIsUnder(const std::string& path, const std::string& prefix) {
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '.';
+}
+
+void DesignGraph::AddModule(const std::string& full_name, const std::string& parent) {
+  ModuleNode& m = modules_[full_name];
+  m.name = full_name;
+  m.parent = parent;
+  current_module_ = full_name;
+}
+
+void DesignGraph::AddThreadClock(const std::string& module, const void* clk,
+                                 const std::string& clk_name) {
+  ModuleNode& m = modules_[module];
+  if (m.name.empty()) m.name = module;
+  if (std::find(m.thread_clocks.begin(), m.thread_clocks.end(), clk) ==
+      m.thread_clocks.end()) {
+    m.thread_clocks.push_back(clk);
+    m.thread_clock_names.push_back(clk_name);
+  }
+}
+
+void DesignGraph::AddChannel(const ChannelNode& ch) { channels_[ch.name] = ch; }
+
+void DesignGraph::AddDomainScope(const std::string& path, const void* clk,
+                                 const std::string& clk_name) {
+  scopes_.push_back(DomainScope{path, clk, clk_name});
+}
+
+void DesignGraph::MarkCdcSafe(const std::string& path) { cdc_safe_.push_back(path); }
+
+void DesignGraph::AddPacketizer(const PacketizerNode& p) { packetizers_.push_back(p); }
+
+void DesignGraph::RegisterPort(const void* key, bool is_input, std::string type) {
+  PortNode& p = ports_[key];
+  p.id = next_port_id_++;
+  p.owner = current_module_;
+  p.type = std::move(type);
+  p.is_input = is_input;
+  p.optional_ok = false;
+  p.channel.clear();
+}
+
+void DesignGraph::ClonePort(const void* key, const void* from) {
+  auto it = ports_.find(from);
+  if (it == ports_.end()) {
+    // Source was never registered (constructed without a simulator): fall
+    // back to a fresh registration under the current module.
+    RegisterPort(key, false, "?");
+    return;
+  }
+  PortNode copy = it->second;  // copy first: insertion may invalidate `it`
+  copy.id = next_port_id_++;
+  ports_[key] = std::move(copy);
+}
+
+void DesignGraph::RemovePort(const void* key) { ports_.erase(key); }
+
+void DesignGraph::BindPort(const void* key, const std::string& channel_name) {
+  auto it = ports_.find(key);
+  if (it != ports_.end()) it->second.channel = channel_name;
+}
+
+void DesignGraph::MarkPortOptional(const void* key) {
+  auto it = ports_.find(key);
+  if (it != ports_.end()) it->second.optional_ok = true;
+}
+
+std::vector<DesignGraph::PortNode> DesignGraph::ports() const {
+  std::vector<PortNode> out;
+  out.reserve(ports_.size());
+  for (const auto& [key, p] : ports_) out.push_back(p);
+  std::sort(out.begin(), out.end(),
+            [](const PortNode& a, const PortNode& b) { return a.id < b.id; });
+  return out;
+}
+
+const DesignGraph::DomainScope* DesignGraph::ScopeOf(const std::string& path) const {
+  const DomainScope* best = nullptr;
+  for (const DomainScope& s : scopes_) {
+    if (PathIsUnder(path, s.path) &&
+        (best == nullptr || s.path.size() > best->path.size())) {
+      best = &s;
+    }
+  }
+  return best;
+}
+
+bool DesignGraph::IsCdcSafe(const std::string& path) const {
+  for (const std::string& p : cdc_safe_) {
+    if (PathIsUnder(path, p)) return true;
+  }
+  return false;
+}
+
+}  // namespace craft

@@ -2,6 +2,24 @@
 
 #include "kernel/report.hpp"
 
+// AddressSanitizer needs to be told about every stack switch: it shadows
+// each call stack with a "fake stack", and a swapcontext it does not know
+// about leaves it validating fiber frames against the main stack's shadow
+// (false positives, or worse, silently unpoisoned memory). The protocol is
+// __sanitizer_start_switch_fiber immediately before the switch and
+// __sanitizer_finish_switch_fiber as the first action on the new stack.
+#if defined(__SANITIZE_ADDRESS__)
+#define CRAFT_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CRAFT_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(CRAFT_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace craft {
 
 namespace {
@@ -14,24 +32,46 @@ Fiber::Fiber(Fn body, std::size_t stack_bytes)
 }
 
 Fiber::~Fiber() {
-  // Fibers must run to completion before destruction; the simulator keeps
-  // processes alive for the lifetime of the simulation, so a live stack here
-  // indicates the simulation ended with the process suspended — that is fine,
-  // we simply abandon the stack (no unwinding across ucontext).
+  // A simulation routinely ends with processes suspended mid-Pop/Push. Their
+  // stacks still hold live locals (buffers, RAII guards); abandoning them
+  // leaks. Resume one last time in cancel mode: Suspend() turns into a
+  // FiberUnwind throw, the stack unwinds through the body, and Trampoline
+  // finishes normally. Module/channel objects may already be gone at this
+  // point — unwinding only runs destructors of the fiber's own locals.
+  if (started_ && !done_) {
+    cancelling_ = true;
+    resume();
+    CRAFT_ASSERT(done_, "fiber survived cancellation — a catch-all in the "
+                        "body must rethrow FiberUnwind");
+  }
 }
 
 Fiber* Fiber::Current() { return tl_current_fiber; }
 
 void Fiber::Trampoline() {
   Fiber* self = tl_current_fiber;
+#if defined(CRAFT_ASAN_FIBERS)
+  // First arrival on this fiber's stack: no fake stack to restore yet, but
+  // record where we came from (the main context's bounds) for the way back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_main_bottom_,
+                                  &self->asan_main_size_);
+#endif
   try {
     self->body_();
+  } catch (const FiberUnwind&) {
+    // Cancelled by ~Fiber: the stack has unwound; nothing to rethrow.
   } catch (...) {
     self->pending_exception_ = std::current_exception();
   }
   self->done_ = true;
   // Return to the resume() call. swapcontext (not uc_link) keeps the flow
   // explicit and lets resume() observe done_.
+#if defined(CRAFT_ASAN_FIBERS)
+  // Final exit: null fake-stack-save tells ASan to destroy this fiber's
+  // fake stack instead of preserving it for a return that never comes.
+  __sanitizer_start_switch_fiber(nullptr, self->asan_main_bottom_,
+                                 self->asan_main_size_);
+#endif
   swapcontext(&self->ctx_, &self->link_);
 }
 
@@ -44,10 +84,17 @@ void Fiber::resume() {
     ctx_.uc_stack.ss_sp = stack_.data();
     ctx_.uc_stack.ss_size = stack_.size();
     ctx_.uc_link = nullptr;
-    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 0);
+    makecontext(&ctx_, &Fiber::Trampoline, 0);
   }
   tl_current_fiber = this;
+#if defined(CRAFT_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&asan_main_fss_, stack_.data(), stack_.size());
+#endif
   swapcontext(&link_, &ctx_);
+#if defined(CRAFT_ASAN_FIBERS)
+  // Back on the main stack, arriving from Suspend() or the Trampoline exit.
+  __sanitizer_finish_switch_fiber(asan_main_fss_, nullptr, nullptr);
+#endif
   tl_current_fiber = nullptr;
   if (pending_exception_) {
     std::exception_ptr e = pending_exception_;
@@ -60,8 +107,19 @@ void Fiber::Suspend() {
   Fiber* self = tl_current_fiber;
   CRAFT_ASSERT(self != nullptr, "Suspend() called outside any fiber");
   tl_current_fiber = nullptr;
+#if defined(CRAFT_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&self->asan_fiber_fss_, self->asan_main_bottom_,
+                                 self->asan_main_size_);
+#endif
   swapcontext(&self->ctx_, &self->link_);
+#if defined(CRAFT_ASAN_FIBERS)
+  // Resumed: restore this fiber's fake stack and refresh the main-context
+  // bounds (resume() may be called from a different frame each time).
+  __sanitizer_finish_switch_fiber(self->asan_fiber_fss_, &self->asan_main_bottom_,
+                                  &self->asan_main_size_);
+#endif
   tl_current_fiber = self;
+  if (self->cancelling_) throw FiberUnwind{};
 }
 
 }  // namespace craft

@@ -17,9 +17,16 @@
 
 namespace craft {
 
+/// Thrown through a suspended fiber's stack by ~Fiber so locals unwind and
+/// destruct. Fiber bodies must let it propagate (rethrow it if it hits a
+/// catch-all), like SystemC's sc_unwind_exception.
+struct FiberUnwind {};
+
 /// A suspendable call stack. resume() runs the fiber until it calls
 /// Suspend() or its body returns; exceptions thrown inside the body are
-/// captured and rethrown from resume() on the caller's stack.
+/// captured and rethrown from resume() on the caller's stack. Destroying a
+/// suspended fiber unwinds its stack (FiberUnwind) so RAII state on it is
+/// released.
 class Fiber {
  public:
   using Fn = std::function<void()>;
@@ -54,7 +61,17 @@ class Fiber {
   Fn body_;
   bool started_ = false;
   bool done_ = false;
+  bool cancelling_ = false;
   std::exception_ptr pending_exception_;
+
+  // AddressSanitizer fiber-switch bookkeeping (see fiber.cpp; unused and
+  // harmless in non-sanitized builds). ASan tracks a fake stack per call
+  // stack — every swapcontext must be bracketed by
+  // __sanitizer_{start,finish}_switch_fiber or ASan poisons the wrong stack.
+  void* asan_main_fss_ = nullptr;        ///< main context's fake stack, saved on entry
+  void* asan_fiber_fss_ = nullptr;       ///< fiber's fake stack, saved on suspend
+  const void* asan_main_bottom_ = nullptr;  ///< main stack bounds, learned on
+  std::size_t asan_main_size_ = 0;          ///< first switch into the fiber
 };
 
 }  // namespace craft

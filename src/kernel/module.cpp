@@ -1,20 +1,26 @@
 #include "kernel/module.hpp"
 
 #include "kernel/clock.hpp"
+#include "kernel/design_graph.hpp"
 
 namespace craft {
 
 Module::Module(Simulator& sim, std::string name)
-    : sim_(sim), parent_(nullptr), name_(std::move(name)), full_name_(name_) {}
+    : sim_(sim), parent_(nullptr), name_(std::move(name)), full_name_(name_) {
+  sim_.design_graph().AddModule(full_name_, "");
+}
 
 Module::Module(Module& parent, std::string name)
     : sim_(parent.sim()),
       parent_(&parent),
       name_(std::move(name)),
-      full_name_(parent.full_name() + "." + name_) {}
+      full_name_(parent.full_name() + "." + name_) {
+  sim_.design_graph().AddModule(full_name_, parent.full_name());
+}
 
 ThreadProcess& Module::Thread(const std::string& name, Clock& clk,
                               std::function<void()> body) {
+  sim_.design_graph().AddThreadClock(full_name_, &clk, clk.name());
   auto p = std::make_unique<ThreadProcess>(sim_, full_name_ + "." + name, clk,
                                            std::move(body));
   return static_cast<ThreadProcess&>(sim_.AdoptProcess(std::move(p)));

@@ -1,5 +1,6 @@
 #include "kernel/simulator.hpp"
 
+#include "kernel/design_graph.hpp"
 #include "kernel/process.hpp"
 
 namespace craft {
@@ -8,7 +9,7 @@ namespace {
 Simulator* g_current = nullptr;
 }  // namespace
 
-Simulator::Simulator() {
+Simulator::Simulator() : design_graph_(std::make_shared<DesignGraph>()) {
   CRAFT_ASSERT(g_current == nullptr, "only one Simulator may exist at a time");
   g_current = this;
 }
@@ -19,6 +20,8 @@ Simulator& Simulator::Current() {
   CRAFT_ASSERT(g_current != nullptr, "no Simulator installed");
   return *g_current;
 }
+
+Simulator* Simulator::CurrentOrNull() { return g_current; }
 
 void Simulator::ScheduleAt(Time t, std::function<void()> fn) {
   CRAFT_ASSERT(t >= now_, "cannot schedule in the past");

@@ -19,6 +19,7 @@ namespace craft {
 
 class ProcessBase;
 class Clock;
+class DesignGraph;
 
 /// Global simulation mode, selecting which implementation Connections
 /// channels instantiate (paper §2.3):
@@ -50,6 +51,21 @@ class Simulator {
 
   /// The currently installed simulator. Errors if none exists.
   static Simulator& Current();
+
+  /// The currently installed simulator, or nullptr.
+  static Simulator* CurrentOrNull();
+
+  /// The elaboration-time design-graph registry (module tree, port/channel
+  /// bindings, clock-domain tags). Populated passively as the design
+  /// elaborates; consumed by static analysis passes (src/lint).
+  DesignGraph& design_graph() { return *design_graph_; }
+  const DesignGraph& design_graph() const { return *design_graph_; }
+
+  /// Shared handle for components that may outlive the Simulator (ports
+  /// deregister themselves through this on destruction).
+  const std::shared_ptr<DesignGraph>& design_graph_ptr() const {
+    return design_graph_;
+  }
 
   Time now() const { return now_; }
   std::uint64_t delta_count() const { return delta_count_; }
@@ -115,6 +131,7 @@ class Simulator {
   bool started_ = false;
   SimMode mode_ = SimMode::kSimAccurate;
   Rng rng_;
+  std::shared_ptr<DesignGraph> design_graph_;
 
   std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<TimedEntry>> timed_;
   std::vector<ProcessBase*> runnable_;

@@ -1,0 +1,202 @@
+// craft_lint: elaborate the repo's reference designs and run the full
+// design-rule suite over each one — the "run after elaboration, before
+// simulation" step of the flow. Exits non-zero iff any design has
+// error-severity findings, so it can gate CI.
+//
+// Usage:
+//   craft_lint [--json[=FILE]] [--suppress RULE[@PATH-GLOB]]... [--quiet]
+//
+//   --json            print the machine-readable report to stdout
+//   --json=FILE       ... or write it to FILE
+//   --suppress SPEC   drop findings matching "rule@path-glob" (glob: * ?)
+//   --quiet           suppress per-design text blocks for clean designs
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gals/gals.hpp"
+#include "hls/designs.hpp"
+#include "hls/scheduler.hpp"
+#include "kernel/kernel.hpp"
+#include "lint/lint.hpp"
+#include "soc/soc.hpp"
+
+namespace {
+
+using namespace craft;
+using lint::Finding;
+using lint::LintOptions;
+
+using Report = std::pair<std::string, std::vector<Finding>>;
+
+/// Elaborates one SocTop configuration and lints its design graph. The
+/// simulator is never Run(): lint is purely an elaboration-time pass.
+Report LintSoc(const std::string& label, const soc::SocConfig& cfg,
+               const LintOptions& opts) {
+  Simulator sim;
+  soc::SocTop soc(sim, cfg);
+  return {label, lint::CheckDesignGraph(sim.design_graph(), opts)};
+}
+
+/// The fine-grained GALS pipeline of examples/gals_multiclock: four
+/// partitions, three pausible crossings, fully bound endpoints.
+Report LintGalsPipeline(const LintOptions& opts) {
+  Simulator sim;
+  Module top(sim, "pipe");
+  gals::Partition p0(top, "src", {.nominal_period = 1000, .seed = 1});
+  gals::Partition p1(top, "mid", {.nominal_period = 1300, .seed = 2});
+  gals::Partition p2(top, "snk", {.nominal_period = 800, .seed = 3});
+
+  gals::AsyncChannel<int> c01(top, "c01", p0.clk(), p1.clk());
+  gals::AsyncChannel<int> c12(top, "c12", p1.clk(), p2.clk());
+
+  struct Stage : Module {
+    connections::In<int> in;
+    connections::Out<int> out;
+    Stage(Module& parent, Clock& clk) : Module(parent, "stage") {
+      Thread("run", clk, [this] {
+        for (;;) out.Push(in.Pop() + 1);
+      });
+    }
+  };
+  struct Source : Module {
+    connections::Out<int> out;
+    Source(Module& parent, Clock& clk) : Module(parent, "feed") {
+      Thread("run", clk, [this] { out.Push(0); });
+    }
+  };
+  struct Sink : Module {
+    connections::In<int> in;
+    Sink(Module& parent, Clock& clk) : Module(parent, "drain") {
+      Thread("run", clk, [this] { (void)in.Pop(); });
+    }
+  };
+
+  Source feed(p0, p0.clk());
+  feed.out(c01.producer_end());
+  Stage mid(p1, p1.clk());
+  mid.in(c01.consumer_end());
+  mid.out(c12.producer_end());
+  Sink drain(p2, p2.clk());
+  drain.in(c12.consumer_end());
+
+  return {"gals_pipeline", lint::CheckDesignGraph(sim.design_graph(), opts)};
+}
+
+/// Schedules one HLS design under `c` and lints the result.
+Report LintHls(hls::DataflowGraph g, const hls::ScheduleConstraints& c,
+               const LintOptions& opts) {
+  const hls::AreaModel model;
+  const hls::ScheduleResult r = hls::Schedule(g, model, c);
+  return {"hls:" + g.name(), lint::ApplyOptions(lint::CheckSchedule(g, r, c), opts)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions opts;
+  bool json = false;
+  bool quiet = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--suppress" && i + 1 < argc) {
+      opts.suppressions.push_back(lint::ParseSuppression(argv[++i]));
+    } else if (arg.rfind("--suppress=", 0) == 0) {
+      opts.suppressions.push_back(
+          lint::ParseSuppression(arg.substr(std::strlen("--suppress="))));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: craft_lint [--json[=FILE]] [--suppress RULE[@GLOB]]... "
+                   "[--quiet]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Report> reports;
+
+  // The prototype SoC in its shipped configurations (paper Fig. 5).
+  {
+    soc::SocConfig cfg;  // 2x2 GALS mesh: ctrl + gm + 2 PEs
+    reports.push_back(LintSoc("soc_gals_2x2", cfg, opts));
+  }
+  {
+    soc::SocConfig cfg;
+    cfg.gals = false;
+    reports.push_back(LintSoc("soc_sync_2x2", cfg, opts));
+  }
+  {
+    soc::SocConfig cfg;
+    cfg.with_io = true;
+    reports.push_back(LintSoc("soc_gals_io_2x2", cfg, opts));
+  }
+  {
+    soc::SocConfig cfg;
+    cfg.mesh_width = 3;
+    cfg.mesh_height = 3;
+    reports.push_back(LintSoc("soc_gals_3x3", cfg, opts));
+  }
+  reports.push_back(LintGalsPipeline(opts));
+
+  // Every HLS reference design, scheduled under representative constraints.
+  {
+    const hls::ScheduleConstraints free_c;
+    hls::ScheduleConstraints shared_c;
+    shared_c.max_multipliers = 2;
+    shared_c.max_adders = 4;
+    reports.push_back(LintHls(hls::BuildDstLoopCrossbar(8, 32), free_c, opts));
+    reports.push_back(LintHls(hls::BuildSrcLoopCrossbar(8, 32), free_c, opts));
+    reports.push_back(LintHls(hls::BuildAdder(32), free_c, opts));
+    reports.push_back(LintHls(hls::BuildMac(16), shared_c, opts));
+    reports.push_back(LintHls(hls::BuildFir(8, 16), shared_c, opts));
+    reports.push_back(LintHls(hls::BuildDotProduct(8, 16), shared_c, opts));
+    reports.push_back(LintHls(hls::BuildAlu(32), free_c, opts));
+    reports.push_back(LintHls(hls::BuildOneHotEncoder(16), free_c, opts));
+    reports.push_back(LintHls(hls::BuildRoundRobinArbiter(8), free_c, opts));
+    reports.push_back(LintHls(hls::BuildReductionTree(16, 16), shared_c, opts));
+    reports.push_back(LintHls(hls::BuildVectorScale(8, 16), shared_c, opts));
+    reports.push_back(LintHls(hls::BuildFpMulUnit(11), free_c, opts));
+  }
+
+  // With --json to stdout, the JSON document must be the only thing there;
+  // the human-readable report moves to stderr.
+  std::FILE* text_out = (json && json_path.empty()) ? stderr : stdout;
+  int errors = 0;
+  int warnings = 0;
+  for (const auto& [design, findings] : reports) {
+    errors += lint::ErrorCount(findings);
+    for (const Finding& f : findings) {
+      if (f.severity == lint::Severity::kWarning) ++warnings;
+    }
+    if (!quiet || !findings.empty()) {
+      std::fputs(lint::FormatText(design, findings).c_str(), text_out);
+    }
+  }
+  std::fprintf(text_out, "craft_lint: %zu designs, %d errors, %d warnings\n",
+               reports.size(), errors, warnings);
+
+  if (json) {
+    const std::string doc = lint::FormatJson(reports);
+    if (json_path.empty()) {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "craft_lint: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      out << doc;
+    }
+  }
+  return errors > 0 ? 1 : 0;
+}

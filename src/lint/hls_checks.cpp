@@ -1,0 +1,136 @@
+// HLS IR / schedule legality: validates a ScheduleResult against the
+// dataflow graph it was produced from and the constraints it was produced
+// under. Guards both the scheduler itself (a regression here is a silent
+// QoR lie) and hand-constructed schedules (design-space exploration tools
+// that patch cycle assignments).
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "hls/ir.hpp"
+#include "hls/scheduler.hpp"
+#include "lint/lint.hpp"
+
+namespace craft::lint {
+
+namespace {
+
+std::string OpPath(const hls::DataflowGraph& g, std::size_t i) {
+  const hls::Op& op = g.ops()[i];
+  std::string p = g.name() + ".op" + std::to_string(i);
+  if (!op.label.empty()) p += "(" + op.label + ")";
+  return p;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckSchedule(const hls::DataflowGraph& g,
+                                   const hls::ScheduleResult& r,
+                                   const hls::ScheduleConstraints& c) {
+  std::vector<Finding> out;
+  const auto& ops = g.ops();
+
+  if (r.cycle_of.size() != ops.size()) {
+    out.push_back(Finding{
+        "hls-malformed", Severity::kError, g.name(),
+        "schedule has " + std::to_string(r.cycle_of.size()) +
+            " cycle assignments for " + std::to_string(ops.size()) + " ops"});
+    return out;
+  }
+
+  // Dependency order: a value must be produced no later than it is consumed
+  // (equal cycles = operator chaining, which is legal).
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (r.cycle_of[i] < 0) {
+      out.push_back(Finding{"hls-malformed", Severity::kError, OpPath(g, i),
+                            "op scheduled at negative cycle " +
+                                std::to_string(r.cycle_of[i])});
+      continue;
+    }
+    for (int d : ops[i].deps) {
+      if (r.cycle_of[static_cast<std::size_t>(d)] > r.cycle_of[i]) {
+        out.push_back(Finding{
+            "hls-dep-order", Severity::kError, OpPath(g, i),
+            "op scheduled at cycle " + std::to_string(r.cycle_of[i]) +
+                " but consumes " + OpPath(g, static_cast<std::size_t>(d)) +
+                " produced later, at cycle " +
+                std::to_string(r.cycle_of[static_cast<std::size_t>(d)])});
+      }
+    }
+  }
+
+  // Per-cycle resource limits (kSub shares the adder pool, as in the
+  // scheduler) and the initiation-interval lower bound they imply.
+  std::map<std::pair<int, hls::OpKind>, unsigned> use;
+  std::map<hls::OpKind, unsigned> total_use;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    hls::OpKind k = ops[i].kind;
+    if (k == hls::OpKind::kSub) k = hls::OpKind::kAdd;
+    if (k != hls::OpKind::kMul && k != hls::OpKind::kAdd) continue;
+    const unsigned limit =
+        (k == hls::OpKind::kMul) ? c.max_multipliers : c.max_adders;
+    if (limit == 0) continue;
+    ++use[{r.cycle_of[i], k}];
+    ++total_use[k];
+  }
+  for (const auto& [key, n] : use) {
+    const auto [cycle, kind] = key;
+    const unsigned limit =
+        (kind == hls::OpKind::kMul) ? c.max_multipliers : c.max_adders;
+    if (n > limit) {
+      out.push_back(Finding{
+          "hls-resource-over", Severity::kError,
+          g.name() + ".cycle" + std::to_string(cycle),
+          std::string(hls::ToString(kind)) + " ops in cycle " +
+              std::to_string(cycle) + ": " + std::to_string(n) +
+              " scheduled but only " + std::to_string(limit) + " units exist"});
+    }
+  }
+  unsigned ii_min = 1;
+  for (const auto& [kind, total] : total_use) {
+    const unsigned limit =
+        (kind == hls::OpKind::kMul) ? c.max_multipliers : c.max_adders;
+    if (limit > 0) ii_min = std::max(ii_min, (total + limit - 1) / limit);
+  }
+  if (r.initiation_interval < ii_min) {
+    out.push_back(Finding{
+        "hls-ii-undersized", Severity::kError, g.name(),
+        "initiation interval " + std::to_string(r.initiation_interval) +
+            " is below the resource-sharing lower bound " +
+            std::to_string(ii_min) +
+            "; back-to-back inputs would contend for shared units"});
+  }
+
+  // Unreachable ops: logic with no path to any output is dead hardware the
+  // area/QoR numbers silently charge for. Inputs and constants are exempt
+  // (an unused input port is a separate, interface-level concern).
+  std::vector<char> live(ops.size(), 0);
+  bool any_output = false;
+  for (std::size_t i = ops.size(); i-- > 0;) {
+    const hls::Op& op = ops[i];
+    if (op.kind == hls::OpKind::kOutput) {
+      live[i] = 1;
+      any_output = true;
+    }
+    if (live[i] != 0) {
+      for (int d : op.deps) live[static_cast<std::size_t>(d)] = 1;
+    }
+  }
+  if (any_output) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const hls::OpKind k = ops[i].kind;
+      if (live[i] != 0 || k == hls::OpKind::kInput || k == hls::OpKind::kConst ||
+          k == hls::OpKind::kOutput) {
+        continue;
+      }
+      out.push_back(Finding{"hls-unreachable-op", Severity::kWarning, OpPath(g, i),
+                            std::string(hls::ToString(k)) +
+                                " op has no path to any output — dead logic "
+                                "inflating area and schedule length"});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace craft::lint

@@ -1,0 +1,110 @@
+// Report rendering: a human-readable text block per design and a single
+// machine-readable JSON document over all linted designs.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace craft::lint {
+
+const char* ToString(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+int CountAt(const std::vector<Finding>& fs, Severity s) {
+  int n = 0;
+  for (const Finding& f : fs) {
+    if (f.severity == s) ++n;
+  }
+  return n;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int ErrorCount(const std::vector<Finding>& findings) {
+  return CountAt(findings, Severity::kError);
+}
+
+std::string FormatText(const std::string& design,
+                       const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  const int errors = CountAt(findings, Severity::kError);
+  const int warnings = CountAt(findings, Severity::kWarning);
+  os << "== lint: " << design << " ==\n";
+  if (findings.empty()) {
+    os << "  clean (0 findings)\n";
+    return os.str();
+  }
+  for (const Finding& f : findings) {
+    os << "  [" << ToString(f.severity) << "] " << f.rule << " " << f.path
+       << "\n      " << f.message << "\n";
+  }
+  os << "  " << findings.size() << " finding" << (findings.size() == 1 ? "" : "s")
+     << " (" << errors << " error" << (errors == 1 ? "" : "s") << ", "
+     << warnings << " warning" << (warnings == 1 ? "" : "s") << ")\n";
+  return os.str();
+}
+
+std::string FormatJson(
+    const std::vector<std::pair<std::string, std::vector<Finding>>>& reports) {
+  int errors = 0;
+  int warnings = 0;
+  std::ostringstream os;
+  os << "{\n  \"designs\": [";
+  bool first_design = true;
+  for (const auto& [design, findings] : reports) {
+    errors += CountAt(findings, Severity::kError);
+    warnings += CountAt(findings, Severity::kWarning);
+    os << (first_design ? "" : ",") << "\n    {\"name\": \""
+       << JsonEscape(design) << "\", \"findings\": [";
+    first_design = false;
+    bool first_finding = true;
+    for (const Finding& f : findings) {
+      os << (first_finding ? "" : ",") << "\n      {\"rule\": \""
+         << JsonEscape(f.rule) << "\", \"severity\": \"" << ToString(f.severity)
+         << "\", \"path\": \"" << JsonEscape(f.path) << "\", \"message\": \""
+         << JsonEscape(f.message) << "\"}";
+      first_finding = false;
+    }
+    os << (first_finding ? "" : "\n    ") << "]}";
+  }
+  os << (first_design ? "" : "\n  ") << "],\n";
+  os << "  \"errors\": " << errors << ",\n";
+  os << "  \"warnings\": " << warnings << "\n}\n";
+  return os.str();
+}
+
+}  // namespace craft::lint

@@ -50,6 +50,12 @@ class SFRouter : public Module {
   SFRouter(Module& parent, const std::string& name, Clock& clk, RouteFn route,
            unsigned max_buffered_packets = 2)
       : Module(parent, name), route_(std::move(route)), max_pkts_(max_buffered_packets) {
+    // Routers tolerate unconnected ports by design (mesh edges); the run
+    // loop guards every access with bound().
+    for (unsigned p = 0; p < kPorts; ++p) {
+      in[p].MarkOptional();
+      out[p].MarkOptional();
+    }
     for (unsigned o = 0; o < kPorts; ++o) arbiters_.emplace_back(kPorts);
     Thread("run", clk, [this] { Run(); });
   }
@@ -144,6 +150,13 @@ class WHVCRouter : public Module {
 
   WHVCRouter(Module& parent, const std::string& name, Clock& clk, RouteFn route)
       : Module(parent, name), route_(std::move(route)) {
+    // Mesh-edge ports legitimately stay unbound; the run loop checks bound().
+    for (unsigned p = 0; p < kPorts; ++p) {
+      for (unsigned v = 0; v < kVCs; ++v) {
+        in[p][v].MarkOptional();
+        out[p][v].MarkOptional();
+      }
+    }
     for (unsigned o = 0; o < kPorts; ++o) arbiters_.emplace_back(kPorts * kVCs);
     Thread("run", clk, [this] { Run(); });
   }

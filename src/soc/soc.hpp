@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gals/clock_gen.hpp"
+#include "kernel/design_graph.hpp"
 #include "soc/controller.hpp"
 #include "soc/global_memory.hpp"
 #include "soc/host_io.hpp"
@@ -97,6 +98,21 @@ class SocTop : public Module {
         rtl_load_.push_back(std::make_unique<RtlActivityEmulator>(
             *this, "rtl_load" + std::to_string(i), *clocks_[i],
             cfg.rtl_signals_per_node));
+      }
+    }
+
+    // Tag each node's subtree with its clock domain so the CDC lint rules
+    // can prove every cross-domain link goes through a pausible crossing.
+    if (cfg.gals) {
+      DesignGraph& dg = sim.design_graph();
+      dg.AddDomainScope(controller_->full_name(), clocks_[kControllerNode],
+                        clocks_[kControllerNode]->name());
+      dg.AddDomainScope(gm_->full_name(), clocks_[kGlobalMemoryNode],
+                        clocks_[kGlobalMemoryNode]->name());
+      if (io_) dg.AddDomainScope(io_->full_name(), clocks_[kIoNode], clocks_[kIoNode]->name());
+      for (std::size_t i = 0; i < pes_.size(); ++i) {
+        Clock* c = clocks_[pe_nodes_[i]];
+        dg.AddDomainScope(pes_[i]->full_name(), c, c->name());
       }
     }
   }

@@ -22,7 +22,6 @@ float ValB(unsigned k, unsigned i) {
 }
 
 std::uint64_t W(float f) { return Float32::FromFloat(f).bits(); }
-Float32 F(std::uint64_t w) { return F32FromWord(w); }
 
 // ---- command-table helpers ----
 

@@ -60,8 +60,10 @@ class CacheSweepTest : public ::testing::TestWithParam<CacheParams> {
       });
     }
     Clock clk;
-    Buffer<MemReq> cpu_req, mem_req;
-    Buffer<MemResp> cpu_resp, mem_resp;
+    Buffer<MemReq> cpu_req;
+    Buffer<MemResp> cpu_resp;
+    Buffer<MemReq> mem_req;
+    Buffer<MemResp> mem_resp;
     MemArray<std::uint64_t> backing;
     Cache cache;
   };

@@ -1,0 +1,464 @@
+// Tests for craft-lint: every design rule gets a seeded-violation fixture
+// (the rule must fire, with the right rule id and hierarchical path) and the
+// shipped SoC gets a negative test (zero findings). Also covers the
+// suppression/severity machinery and the JSON report shape.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "connections/connections.hpp"
+#include "connections/packetizer.hpp"
+#include "gals/gals.hpp"
+#include "hls/designs.hpp"
+#include "hls/scheduler.hpp"
+#include "kernel/kernel.hpp"
+#include "lint/lint.hpp"
+#include "soc/soc.hpp"
+
+namespace craft::lint {
+namespace {
+
+using connections::Buffer;
+using connections::Combinational;
+using connections::In;
+using connections::Out;
+
+/// Returns the findings with the given rule id.
+std::vector<Finding> WithRule(const std::vector<Finding>& fs, const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : fs) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+// ---------------- fixture: dangling port ----------------
+
+struct HalfWired : Module {
+  In<int> in;    // bound
+  Out<int> out;  // dangling (seeded violation)
+  HalfWired(Module& parent, const std::string& name) : Module(parent, name) {}
+};
+
+TEST(LintPorts, DanglingPortDetectedWithPath) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk);
+  HalfWired blk(top, "blk");
+  blk.in(ch);
+
+  const auto findings = WithRule(CheckDesignGraph(sim.design_graph()), "unbound-port");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "top.blk");
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_NE(findings[0].message.find("Out<int>"), std::string::npos);
+}
+
+TEST(LintPorts, MarkOptionalSuppressesDanglingPort) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk);
+  HalfWired blk(top, "blk");
+  blk.in(ch);
+  blk.out.MarkOptional();  // e.g. a mesh-edge router port
+
+  EXPECT_TRUE(WithRule(CheckDesignGraph(sim.design_graph()), "unbound-port").empty());
+}
+
+TEST(LintPorts, PortsInsideVectorSurviveReallocation) {
+  // Port registration is keyed by object address; vector growth moves the
+  // elements and must not leave stale "dangling" registrations behind.
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk);
+  std::vector<In<int>> ins;
+  for (int i = 0; i < 16; ++i) {
+    ins.emplace_back();
+    ins.back()(ch);  // bind each as it is created, across reallocations
+  }
+  EXPECT_TRUE(WithRule(CheckDesignGraph(sim.design_graph()), "unbound-port").empty());
+}
+
+// ---------------- fixture: double driver ----------------
+
+struct Driver : Module {
+  Out<int> out;
+  Driver(Module& parent, const std::string& name) : Module(parent, name) {}
+};
+struct Receiver : Module {
+  In<int> in;
+  Receiver(Module& parent, const std::string& name) : Module(parent, name) {}
+};
+
+TEST(LintDrivers, DoubleDriverDetectedOnChannelPath) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk);
+  Driver a(top, "a"), b(top, "b");  // seeded violation: two drivers
+  Receiver r(top, "r");
+  a.out(ch);
+  b.out(ch);
+  r.in(ch);
+
+  const auto findings = WithRule(CheckDesignGraph(sim.design_graph()), "multi-driver");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "top.ch");
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_NE(findings[0].message.find("top.a"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("top.b"), std::string::npos);
+}
+
+TEST(LintDrivers, DoubleConsumerIsWarningOnly) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk);
+  Driver d(top, "d");
+  Receiver a(top, "a"), b(top, "b");
+  d.out(ch);
+  a.in(ch);
+  b.in(ch);
+
+  const auto findings = CheckDesignGraph(sim.design_graph());
+  ASSERT_EQ(WithRule(findings, "multi-consumer").size(), 1u);
+  EXPECT_EQ(WithRule(findings, "multi-consumer")[0].severity, Severity::kWarning);
+  EXPECT_EQ(ErrorCount(findings), 0);
+}
+
+// ---------------- fixture: zero-buffer cycle ----------------
+
+struct Loopback : Module {
+  In<int> in;
+  Out<int> out;
+  Loopback(Module& parent, const std::string& name) : Module(parent, name) {}
+};
+
+TEST(LintCycles, ZeroBufferCycleDetected) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  // Seeded violation: a <-> b through two Combinational (zero-storage)
+  // channels — a rendezvous loop with nowhere for a token to wait.
+  Combinational<int> c1(top, "c1", clk), c2(top, "c2", clk);
+  Loopback a(top, "a"), b(top, "b");
+  a.out(c1);
+  b.in(c1);
+  b.out(c2);
+  a.in(c2);
+
+  const auto findings = WithRule(CheckDesignGraph(sim.design_graph()), "comb-cycle");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "top.c1");  // anchored on the first channel
+  for (const char* member : {"top.a", "top.b", "top.c1", "top.c2"}) {
+    EXPECT_NE(findings[0].message.find(member), std::string::npos) << member;
+  }
+}
+
+TEST(LintCycles, BufferInLoopBreaksTheCycle) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Combinational<int> c1(top, "c1", clk);
+  Buffer<int> c2(top, "c2", clk, 2);  // storage on the loop: legal
+  Loopback a(top, "a"), b(top, "b");
+  a.out(c1);
+  b.in(c1);
+  b.out(c2);
+  a.in(c2);
+
+  EXPECT_TRUE(WithRule(CheckDesignGraph(sim.design_graph()), "comb-cycle").empty());
+}
+
+// ---------------- fixture: raw CDC crossing ----------------
+
+struct ClockedStage : Module {
+  In<int> in;
+  Out<int> out;
+  ClockedStage(Module& parent, const std::string& name, Clock& clk)
+      : Module(parent, name) {
+    Thread("run", clk, [this] {
+      for (;;) out.Push(in.Pop());
+    });
+  }
+};
+
+TEST(LintCdc, RawPartitionCrossingDetected) {
+  Simulator sim;
+  Module top(sim, "top");
+  gals::Partition p0(top, "p0", {.nominal_period = 1000, .seed = 1});
+  gals::Partition p1(top, "p1", {.nominal_period = 1300, .seed = 2});
+
+  // Seeded violation: a channel living in p1 driven directly from p0 —
+  // no AsyncChannel, no pausible FIFO.
+  Buffer<int> ch(p1, "ch", p1.clk(), 2);
+  Driver d(p0, "d");
+  d.out(ch);
+  Receiver r(p1, "r");
+  r.in(ch);
+
+  const auto findings =
+      WithRule(CheckDesignGraph(sim.design_graph()), "cdc-partition-crossing");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "top.p0.d");
+  EXPECT_NE(findings[0].message.find("top.p1"), std::string::npos);
+}
+
+TEST(LintCdc, ForeignClockedChannelInsidePartitionDetected) {
+  Simulator sim;
+  Module top(sim, "top");
+  Clock other(sim, "other", 900);
+  gals::Partition p0(top, "p0", {.nominal_period = 1000, .seed = 1});
+
+  // Seeded violation: a channel physically inside p0 but clocked elsewhere.
+  Buffer<int> ch(p0, "ch", other, 2);
+  Driver d(p0, "d");
+  d.out(ch);
+  Receiver r(p0, "r");
+  r.in(ch);
+
+  const auto findings =
+      WithRule(CheckDesignGraph(sim.design_graph()), "cdc-channel-clock");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "top.p0.ch");
+}
+
+TEST(LintCdc, SingleClockModuleOnForeignChannelDetected) {
+  Simulator sim;
+  Clock clk_a(sim, "clk_a", 1000);
+  Clock clk_b(sim, "clk_b", 1300);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk_b, 2);  // channel on clk_b
+  ClockedStage s(top, "s", clk_a);      // thread on clk_a touches it: raw CDC
+  s.in(ch);
+  s.out.MarkOptional();
+
+  const auto findings =
+      WithRule(CheckDesignGraph(sim.design_graph()), "cdc-clock-mismatch");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "top.s");
+}
+
+TEST(LintCdc, AsyncChannelCrossingIsClean) {
+  Simulator sim;
+  Module top(sim, "top");
+  gals::Partition p0(top, "p0", {.nominal_period = 1000, .seed = 1});
+  gals::Partition p1(top, "p1", {.nominal_period = 1300, .seed = 2});
+  gals::AsyncChannel<int> xing(top, "xing", p0.clk(), p1.clk());
+
+  ClockedStage s0(p0, "s0", p0.clk());
+  s0.in.MarkOptional();
+  s0.out(xing.producer_end());
+  ClockedStage s1(p1, "s1", p1.clk());
+  s1.in(xing.consumer_end());
+  s1.out.MarkOptional();
+
+  const auto findings = CheckDesignGraph(sim.design_graph());
+  EXPECT_EQ(ErrorCount(findings), 0) << FormatText("async_xing", findings);
+}
+
+// ---------------- fixture: packetizer flit-width mismatch ----------------
+
+TEST(LintPacketizer, FlitWidthMismatchDetected) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<std::uint32_t> msg_in(top, "msg_in", clk, 2);
+  Buffer<connections::Flit> flits(top, "flits", clk, 2);
+  Buffer<std::uint32_t> msg_out(top, "msg_out", clk, 2);
+
+  // Seeded violation: 32b flits in, 16b flits out of the same link.
+  connections::Packetizer<std::uint32_t, 32> pk(top, "pk", clk);
+  connections::DePacketizer<std::uint32_t, 16> dpk(top, "dpk", clk);
+  pk.in(msg_in);
+  pk.out(flits);
+  dpk.in(flits);
+  dpk.out(msg_out);
+
+  const auto findings =
+      WithRule(CheckDesignGraph(sim.design_graph()), "pkt-flit-mismatch");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("top.pk"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("top.dpk"), std::string::npos);
+}
+
+TEST(LintPacketizer, MatchedWidthsAreClean) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<std::uint32_t> msg_in(top, "msg_in", clk, 2);
+  Buffer<connections::Flit> flits(top, "flits", clk, 2);
+  Buffer<std::uint32_t> msg_out(top, "msg_out", clk, 2);
+  connections::Packetizer<std::uint32_t, 16> pk(top, "pk", clk);
+  connections::DePacketizer<std::uint32_t, 16> dpk(top, "dpk", clk);
+  pk.in(msg_in);
+  pk.out(flits);
+  dpk.in(flits);
+  dpk.out(msg_out);
+
+  EXPECT_TRUE(
+      WithRule(CheckDesignGraph(sim.design_graph()), "pkt-flit-mismatch").empty());
+}
+
+// ---------------- fixture: illegal HLS schedule ----------------
+
+TEST(LintHls, IllegalScheduleDetected) {
+  hls::DataflowGraph g("fixture");
+  const int a = g.Add(hls::OpKind::kInput, 16, {}, "a");
+  const int b = g.Add(hls::OpKind::kInput, 16, {}, "b");
+  const int m0 = g.Add(hls::OpKind::kMul, 16, {a, b}, "m0");
+  const int m1 = g.Add(hls::OpKind::kMul, 16, {a, b}, "m1");
+  const int s = g.Add(hls::OpKind::kAdd, 16, {m0, m1}, "s");
+  const int dead = g.Add(hls::OpKind::kMul, 16, {a, b}, "dead");  // unreachable
+  (void)dead;
+  const int out = g.Add(hls::OpKind::kOutput, 16, {s}, "out");
+
+  hls::ScheduleConstraints c;
+  c.max_multipliers = 1;
+
+  // Hand-built illegal schedule: both muls share cycle 0 (1 unit exists),
+  // the sum consumes m1 before it is produced, and II ignores sharing.
+  hls::ScheduleResult r;
+  r.cycle_of.assign(g.size(), 0);
+  r.cycle_of[static_cast<std::size_t>(m1)] = 2;
+  r.cycle_of[static_cast<std::size_t>(s)] = 1;
+  r.cycle_of[static_cast<std::size_t>(out)] = 1;
+  r.cycle_of[static_cast<std::size_t>(dead)] = 0;
+  r.initiation_interval = 1;
+
+  const auto findings = CheckSchedule(g, r, c);
+  ASSERT_EQ(WithRule(findings, "hls-dep-order").size(), 1u);
+  EXPECT_NE(WithRule(findings, "hls-dep-order")[0].path.find("fixture.op4(s)"),
+            std::string::npos);
+  ASSERT_EQ(WithRule(findings, "hls-resource-over").size(), 1u);
+  EXPECT_EQ(WithRule(findings, "hls-resource-over")[0].path, "fixture.cycle0");
+  ASSERT_EQ(WithRule(findings, "hls-ii-undersized").size(), 1u);
+  const auto dead_f = WithRule(findings, "hls-unreachable-op");
+  ASSERT_EQ(dead_f.size(), 1u);
+  EXPECT_EQ(dead_f[0].severity, Severity::kWarning);
+  EXPECT_NE(dead_f[0].path.find("op5(dead)"), std::string::npos);
+}
+
+TEST(LintHls, SchedulerOutputIsLegal) {
+  // The real scheduler's results must pass their own legality check, across
+  // tight and loose constraints.
+  const hls::AreaModel model;
+  for (unsigned mults : {0u, 1u, 2u}) {
+    hls::ScheduleConstraints c;
+    c.max_multipliers = mults;
+    c.max_adders = mults;  // stress the shared-adder mapping too
+    const hls::DataflowGraph g = hls::BuildFir(8, 16);
+    const auto findings = CheckSchedule(g, hls::Schedule(g, model, c), c);
+    EXPECT_EQ(ErrorCount(findings), 0) << FormatText(g.name(), findings);
+  }
+}
+
+TEST(LintHls, MalformedScheduleDetected) {
+  hls::DataflowGraph g("fixture");
+  g.Add(hls::OpKind::kInput, 8, {}, "a");
+  hls::ScheduleResult r;  // cycle_of empty: wrong size
+  const auto findings = CheckSchedule(g, r, {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hls-malformed");
+}
+
+// ---------------- negative test: the shipped SoC is clean ----------------
+
+TEST(LintSoc, GalsSocHasZeroFindings) {
+  Simulator sim;
+  soc::SocConfig cfg;  // 2x2 GALS
+  soc::SocTop soc(sim, cfg);
+  const auto findings = CheckDesignGraph(sim.design_graph());
+  EXPECT_TRUE(findings.empty()) << FormatText("soc_gals", findings);
+}
+
+TEST(LintSoc, SyncSocHasZeroFindings) {
+  Simulator sim;
+  soc::SocConfig cfg;
+  cfg.gals = false;
+  soc::SocTop soc(sim, cfg);
+  const auto findings = CheckDesignGraph(sim.design_graph());
+  EXPECT_TRUE(findings.empty()) << FormatText("soc_sync", findings);
+}
+
+// ---------------- suppressions, severities, reports ----------------
+
+TEST(LintOptionsTest, GlobMatchBasics) {
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("soc.pe*", "soc.pe3.dp"));
+  EXPECT_TRUE(GlobMatch("soc.pe?.dp", "soc.pe3.dp"));
+  EXPECT_FALSE(GlobMatch("soc.pe?.dp", "soc.pe12.dp"));
+  EXPECT_TRUE(GlobMatch("*cycle*", "comb-cycle"));
+  EXPECT_FALSE(GlobMatch("soc.*", "top.blk"));
+  EXPECT_TRUE(GlobMatch("", ""));
+  EXPECT_FALSE(GlobMatch("", "x"));
+}
+
+TEST(LintOptionsTest, ParseSuppressionSpecs) {
+  const Suppression s1 = ParseSuppression("unbound-port@soc.pe*");
+  EXPECT_EQ(s1.rule_glob, "unbound-port");
+  EXPECT_EQ(s1.path_glob, "soc.pe*");
+  const Suppression s2 = ParseSuppression("comb-cycle");
+  EXPECT_EQ(s2.rule_glob, "comb-cycle");
+  EXPECT_EQ(s2.path_glob, "*");
+}
+
+TEST(LintOptionsTest, SuppressionDropsMatchingFindingOnly) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk);
+  HalfWired blk(top, "blk");
+  blk.in(ch);
+
+  LintOptions opts;
+  opts.suppressions.push_back(ParseSuppression("unbound-port@top.blk"));
+  EXPECT_TRUE(CheckDesignGraph(sim.design_graph(), opts).empty());
+
+  LintOptions other;
+  other.suppressions.push_back(ParseSuppression("unbound-port@soc.*"));
+  EXPECT_EQ(CheckDesignGraph(sim.design_graph(), other).size(), 1u);
+}
+
+TEST(LintOptionsTest, SeverityOverrideDowngradesRule) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk);
+  HalfWired blk(top, "blk");
+  blk.in(ch);
+
+  LintOptions opts;
+  opts.severity_overrides["unbound-port"] = Severity::kWarning;
+  const auto findings = CheckDesignGraph(sim.design_graph(), opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(ErrorCount(findings), 0);
+}
+
+TEST(LintReport, TextAndJsonShapes) {
+  const std::vector<Finding> findings = {
+      {"multi-driver", Severity::kError, "top.ch", "two \"drivers\""},
+      {"multi-consumer", Severity::kWarning, "top.ch", "two consumers"},
+  };
+  const std::string text = FormatText("demo", findings);
+  EXPECT_NE(text.find("== lint: demo =="), std::string::npos);
+  EXPECT_NE(text.find("[error] multi-driver top.ch"), std::string::npos);
+  EXPECT_NE(text.find("1 error"), std::string::npos);
+  EXPECT_NE(text.find("1 warning"), std::string::npos);
+
+  const std::string json = FormatJson({{"demo", findings}, {"clean", {}}});
+  EXPECT_NE(json.find("\"name\": \"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"multi-driver\""), std::string::npos);
+  EXPECT_NE(json.find("two \\\"drivers\\\""), std::string::npos);  // escaping
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"clean\", \"findings\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace craft::lint
