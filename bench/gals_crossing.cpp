@@ -17,11 +17,14 @@ struct Result {
   std::uint64_t transfers = 0;
   double latency_cycles = 0.0;
   double throughput = 0.0;  // tokens per consumer cycle
+  std::uint64_t sync_waits = 0;    // craft-stats: grace-window wait cycles
+  std::uint64_t pause_events = 0;  // craft-stats: modeled clock pauses
   bool ok = false;
 };
 
 Result RunCrossing(Time p_period, Time c_period, double noise, int count) {
   Simulator sim;
+  sim.stats().Enable();  // craft-stats: per-crossing synchronizer telemetry
   std::unique_ptr<Clock> pclk, cclk;
   if (noise > 0.0) {
     pclk = std::make_unique<LocalClockGenerator>(
@@ -68,6 +71,10 @@ Result RunCrossing(Time p_period, Time c_period, double noise, int count) {
   r.transfers = fifo.transfer_count();
   r.latency_cycles = fifo.mean_latency_cycles();
   r.throughput = tb.elapsed ? static_cast<double>(count) / tb.elapsed : 0.0;
+  for (const auto& [name, x] : sim.stats().crossings()) {
+    r.sync_waits += x.enq_sync_wait_cycles + x.deq_sync_wait_cycles;
+    r.pause_events += x.enq_pause_events + x.deq_pause_events;
+  }
   r.ok = !tb.corrupt && r.transfers == static_cast<std::uint64_t>(count);
   return r;
 }
@@ -80,8 +87,9 @@ int main() {
   constexpr int kCount = 2000;
   std::printf("Pausible bisynchronous FIFO: crossing characterization\n");
   std::printf("(paper: low-latency, error-free crossings for any frequency pair)\n\n");
-  std::printf("%10s %10s %8s %10s %14s %14s %8s\n", "prod ps", "cons ps", "noise",
-              "transfers", "mean lat (cyc)", "tokens/cycle", "status");
+  std::printf("%10s %10s %8s %10s %14s %14s %10s %8s %8s\n", "prod ps", "cons ps",
+              "noise", "transfers", "mean lat (cyc)", "tokens/cycle", "sync wait",
+              "pauses", "status");
   struct Case {
     craft::Time p, c;
     double noise;
@@ -91,11 +99,13 @@ int main() {
                          Case{997, 1009, 0.0}, Case{250, 4000, 0.0},
                          Case{1000, 1000, 0.08}, Case{1000, 1500, 0.08}}) {
     const Result r = RunCrossing(cs.p, cs.c, cs.noise, kCount);
-    std::printf("%10llu %10llu %8.2f %10llu %14.2f %14.3f %8s\n",
+    std::printf("%10llu %10llu %8.2f %10llu %14.2f %14.3f %10llu %8llu %8s\n",
                 static_cast<unsigned long long>(cs.p),
                 static_cast<unsigned long long>(cs.c), cs.noise,
                 static_cast<unsigned long long>(r.transfers), r.latency_cycles,
-                r.throughput, r.ok ? "OK" : "CORRUPT");
+                r.throughput, static_cast<unsigned long long>(r.sync_waits),
+                static_cast<unsigned long long>(r.pause_events),
+                r.ok ? "OK" : "CORRUPT");
   }
   return 0;
 }

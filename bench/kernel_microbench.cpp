@@ -37,12 +37,17 @@ void BM_ClockOnlySimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_ClockOnlySimulation);
 
-template <SimMode kMode>
+// kStats compares the telemetry overhead: the disabled configuration must
+// stay within noise (<5%) of the pre-stats baseline — the registry hands out
+// nullptr and every site is one never-taken branch — while the enabled
+// configuration pays for counter updates and per-dispatch wall clocks.
+template <SimMode kMode, bool kStats = false>
 void BM_ChannelTransfers(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     Simulator sim;
     sim.set_mode(kMode);
+    if (kStats) sim.stats().Enable();
     Clock clk(sim, "clk", 1_ns);
     Module top(sim, "top");
     connections::Buffer<int> ch(top, "ch", clk, 4);
@@ -65,6 +70,10 @@ void BM_ChannelTransfers(benchmark::State& state) {
 BENCHMARK(BM_ChannelTransfers<SimMode::kSimAccurate>)->Name("BM_ChannelTransfers/sim_accurate");
 BENCHMARK(BM_ChannelTransfers<SimMode::kSignalAccurate>)
     ->Name("BM_ChannelTransfers/signal_accurate");
+BENCHMARK(BM_ChannelTransfers<SimMode::kSimAccurate, true>)
+    ->Name("BM_ChannelTransfers/sim_accurate_stats");
+BENCHMARK(BM_ChannelTransfers<SimMode::kSignalAccurate, true>)
+    ->Name("BM_ChannelTransfers/signal_accurate_stats");
 
 void BM_ArbiterPick(benchmark::State& state) {
   matchlib::Arbiter arb(16);

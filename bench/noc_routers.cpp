@@ -24,6 +24,8 @@ constexpr int kPackets = 200;
 struct Result {
   double head_latency;  // inject -> first eject flit, cycles
   double cycles_per_packet;
+  std::uint64_t link_stalls;     // craft-stats: link full-stall + reject cycles
+  std::uint64_t vc_high_water;   // craft-stats: deepest VC FIFO occupancy seen
 };
 
 /// A straight chain of kHops radix-2 routers. Port 0 ejects at the last
@@ -31,6 +33,7 @@ struct Result {
 template <bool kWormhole>
 Result RunChain(unsigned packet_len) {
   Simulator sim;
+  sim.stats().Enable();  // craft-stats: link contention + VC queue telemetry
   Clock clk(sim, "clk", 1_ns);
   Module top(sim, "top");
   Buffer<Flit> inj(top, "inj", clk, 4), ej(top, "ej", clk, 4);
@@ -103,8 +106,15 @@ Result RunChain(unsigned packet_len) {
 
   sim.Run(100_ms);
   CRAFT_ASSERT(tb.done_cycle > 0, "router chain did not finish");
-  return {static_cast<double>(tb.first_flit_cycle),
-          static_cast<double>(tb.done_cycle) / kPackets};
+  Result r{static_cast<double>(tb.first_flit_cycle),
+           static_cast<double>(tb.done_cycle) / kPackets, 0, 0};
+  for (const auto& [name, c] : sim.stats().channels()) {
+    r.link_stalls += c.full_stall_cycles + c.push_rejects;
+  }
+  for (const auto& [name, f] : sim.stats().fifos()) {
+    if (f.high_water > r.vc_high_water) r.vc_high_water = f.high_water;
+  }
+  return r;
 }
 
 }  // namespace
@@ -114,13 +124,16 @@ int main() {
   using namespace craft::matchlib;
   std::printf("NoC router ablation: store-and-forward vs wormhole+VC, %u hops\n\n",
               kHops);
-  std::printf("%10s %16s %16s %18s %18s\n", "pkt flits", "SF head lat", "WH head lat",
-              "SF cyc/packet", "WH cyc/packet");
+  std::printf("%10s %16s %16s %18s %18s %14s %12s\n", "pkt flits", "SF head lat",
+              "WH head lat", "SF cyc/packet", "WH cyc/packet", "WH link stalls",
+              "WH vc depth");
   for (unsigned len : {2u, 4u, 8u, 16u}) {
     const Result sf = RunChain<false>(len);
     const Result wh = RunChain<true>(len);
-    std::printf("%10u %16.0f %16.0f %18.1f %18.1f\n", len, sf.head_latency,
-                wh.head_latency, sf.cycles_per_packet, wh.cycles_per_packet);
+    std::printf("%10u %16.0f %16.0f %18.1f %18.1f %14llu %12llu\n", len,
+                sf.head_latency, wh.head_latency, sf.cycles_per_packet,
+                wh.cycles_per_packet, static_cast<unsigned long long>(wh.link_stalls),
+                static_cast<unsigned long long>(wh.vc_high_water));
   }
   std::printf("\n(store-and-forward head latency grows with hops x packet length; "
               "wormhole pipelines flits through hops)\n");

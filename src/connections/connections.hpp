@@ -55,6 +55,7 @@
 #include "kernel/report.hpp"
 #include "kernel/rng.hpp"
 #include "kernel/signal.hpp"
+#include "kernel/stats.hpp"
 
 namespace craft::connections {
 
@@ -89,6 +90,10 @@ class Channel : public Module, public ChannelControl {
     sim().design_graph().AddChannel(DesignGraph::ChannelNode{
         full_name(), ToString(kind_), capacity_,
         /*zero_storage=*/kind_ == ChannelKind::kCombinational, &clk_, clk_.name()});
+    // nullptr unless craft-stats was enabled before elaboration; every
+    // instrumentation site below guards on it, so the disabled cost is one
+    // never-taken branch per operation.
+    stats_ = sim().stats().RegisterChannel(full_name(), ToString(kind), capacity_);
     if (sim().mode() == SimMode::kSignalAccurate) {
       BuildSignalAccurate();
     } else {
@@ -155,6 +160,30 @@ class Channel : public Module, public ChannelControl {
   }
 
  private:
+  // ---- craft-stats instrumentation (no-ops when stats_ == nullptr) ----
+
+  /// Successful enqueue: count it, stamp the message for the latency
+  /// histogram, and refresh the occupancy high-water mark. Stamps live in a
+  /// side deque in FIFO order (tokens commit from staged_ to q_ in push
+  /// order, so the fronts stay aligned across both storage stages).
+  void StatEnqueue() {
+    ++stats_->enqueues;
+    enq_times_.push_back(sim().now());
+    const std::size_t occ = occupancy();
+    if (occ > stats_->occupancy_high_water) stats_->occupancy_high_water = occ;
+  }
+
+  /// Successful dequeue: count it and record enqueue->dequeue latency in
+  /// (nominal) cycles of this channel's clock.
+  void StatDequeue() {
+    ++stats_->dequeues;
+    if (!enq_times_.empty()) {
+      const Time dt = sim().now() - enq_times_.front();
+      enq_times_.pop_front();
+      stats_->latency.Record(dt / clk_.period());
+    }
+  }
+
   // ================= sim-accurate implementation =================
 
   bool ValidStalledThisCycle() {
@@ -194,6 +223,18 @@ class Channel : public Module, public ChannelControl {
   }
 
   bool SimPushNB(const T& v) {
+    const bool ok = SimPushNBImpl(v);
+    if (stats_) {
+      if (ok) {
+        StatEnqueue();
+      } else {
+        ++stats_->push_rejects;
+      }
+    }
+    return ok;
+  }
+
+  bool SimPushNBImpl(const T& v) {
     const std::uint64_t c = clk_.cycle();
     if (last_push_cycle_ == c) return false;  // at most one token per cycle
     if (ReadyStalledThisCycle()) return false;
@@ -227,10 +268,12 @@ class Channel : public Module, public ChannelControl {
   }
 
   void SimPush(const T& v) {
-    while (!SimPushNB(v)) {
+    while (!SimPushNBImpl(v)) {
       ++backpressure_cycles_;
+      if (stats_) ++stats_->full_stall_cycles;
       wait();
     }
+    if (stats_) StatEnqueue();
     if (kind_ == ChannelKind::kCombinational) {
       // Rendezvous: hold the offer until the consumer takes it.
       while (staged_.has_value()) wait(consumed_event());
@@ -238,6 +281,18 @@ class Channel : public Module, public ChannelControl {
   }
 
   bool SimPopNB(T& out) {
+    const bool ok = SimPopNBImpl(out);
+    if (stats_) {
+      if (ok) {
+        StatDequeue();
+      } else {
+        ++stats_->pop_rejects;
+      }
+    }
+    return ok;
+  }
+
+  bool SimPopNBImpl(T& out) {
     const std::uint64_t c = clk_.cycle();
     if (last_pop_cycle_ == c) return false;  // one token per cycle
     if (ValidStalledThisCycle()) return false;
@@ -279,7 +334,8 @@ class Channel : public Module, public ChannelControl {
 
   T SimPop() {
     T out{};
-    while (!SimPopNB(out)) {
+    while (!SimPopNBImpl(out)) {
+      if (stats_ && !PeekAvailable()) ++stats_->empty_stall_cycles;
       if ((kind_ == ChannelKind::kCombinational || kind_ == ChannelKind::kBypass) &&
           !PeekAvailable()) {
         // Same-cycle visibility: wake on an offer within this timestep.
@@ -290,6 +346,7 @@ class Channel : public Module, public ChannelControl {
         wait();
       }
     }
+    if (stats_) StatDequeue();
     return out;
   }
 
@@ -385,15 +442,25 @@ class Channel : public Module, public ChannelControl {
   void SigSeq() {
     const bool in_xfer = sig_->p_valid.read() && sig_->p_ready.read();
     const bool out_xfer = sig_->c_valid.read() && sig_->c_ready.read();
+    bool stat_enq = false;
+    bool stat_deq = false;
     switch (kind_) {
       case ChannelKind::kCombinational:
-        if (in_xfer && out_xfer) RecordTransfer();
+        if (in_xfer && out_xfer) {
+          RecordTransfer();
+          stat_enq = stat_deq = true;
+        }
+        SigSeqStats(stat_enq, stat_deq);
         return;  // no state
       case ChannelKind::kBypass: {
         const bool bypassed = out_xfer && q_.empty();
         if (out_xfer && !q_.empty()) q_.pop_front();
         if (in_xfer && !bypassed) q_.push_back(sig_->p_msg.read());
         if (out_xfer) RecordTransfer();
+        // The bypassed token is both enqueued and dequeued this edge, so the
+        // stamp pushed by StatEnqueue is immediately consumed (latency 0).
+        stat_enq = in_xfer;
+        stat_deq = out_xfer;
         break;
       }
       case ChannelKind::kPipeline:
@@ -406,9 +473,22 @@ class Channel : public Module, public ChannelControl {
           CRAFT_ASSERT(q_.size() < capacity_, full_name() << ": FIFO overflow");
           q_.push_back(sig_->p_msg.read());
         }
+        stat_enq = in_xfer;
+        stat_deq = out_xfer;
         break;
     }
+    SigSeqStats(stat_enq, stat_deq);
     sig_->state_change.write(sig_->state_change.read() + 1);
+  }
+
+  /// Stats for the signal-accurate edge: enqueue stamps before dequeue pops
+  /// so a same-edge (combinational / bypassed) transfer records latency 0.
+  void SigSeqStats(bool enq, bool deq) {
+    if (!stats_) return;
+    if (enq) StatEnqueue();
+    if (deq) StatDequeue();
+    if (sig_->p_valid.read() && !sig_->p_ready.read()) ++stats_->full_stall_cycles;
+    if (sig_->c_ready.read() && !sig_->c_valid.read()) ++stats_->empty_stall_cycles;
   }
 
   // Port protocols: the paper's delayed operations (§2.3 code snippet).
@@ -418,7 +498,11 @@ class Channel : public Module, public ChannelControl {
     sig_->p_valid.write(true);  // set valid bit
     wait();                   // one cycle delay
     sig_->p_valid.write(false);  // clear valid bit (delayed operation)
-    return sig_->p_ready.read();
+    const bool ok = sig_->p_ready.read();
+    // Successful handshakes are counted at the edge by SigSeq; only the
+    // rejection is visible solely to this endpoint.
+    if (stats_ && !ok) ++stats_->push_rejects;
+    return ok;
   }
 
   void SigPush(const T& v) {
@@ -439,6 +523,7 @@ class Channel : public Module, public ChannelControl {
       out = sig_->c_msg.read();
       return true;
     }
+    if (stats_) ++stats_->pop_rejects;
     return false;
   }
 
@@ -482,6 +567,11 @@ class Channel : public Module, public ChannelControl {
   std::uint64_t backpressure_cycles_ = 0;
   std::size_t log_depth_ = 0;
   std::deque<Time> log_;
+
+  // craft-stats: nullptr unless enabled before elaboration; enq_times_ holds
+  // the enqueue timestamp per in-flight token for the latency histogram.
+  ChannelStats* stats_ = nullptr;
+  std::deque<Time> enq_times_;
 
   std::unique_ptr<Signals> sig_;  // signal-accurate mode only
 };

@@ -43,6 +43,8 @@ class PausibleBisyncFifo : public Module {
         sync_delay_(sync_delay == 0 ? DefaultSyncDelay(consumer_clk) : sync_delay) {
     // The pausible FIFO *is* the legal clock-domain-crossing element.
     sim().design_graph().MarkCdcSafe(full_name());
+    stats_ = sim().stats().RegisterCrossing(full_name(), pclk_.name(), cclk_.name(),
+                                            cclk_.period());
     Thread("enq", pclk_, [this] { RunEnqueue(); });
     Thread("deq", cclk_, [this] { RunDequeue(); });
   }
@@ -77,9 +79,19 @@ class PausibleBisyncFifo : public Module {
       const T v = in.Pop();
       // Wait until the tail slot is free AND its freeing has had time to
       // propagate through the pausible synchronizer back to this domain.
+      bool paused = false;
       for (;;) {
         Slot& s = ring_[tail % kDepth];
         if (!s.full && sim().now() >= s.freed + sync_delay_) break;
+        if (stats_) {
+          ++stats_->enq_sync_wait_cycles;
+          // A full-but-not-yet-synchronized slot is the case where the
+          // pausible arbitration would have paused this domain's clock.
+          if (!paused && !s.full) {
+            paused = true;
+            ++stats_->enq_pause_events;
+          }
+        }
         wait();
       }
       Slot& s = ring_[tail % kDepth];
@@ -95,14 +107,28 @@ class PausibleBisyncFifo : public Module {
     for (;;) {
       // The head slot is observable once its publish time has cleared the
       // synchronizer grace window at this domain's sampling edge.
+      bool paused = false;
       for (;;) {
         Slot& s = ring_[head % kDepth];
         if (s.full && sim().now() >= s.published + sync_delay_) break;
+        if (stats_) {
+          ++stats_->deq_sync_wait_cycles;
+          // Written but still inside the grace window: the arbitration would
+          // have paused the consumer clock rather than let it sample now.
+          if (!paused && s.full) {
+            paused = true;
+            ++stats_->deq_pause_events;
+          }
+        }
         wait();
       }
       Slot& s = ring_[head % kDepth];
       const T v = s.value;
       total_latency_ += sim().now() - s.published;
+      if (stats_) {
+        ++stats_->transfers;
+        stats_->total_latency_ps += sim().now() - s.published;
+      }
       s.full = false;
       s.freed = sim().now();
       ++head;
@@ -117,6 +143,7 @@ class PausibleBisyncFifo : public Module {
   std::array<Slot, kDepth> ring_;
   std::uint64_t transfers_ = 0;
   Time total_latency_ = 0;
+  CrossingStats* stats_ = nullptr;  // craft-stats; nullptr unless enabled
 };
 
 }  // namespace craft::gals

@@ -11,5 +11,6 @@
 #include "kernel/rng.hpp"
 #include "kernel/signal.hpp"
 #include "kernel/simulator.hpp"
+#include "kernel/stats.hpp"
 #include "kernel/time.hpp"
 #include "kernel/trace.hpp"

@@ -35,6 +35,12 @@ class ProcessBase {
 
   bool queued = false;  // managed by Simulator::MakeRunnable
 
+  // craft-stats profiling slots, written by the scheduler's dispatch loop
+  // (kernel/stats.hpp). Dispatch counting is always on (one increment);
+  // wall-clock accumulation only when the stats registry is enabled.
+  std::uint64_t stat_dispatches = 0;
+  std::uint64_t stat_wall_ns = 0;
+
  private:
   Simulator& sim_;
   std::string name_;

@@ -39,8 +39,22 @@ class Rng {
     return result;
   }
 
-  /// Uniform integer in [0, bound). bound must be nonzero.
-  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+  /// Uniform integer in [0, bound). bound must be nonzero. Uses Lemire's
+  /// multiply-shift reduction with rejection of the biased low slice, so the
+  /// result is exactly uniform (a plain `Next() % bound` over-weights the
+  /// first 2^64 mod bound residues) at ~one multiply per draw.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(Next()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {

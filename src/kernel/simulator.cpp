@@ -1,5 +1,8 @@
 #include "kernel/simulator.hpp"
 
+#include <chrono>
+#include <sstream>
+
 #include "kernel/design_graph.hpp"
 #include "kernel/process.hpp"
 
@@ -45,15 +48,52 @@ ProcessBase& Simulator::AdoptProcess(std::unique_ptr<ProcessBase> p) {
   return ref;
 }
 
+void Simulator::ReportDeltaOverflow() {
+  // The delta loop failed to settle: almost always a zero-delay
+  // combinational oscillation (e.g. two methods sensitive to each other's
+  // signals). Name the processes still runnable so the cycle is findable.
+  std::ostringstream os;
+  os << "delta limit (" << delta_limit_ << ") exceeded at t=" << now_
+     << " ps without settling; likely a zero-delay combinational oscillation."
+     << " Runnable processes:";
+  std::size_t shown = 0;
+  for (ProcessBase* p : runnable_) {
+    if (shown++ == 8) {
+      os << " ... (" << runnable_.size() << " total)";
+      break;
+    }
+    os << " " << p->name();
+  }
+  if (runnable_.empty()) os << " (none: update-phase-only oscillation)";
+  CRAFT_ERROR(os.str());
+}
+
 void Simulator::RunDeltasAtCurrentTime() {
-  while (!runnable_.empty() || !updates_.empty()) {
+  const bool profile = stats_.enabled();
+  std::uint64_t deltas_this_step = 0;
+  // A process may call Stop() mid-settle (e.g. a testbench watchdog inside
+  // an oscillating design); honour it here, not just between timesteps. The
+  // update phase of the stopping delta still runs so no written signal value
+  // is left uncommitted across a resume.
+  while ((!runnable_.empty() || !updates_.empty()) && !stop_requested_) {
     ++delta_count_;
+    if (delta_limit_ != 0 && ++deltas_this_step > delta_limit_) ReportDeltaOverflow();
     std::vector<ProcessBase*> batch;
     batch.swap(runnable_);
     for (ProcessBase* p : batch) {
       p->queued = false;
       ++dispatch_count_;
-      p->Dispatch();
+      ++p->stat_dispatches;
+      if (profile) {
+        const auto t0 = std::chrono::steady_clock::now();
+        p->Dispatch();
+        p->stat_wall_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      } else {
+        p->Dispatch();
+      }
     }
     std::vector<Updatable*> ups;
     ups.swap(updates_);
@@ -70,13 +110,20 @@ void Simulator::StartIfNeeded() {
 }
 
 void Simulator::RunUntil(Time t) {
+  // A stop request only ends the Run() it was issued under; clear it so a
+  // stop-then-resume sequence works (the request must not be sticky).
+  stop_requested_ = false;
   StartIfNeeded();
+  // Settle deltas left pending by a Stop() that landed mid-settle; a no-op
+  // on the common path (nothing runnable between Run calls).
+  RunDeltasAtCurrentTime();
   while (!stop_requested_ && !timed_.empty() && timed_.top().t <= t) {
     now_ = timed_.top().t;
     // Fire every timed entry at this timestamp, then settle all deltas.
     while (!timed_.empty() && timed_.top().t == now_) {
       auto fn = std::move(const_cast<TimedEntry&>(timed_.top()).fn);
       timed_.pop();
+      ++timed_fired_;
       fn();
     }
     RunDeltasAtCurrentTime();

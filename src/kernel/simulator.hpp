@@ -13,6 +13,7 @@
 
 #include "kernel/report.hpp"
 #include "kernel/rng.hpp"
+#include "kernel/stats.hpp"
 #include "kernel/time.hpp"
 
 namespace craft {
@@ -67,8 +68,17 @@ class Simulator {
     return design_graph_;
   }
 
+  /// The craft-stats telemetry registry (kernel/stats.hpp). Disabled by
+  /// default; call stats().Enable() before elaboration to collect counters.
+  StatsRegistry& stats() { return stats_; }
+  const StatsRegistry& stats() const { return stats_; }
+
   Time now() const { return now_; }
   std::uint64_t delta_count() const { return delta_count_; }
+
+  /// Number of timed-event callbacks fired so far (clock edges, delayed
+  /// notifications); together with delta_count() the kernel-load telemetry.
+  std::uint64_t timed_fired() const { return timed_fired_; }
 
   SimMode mode() const { return mode_; }
   void set_mode(SimMode m) { mode_ = m; }
@@ -81,12 +91,22 @@ class Simulator {
   /// Runs for `duration` picoseconds of simulated time (or until Stop()).
   void Run(Time duration);
 
-  /// Runs until absolute time `t` (or until Stop()).
+  /// Runs until absolute time `t` (or until Stop()). A pending stop request
+  /// is cleared on entry, so simulation can be resumed after a Stop().
   void RunUntil(Time t);
 
   /// Requests the current Run() to return; callable from inside processes.
+  /// Takes effect at the end of the current delta (the update phase of the
+  /// stopping delta still runs, keeping the two-phase protocol atomic).
   void Stop() { stop_requested_ = true; }
   bool stopped() const { return stop_requested_; }
+
+  /// Bounds the delta cycles settled within one timestep. Exceeding the
+  /// bound raises a SimError naming the runnable processes — the standard
+  /// diagnostic for a zero-delay combinational oscillation, which would
+  /// otherwise hang the delta loop forever. 0 disables the bound.
+  void set_delta_limit(std::uint64_t n) { delta_limit_ = n; }
+  std::uint64_t delta_limit() const { return delta_limit_; }
 
   // ---- Scheduling interface (used by Clock, Event, Signal, processes) ----
 
@@ -110,6 +130,11 @@ class Simulator {
   /// simulator work used by the Fig. 6 speedup bench.
   std::uint64_t dispatch_count() const { return dispatch_count_; }
 
+  /// All adopted processes, for the stats reporters' per-process profile.
+  const std::vector<std::unique_ptr<ProcessBase>>& processes() const {
+    return processes_;
+  }
+
  private:
   struct TimedEntry {
     Time t;
@@ -122,16 +147,20 @@ class Simulator {
 
   void RunDeltasAtCurrentTime();
   void StartIfNeeded();
+  [[noreturn]] void ReportDeltaOverflow();
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t delta_count_ = 0;
   std::uint64_t dispatch_count_ = 0;
+  std::uint64_t timed_fired_ = 0;
+  std::uint64_t delta_limit_ = 1'000'000;
   bool stop_requested_ = false;
   bool started_ = false;
   SimMode mode_ = SimMode::kSimAccurate;
   Rng rng_;
   std::shared_ptr<DesignGraph> design_graph_;
+  StatsRegistry stats_;
 
   std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<TimedEntry>> timed_;
   std::vector<ProcessBase*> runnable_;

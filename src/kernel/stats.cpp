@@ -1,0 +1,182 @@
+#include "kernel/stats.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "kernel/process.hpp"
+#include "kernel/simulator.hpp"
+
+namespace craft::stats {
+
+namespace {
+
+/// True if the entry never saw traffic; the table elides such rows (a 3x3
+/// GALS SoC registers hundreds of router VC FIFOs, most of them idle).
+bool Idle(const ChannelStats& c) {
+  return c.enqueues == 0 && c.dequeues == 0 && c.push_rejects == 0 &&
+         c.pop_rejects == 0 && c.full_stall_cycles == 0 && c.empty_stall_cycles == 0;
+}
+bool Idle(const CrossingStats& c) {
+  return c.transfers == 0 && c.enq_pause_events == 0 && c.deq_pause_events == 0;
+}
+bool Idle(const FifoStats& f) { return f.pushes == 0 && f.pops == 0; }
+
+void Rule(std::ostringstream& os, const char* title) {
+  os << "---- " << title << " " << std::string(std::max<int>(1, 66 - static_cast<int>(std::string(title).size())), '-')
+     << "\n";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatTable(const Simulator& sim) {
+  const StatsRegistry& reg = sim.stats();
+  std::ostringstream os;
+  if (!reg.enabled()) {
+    os << "craft-stats: disabled (call sim.stats().Enable() before elaboration)\n";
+    return os.str();
+  }
+
+  Rule(os, "kernel");
+  os << "  time " << sim.now() << " ps | deltas " << sim.delta_count() << " | timed events "
+     << sim.timed_fired() << " | dispatches " << sim.dispatch_count() << "\n";
+
+  Rule(os, "processes (top 10 by wall time)");
+  std::vector<const ProcessBase*> procs;
+  for (const auto& p : sim.processes()) procs.push_back(p.get());
+  std::stable_sort(procs.begin(), procs.end(), [](const ProcessBase* a, const ProcessBase* b) {
+    return a->stat_wall_ns > b->stat_wall_ns;
+  });
+  std::size_t shown = 0;
+  for (const ProcessBase* p : procs) {
+    if (shown++ >= 10) break;
+    os << "  " << std::left << std::setw(40) << p->name() << " dispatches "
+       << std::right << std::setw(10) << p->stat_dispatches << "  wall "
+       << std::setw(10) << p->stat_wall_ns << " ns\n";
+  }
+
+  Rule(os, "channels");
+  os << "  name | kind cap | enq deq | stall(full/empty) | rej(push/pop) | hiwater | "
+        "latency mean [min,max]\n";
+  for (const auto& [name, c] : reg.channels()) {
+    if (Idle(c)) continue;
+    os << "  " << name << " | " << c.kind << " " << c.capacity << " | " << c.enqueues
+       << " " << c.dequeues << " | " << c.full_stall_cycles << "/" << c.empty_stall_cycles
+       << " | " << c.push_rejects << "/" << c.pop_rejects << " | "
+       << c.occupancy_high_water << " | " << std::fixed << std::setprecision(2)
+       << c.latency.mean();
+    if (c.latency.count > 0) os << " [" << c.latency.min << "," << c.latency.max << "]";
+    os << "\n";
+  }
+
+  Rule(os, "gals crossings");
+  for (const auto& [name, c] : reg.crossings()) {
+    if (Idle(c)) continue;
+    os << "  " << name << " (" << c.producer_clock << " -> " << c.consumer_clock
+       << ") | transfers " << c.transfers << " | sync wait " << c.enq_sync_wait_cycles
+       << "/" << c.deq_sync_wait_cycles << " | pauses " << c.enq_pause_events << "/"
+       << c.deq_pause_events << " | mean latency " << std::fixed << std::setprecision(2)
+       << c.mean_latency_cycles() << " cyc\n";
+  }
+
+  Rule(os, "fifos");
+  for (const auto& [name, f] : reg.fifos()) {
+    if (Idle(f)) continue;
+    os << "  " << name << " | cap " << f.capacity << " | push " << f.pushes << " | pop "
+       << f.pops << " | hiwater " << f.high_water << "\n";
+  }
+  return os.str();
+}
+
+std::string FormatJson(const Simulator& sim) {
+  const StatsRegistry& reg = sim.stats();
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"craft-stats-v1\",\n";
+  os << "  \"enabled\": " << (reg.enabled() ? "true" : "false") << ",\n";
+  os << "  \"sim\": {\"now_ps\": " << sim.now() << ", \"delta_cycles\": " << sim.delta_count()
+     << ", \"timed_events\": " << sim.timed_fired()
+     << ", \"process_dispatches\": " << sim.dispatch_count() << "},\n";
+
+  os << "  \"channels\": [";
+  bool first = true;
+  for (const auto& [name, c] : reg.channels()) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(name)
+       << "\", \"kind\": \"" << JsonEscape(c.kind) << "\", \"capacity\": " << c.capacity
+       << ", \"enqueues\": " << c.enqueues << ", \"dequeues\": " << c.dequeues
+       << ", \"full_stall_cycles\": " << c.full_stall_cycles
+       << ", \"empty_stall_cycles\": " << c.empty_stall_cycles
+       << ", \"push_rejects\": " << c.push_rejects << ", \"pop_rejects\": " << c.pop_rejects
+       << ", \"occupancy_high_water\": " << c.occupancy_high_water
+       << ", \"latency\": {\"count\": " << c.latency.count << ", \"mean_cycles\": "
+       << c.latency.mean() << ", \"min\": " << (c.latency.count ? c.latency.min : 0)
+       << ", \"max\": " << c.latency.max << ", \"log2_buckets\": [";
+    for (unsigned b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      os << (b ? ", " : "") << c.latency.buckets[b];
+    }
+    os << "]}}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n";
+
+  os << "  \"crossings\": [";
+  first = true;
+  for (const auto& [name, c] : reg.crossings()) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(name)
+       << "\", \"producer_clock\": \"" << JsonEscape(c.producer_clock)
+       << "\", \"consumer_clock\": \"" << JsonEscape(c.consumer_clock)
+       << "\", \"transfers\": " << c.transfers
+       << ", \"enq_sync_wait_cycles\": " << c.enq_sync_wait_cycles
+       << ", \"deq_sync_wait_cycles\": " << c.deq_sync_wait_cycles
+       << ", \"enq_pause_events\": " << c.enq_pause_events
+       << ", \"deq_pause_events\": " << c.deq_pause_events
+       << ", \"mean_latency_cycles\": " << c.mean_latency_cycles() << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n";
+
+  os << "  \"fifos\": [";
+  first = true;
+  for (const auto& [name, f] : reg.fifos()) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(name)
+       << "\", \"capacity\": " << f.capacity << ", \"pushes\": " << f.pushes
+       << ", \"pops\": " << f.pops << ", \"high_water\": " << f.high_water << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n";
+
+  os << "  \"processes\": [";
+  first = true;
+  for (const auto& p : sim.processes()) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(p->name())
+       << "\", \"dispatches\": " << p->stat_dispatches
+       << ", \"wall_ns\": " << p->stat_wall_ns << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace craft::stats

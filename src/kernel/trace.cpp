@@ -6,7 +6,12 @@ Tracer::Tracer(Simulator& sim, const std::string& path) : sim_(sim), out_(path) 
   CRAFT_ASSERT(out_.good(), "cannot open trace file " << path);
 }
 
-Tracer::~Tracer() { out_.flush(); }
+Tracer::~Tracer() {
+  // Deregister every installed hook: the lambdas capture `this`, so a signal
+  // update after the tracer's death would otherwise be a use-after-free.
+  for (SignalBase* s : hooked_) s->trace_hook_ = nullptr;
+  out_.flush();
+}
 
 std::string Tracer::NextId() {
   // VCD identifier codes: printable ASCII 33..126, base-94 little-endian.

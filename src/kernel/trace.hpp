@@ -19,7 +19,10 @@ class Tracer {
   Tracer(Simulator& sim, const std::string& path);
   ~Tracer();
 
-  /// Registers an integral (or bool) signal with the given bit width.
+  /// Registers an integral (or bool) signal with the given bit width. The
+  /// hook is removed again in ~Tracer, so the signal must outlive the
+  /// tracer (the tracer-outlives-signal direction would dangle the other
+  /// way and is not supported).
   template <typename T>
   void Trace(Signal<T>& sig, unsigned width = 8 * sizeof(T)) {
     static_assert(std::is_integral_v<T>, "only integral signals are traceable");
@@ -28,6 +31,7 @@ class Tracer {
     sig.trace_hook_ = [this, &sig, id, width] {
       Record(id, static_cast<std::uint64_t>(sig.read()), width);
     };
+    hooked_.push_back(&sig);
   }
 
   /// Writes the VCD header; call after all Trace() registrations.
@@ -40,6 +44,7 @@ class Tracer {
 
   Simulator& sim_;
   std::ofstream out_;
+  std::vector<SignalBase*> hooked_;
   std::vector<std::string> decls_;
   unsigned next_code_ = 0;
   bool started_ = false;

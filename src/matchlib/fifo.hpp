@@ -11,6 +11,7 @@
 #include <cstddef>
 
 #include "kernel/report.hpp"
+#include "kernel/stats.hpp"
 
 namespace craft::matchlib {
 
@@ -24,12 +25,21 @@ class Fifo {
   std::size_t Size() const { return count_; }
   static constexpr std::size_t Capacity() { return kCapacity; }
 
+  /// Attaches a craft-stats slot (see StatsRegistry::RegisterFifo); the
+  /// owning module calls this at elaboration. nullptr (stats disabled) is
+  /// fine — instrumentation stays a never-taken branch.
+  void AttachStats(FifoStats* s) { stats_ = s; }
+
   /// Enqueues; caller must check !Full() first (models hardware contract).
   void Push(const T& v) {
     CRAFT_ASSERT(!Full(), "Fifo::Push on full FIFO");
     data_[tail_] = v;
     tail_ = (tail_ + 1) % kCapacity;
     ++count_;
+    if (stats_) {
+      ++stats_->pushes;
+      if (count_ > stats_->high_water) stats_->high_water = count_;
+    }
   }
 
   /// Dequeues; caller must check !Empty() first.
@@ -38,6 +48,7 @@ class Fifo {
     T v = data_[head_];
     head_ = (head_ + 1) % kCapacity;
     --count_;
+    if (stats_) ++stats_->pops;
     return v;
   }
 
@@ -57,6 +68,7 @@ class Fifo {
   std::size_t head_ = 0;
   std::size_t tail_ = 0;
   std::size_t count_ = 0;
+  FifoStats* stats_ = nullptr;
 };
 
 }  // namespace craft::matchlib

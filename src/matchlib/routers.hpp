@@ -158,6 +158,15 @@ class WHVCRouter : public Module {
       }
     }
     for (unsigned o = 0; o < kPorts; ++o) arbiters_.emplace_back(kPorts * kVCs);
+    // craft-stats: one FifoStats slot per (port, vc) input queue, named after
+    // the router's hierarchical name. AttachStats(nullptr) is a no-op.
+    for (unsigned p = 0; p < kPorts; ++p) {
+      for (unsigned v = 0; v < kVCs; ++v) {
+        vcs_[VcIndex(p, v)].fifo.AttachStats(sim().stats().RegisterFifo(
+            full_name() + ".vc" + std::to_string(p) + "_" + std::to_string(v),
+            kVcFifoDepth));
+      }
+    }
     Thread("run", clk, [this] { Run(); });
   }
 

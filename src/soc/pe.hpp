@@ -103,6 +103,7 @@ class ProcessingElement : public Module {
                     std::uint8_t node_id, std::uint8_t gm_node,
                     unsigned rtl_extra_latency = 0)
       : Module(parent, name),
+        clk_(clk),
         node_id_(node_id),
         gm_node_(gm_node),
         rtl_extra_latency_(rtl_extra_latency),
@@ -132,6 +133,11 @@ class ProcessingElement : public Module {
   NodeNI& ni() { return ni_; }
   std::uint64_t csr(unsigned i) const { return csrs_[i]; }
   std::uint64_t kernels_executed() const { return kernels_executed_; }
+
+  /// Cycles the command FSM spent executing kernels (busy status), the
+  /// numerator of per-PE utilization in the craft-stats SoC report.
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+  Clock& clk() const { return clk_; }
 
  private:
   // ---- remote-access server: CSRs + scratchpad port 1 ----
@@ -193,11 +199,13 @@ class ProcessingElement : public Module {
   void RunControl() {
     for (;;) {
       while (csrs_[kCsrStatus] != 1) wait(start_event_);
+      const std::uint64_t busy_from = clk_.cycle();
       Execute();
       // Model the pipeline drain of the HLS-generated RTL: in RTL-cosim
       // emulation runs a kernel's epilogue costs a few extra cycles that the
       // loosely-timed model does not carry (the paper's <3% source).
       if (rtl_extra_latency_ > 0) wait(rtl_extra_latency_);
+      busy_cycles_ += clk_.cycle() - busy_from;
       csrs_[kCsrStart] = 0;
       csrs_[kCsrStatus] = 2;  // done
       ++kernels_executed_;
@@ -339,6 +347,7 @@ class ProcessingElement : public Module {
     }
   }
 
+  Clock& clk_;
   std::uint8_t node_id_;
   std::uint8_t gm_node_;
   unsigned rtl_extra_latency_;
@@ -363,6 +372,7 @@ class ProcessingElement : public Module {
   Event start_event_;
   std::array<std::uint64_t, kCsrCount> csrs_{};
   std::uint64_t kernels_executed_ = 0;
+  std::uint64_t busy_cycles_ = 0;
 };
 
 }  // namespace craft::soc

