@@ -1,0 +1,94 @@
+// Shared helper for the ablation benches: alongside the human-readable
+// stdout tables, each bench writes a small machine-readable result document
+// BENCH_<name>.json (schema craft-bench-v1) so CI can archive throughput,
+// wall-time, and instrumentation-overhead trends across commits.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace craft::bench {
+
+/// One result metric. `value` is a pre-rendered JSON value (use the Num/Str
+/// helpers below); keys are emitted in insertion order.
+struct Metric {
+  std::string key;
+  std::string value;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+inline Metric Num(const std::string& key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return Metric{key, buf};
+}
+
+inline Metric Num(const std::string& key, std::uint64_t v) {
+  return Metric{key, std::to_string(v)};
+}
+
+inline Metric Num(const std::string& key, unsigned v) {
+  return Num(key, static_cast<std::uint64_t>(v));
+}
+
+inline Metric Num(const std::string& key, int v) {
+  return Num(key, static_cast<double>(v));
+}
+
+inline Metric Bool(const std::string& key, bool v) {
+  return Metric{key, v ? "true" : "false"};
+}
+
+inline Metric Str(const std::string& key, const std::string& v) {
+  return Metric{key, "\"" + JsonEscape(v) + "\""};
+}
+
+/// Writes BENCH_<bench_name>.json in the current working directory and
+/// reports the path on stdout. Returns false (after a stderr note) if the
+/// file cannot be opened; benches treat that as non-fatal so a read-only
+/// CWD does not fail the run.
+inline bool EmitJson(const std::string& bench_name, const std::vector<Metric>& metrics) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "bench: cannot open %s for writing, skipping JSON emit\n",
+                 path.c_str());
+    return false;
+  }
+  out << "{\n  \"schema\": \"craft-bench-v1\",\n  \"bench\": \""
+      << JsonEscape(bench_name) << "\",\n  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out << "    \"" << JsonEscape(metrics[i].key) << "\": " << metrics[i].value
+        << (i + 1 < metrics.size() ? ",\n" : "\n");
+  }
+  out << "  }\n}\n";
+  out.close();
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace craft::bench

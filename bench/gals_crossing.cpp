@@ -1,9 +1,11 @@
 // §3.1 pausible bisynchronous FIFO characterization: "low-latency,
 // error-free clock domain crossings" across arbitrary frequency ratios,
 // including jittering (supply-noise-tracking) GALS clocks.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "connections/connections.hpp"
 #include "gals/gals.hpp"
 #include "kernel/kernel.hpp"
@@ -19,12 +21,14 @@ struct Result {
   double throughput = 0.0;  // tokens per consumer cycle
   std::uint64_t sync_waits = 0;    // craft-stats: grace-window wait cycles
   std::uint64_t pause_events = 0;  // craft-stats: modeled clock pauses
+  double wall_seconds = 0.0;       // host time inside sim.Run
   bool ok = false;
 };
 
-Result RunCrossing(Time p_period, Time c_period, double noise, int count) {
+Result RunCrossing(Time p_period, Time c_period, double noise, int count,
+                   bool with_stats = true) {
   Simulator sim;
-  sim.stats().Enable();  // craft-stats: per-crossing synchronizer telemetry
+  if (with_stats) sim.stats().Enable();  // per-crossing synchronizer telemetry
   std::unique_ptr<Clock> pclk, cclk;
   if (noise > 0.0) {
     pclk = std::make_unique<LocalClockGenerator>(
@@ -66,8 +70,11 @@ Result RunCrossing(Time p_period, Time c_period, double noise, int count) {
     std::uint64_t elapsed = 0;
   } tb(top, *pclk, *cclk, in_ch, out_ch, count);
 
+  const auto wall_start = std::chrono::steady_clock::now();
   sim.Run(1000_ms);
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
   Result r;
+  r.wall_seconds = wall.count();
   r.transfers = fifo.transfer_count();
   r.latency_cycles = fifo.mean_latency_cycles();
   r.throughput = tb.elapsed ? static_cast<double>(count) / tb.elapsed : 0.0;
@@ -107,5 +114,32 @@ int main() {
                 static_cast<unsigned long long>(r.pause_events),
                 r.ok ? "OK" : "CORRUPT");
   }
-  return 0;
+
+  // Machine-readable summary for CI: the irrational-ratio case (1000/1370)
+  // is the representative crossing; compare the same run with craft-stats
+  // off to quantify the telemetry cost.
+  const Result on = RunCrossing(1000, 1370, 0.0, kCount, true);
+  const Result off = RunCrossing(1000, 1370, 0.0, kCount, false);
+  const double stats_overhead_pct =
+      off.wall_seconds > 0.0
+          ? (on.wall_seconds - off.wall_seconds) / off.wall_seconds * 100.0
+          : 0.0;
+  std::printf("\n1000/1370 crossing: %llu transfers in %.4fs wall "
+              "(stats-enabled overhead %+.1f%%)\n",
+              static_cast<unsigned long long>(on.transfers), on.wall_seconds,
+              stats_overhead_pct);
+  namespace bj = craft::bench;
+  bj::EmitJson("gals_crossing",
+               {bj::Num("prod_period_ps", std::uint64_t{1000}),
+                bj::Num("cons_period_ps", std::uint64_t{1370}),
+                bj::Num("transfers", on.transfers),
+                bj::Num("tokens_per_consumer_cycle", on.throughput),
+                bj::Num("mean_latency_cycles", on.latency_cycles),
+                bj::Num("transfers_per_wall_sec",
+                        on.wall_seconds > 0.0 ? on.transfers / on.wall_seconds : 0.0),
+                bj::Num("wall_seconds_stats_on", on.wall_seconds),
+                bj::Num("wall_seconds_stats_off", off.wall_seconds),
+                bj::Num("stats_enabled_overhead_pct", stats_overhead_pct),
+                bj::Bool("ok", on.ok && off.ok)});
+  return on.ok && off.ok ? 0 : 1;
 }

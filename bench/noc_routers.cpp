@@ -3,10 +3,12 @@
 // throughput as a function of packet length. Wormhole+VC cuts per-hop
 // latency from O(packet) to O(1), which is why the prototype SoC's PE
 // network uses WHVCRouter.
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "connections/packetizer.hpp"
 #include "kernel/kernel.hpp"
 #include "matchlib/routers.hpp"
@@ -26,14 +28,16 @@ struct Result {
   double cycles_per_packet;
   std::uint64_t link_stalls;     // craft-stats: link full-stall + reject cycles
   std::uint64_t vc_high_water;   // craft-stats: deepest VC FIFO occupancy seen
+  double wall_seconds = 0.0;     // host time inside sim.Run
 };
 
 /// A straight chain of kHops radix-2 routers. Port 0 ejects at the last
-/// hop; port 1 forwards. Router type selected by template.
+/// hop; port 1 forwards. Router type selected by template. `with_stats`
+/// toggles the telemetry registry so main() can report its overhead.
 template <bool kWormhole>
-Result RunChain(unsigned packet_len) {
+Result RunChain(unsigned packet_len, bool with_stats = true) {
   Simulator sim;
-  sim.stats().Enable();  // craft-stats: link contention + VC queue telemetry
+  if (with_stats) sim.stats().Enable();  // link contention + VC queue telemetry
   Clock clk(sim, "clk", 1_ns);
   Module top(sim, "top");
   Buffer<Flit> inj(top, "inj", clk, 4), ej(top, "ej", clk, 4);
@@ -104,10 +108,12 @@ Result RunChain(unsigned packet_len) {
     std::uint64_t done_cycle = 0;
   } tb(top, clk, inj, ej, packet_len);
 
+  const auto wall_start = std::chrono::steady_clock::now();
   sim.Run(100_ms);
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
   CRAFT_ASSERT(tb.done_cycle > 0, "router chain did not finish");
   Result r{static_cast<double>(tb.first_flit_cycle),
-           static_cast<double>(tb.done_cycle) / kPackets, 0, 0};
+           static_cast<double>(tb.done_cycle) / kPackets, 0, 0, wall.count()};
   for (const auto& [name, c] : sim.stats().channels()) {
     r.link_stalls += c.full_stall_cycles + c.push_rejects;
   }
@@ -137,5 +143,33 @@ int main() {
   }
   std::printf("\n(store-and-forward head latency grows with hops x packet length; "
               "wormhole pipelines flits through hops)\n");
+
+  // Machine-readable summary for CI: sustained wormhole throughput at the
+  // longest packet size, wall time, and the cost of leaving craft-stats on
+  // (same configuration run with the registry disabled).
+  constexpr unsigned kJsonLen = 16;
+  const Result wh_on = RunChain<true>(kJsonLen, true);
+  const Result wh_off = RunChain<true>(kJsonLen, false);
+  const double flits = static_cast<double>(kPackets) * kJsonLen;
+  const double stats_overhead_pct =
+      wh_off.wall_seconds > 0.0
+          ? (wh_on.wall_seconds - wh_off.wall_seconds) / wh_off.wall_seconds * 100.0
+          : 0.0;
+  std::printf("\nwormhole %u-flit packets: %.0f flits in %.4fs wall "
+              "(stats-enabled overhead %+.1f%%)\n",
+              kJsonLen, flits, wh_on.wall_seconds, stats_overhead_pct);
+  namespace bj = craft::bench;
+  bj::EmitJson("noc_routers",
+               {bj::Num("packet_len_flits", kJsonLen),
+                bj::Num("packets", static_cast<std::uint64_t>(kPackets)),
+                bj::Num("wh_cycles_per_packet", wh_on.cycles_per_packet),
+                bj::Num("wh_head_latency_cycles", wh_on.head_latency),
+                bj::Num("wh_flits_per_wall_sec",
+                        wh_on.wall_seconds > 0.0 ? flits / wh_on.wall_seconds : 0.0),
+                bj::Num("wall_seconds_stats_on", wh_on.wall_seconds),
+                bj::Num("wall_seconds_stats_off", wh_off.wall_seconds),
+                bj::Num("stats_enabled_overhead_pct", stats_overhead_pct),
+                bj::Num("wh_link_stalls", wh_on.link_stalls),
+                bj::Num("wh_vc_high_water", wh_on.vc_high_water)});
   return 0;
 }

@@ -56,6 +56,7 @@
 #include "kernel/rng.hpp"
 #include "kernel/signal.hpp"
 #include "kernel/stats.hpp"
+#include "kernel/trace_events.hpp"
 
 namespace craft::connections {
 
@@ -94,6 +95,10 @@ class Channel : public Module, public ChannelControl {
     // instrumentation site below guards on it, so the disabled cost is one
     // never-taken branch per operation.
     stats_ = sim().stats().RegisterChannel(full_name(), ToString(kind), capacity_);
+    // Same contract for craft-trace: span slices + blame samples, nullptr
+    // (and one never-taken branch per operation) unless enabled.
+    trace_ = sim().trace_events().RegisterTrack(full_name(), ToString(kind),
+                                                clk_.name());
     if (sim().mode() == SimMode::kSignalAccurate) {
       BuildSignalAccurate();
     } else {
@@ -231,6 +236,16 @@ class Channel : public Module, public ChannelControl {
         ++stats_->push_rejects;
       }
     }
+    if (trace_) {
+      // A reject is one cycle of link-level backpressure for a polling
+      // producer (router switch traversal) — same blame sample as a
+      // blocking-push stall cycle.
+      if (ok) {
+        trace_->Enqueue();
+      } else {
+        trace_->PushStall();
+      }
+    }
     return ok;
   }
 
@@ -271,9 +286,11 @@ class Channel : public Module, public ChannelControl {
     while (!SimPushNBImpl(v)) {
       ++backpressure_cycles_;
       if (stats_) ++stats_->full_stall_cycles;
+      if (trace_) trace_->PushStall();
       wait();
     }
     if (stats_) StatEnqueue();
+    if (trace_) trace_->Enqueue();
     if (kind_ == ChannelKind::kCombinational) {
       // Rendezvous: hold the offer until the consumer takes it.
       while (staged_.has_value()) wait(consumed_event());
@@ -289,6 +306,9 @@ class Channel : public Module, public ChannelControl {
         ++stats_->pop_rejects;
       }
     }
+    // Failed polls of an empty channel are not starvation evidence (routers
+    // scan all inputs every cycle), so only successful pops are traced.
+    if (trace_ && ok) trace_->Dequeue();
     return ok;
   }
 
@@ -336,6 +356,7 @@ class Channel : public Module, public ChannelControl {
     T out{};
     while (!SimPopNBImpl(out)) {
       if (stats_ && !PeekAvailable()) ++stats_->empty_stall_cycles;
+      if (trace_ && !PeekAvailable()) trace_->PopStall();
       if ((kind_ == ChannelKind::kCombinational || kind_ == ChannelKind::kBypass) &&
           !PeekAvailable()) {
         // Same-cycle visibility: wake on an offer within this timestep.
@@ -347,6 +368,7 @@ class Channel : public Module, public ChannelControl {
       }
     }
     if (stats_) StatDequeue();
+    if (trace_) trace_->Dequeue();
     return out;
   }
 
@@ -451,6 +473,7 @@ class Channel : public Module, public ChannelControl {
           stat_enq = stat_deq = true;
         }
         SigSeqStats(stat_enq, stat_deq);
+        SigSeqTrace(stat_enq, stat_deq);
         return;  // no state
       case ChannelKind::kBypass: {
         const bool bypassed = out_xfer && q_.empty();
@@ -478,6 +501,7 @@ class Channel : public Module, public ChannelControl {
         break;
     }
     SigSeqStats(stat_enq, stat_deq);
+    SigSeqTrace(stat_enq, stat_deq);
     sig_->state_change.write(sig_->state_change.read() + 1);
   }
 
@@ -489,6 +513,18 @@ class Channel : public Module, public ChannelControl {
     if (deq) StatDequeue();
     if (sig_->p_valid.read() && !sig_->p_ready.read()) ++stats_->full_stall_cycles;
     if (sig_->c_ready.read() && !sig_->c_valid.read()) ++stats_->empty_stall_cycles;
+  }
+
+  /// Trace for the signal-accurate edge. The sequential method runs outside
+  /// any thread process, so there is no span context to propagate: each hop
+  /// gets a fresh root span (slices and stall episodes stay exact; only
+  /// cross-channel span identity is a sim-accurate-mode feature).
+  void SigSeqTrace(bool enq, bool deq) {
+    if (!trace_) return;
+    if (enq) trace_->Enqueue();
+    if (deq) trace_->Dequeue();
+    if (sig_->p_valid.read() && !sig_->p_ready.read()) trace_->PushStall();
+    if (sig_->c_ready.read() && !sig_->c_valid.read()) trace_->PopStall();
   }
 
   // Port protocols: the paper's delayed operations (§2.3 code snippet).
@@ -572,6 +608,10 @@ class Channel : public Module, public ChannelControl {
   // the enqueue timestamp per in-flight token for the latency histogram.
   ChannelStats* stats_ = nullptr;
   std::deque<Time> enq_times_;
+
+  // craft-trace: nullptr unless enabled before elaboration. The track owns
+  // the per-token span queue (same FIFO-alignment argument as enq_times_).
+  TraceTrack* trace_ = nullptr;
 
   std::unique_ptr<Signals> sig_;  // signal-accurate mode only
 };

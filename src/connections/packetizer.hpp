@@ -76,6 +76,7 @@ class Packetizer : public Module {
     sim().design_graph().AddPacketizer(DesignGraph::PacketizerNode{
         full_name(), DemangleTypeName(typeid(T).name()), Marshal<T>::kWidth,
         kFlitBits, /*is_packetizer=*/true});
+    if (sim().trace_events().enabled()) trace_sink_ = &sim().trace_events();
     Thread("run", clk, [this] { Run(); });
   }
 
@@ -87,6 +88,11 @@ class Packetizer : public Module {
   void Run() {
     for (;;) {
       const T msg = in.Pop();
+      // craft-trace: the pop deposited the message's span in this thread's
+      // context; take it as the PARENT and give every flit its own child
+      // span, so a flit's whole NoC journey hangs off the message span.
+      const std::uint64_t parent =
+          trace_sink_ != nullptr ? trace_sink_->TakeContextOrNew() : 0;
       BitStream bits;
       Marshal<T>::Write(bits, msg);
       const auto flits = bits.ToFlits(kFlitBits);
@@ -97,12 +103,17 @@ class Packetizer : public Module {
         f.first = (i == 0);
         f.last = (i + 1 == flits.size());
         f.dest = dest;
+        if (trace_sink_ != nullptr) {
+          trace_sink_->SetContext(
+              trace_sink_->NewSpan(parent, static_cast<std::uint32_t>(i)));
+        }
         out.Push(f);
       }
     }
   }
 
   std::function<std::uint8_t(const T&)> route_;
+  TraceEventSink* trace_sink_ = nullptr;  // craft-trace; nullptr unless enabled
 };
 
 /// DePacketizer: pops flits, reassembles and pushes T messages.
@@ -119,23 +130,33 @@ class DePacketizer : public Module {
     sim().design_graph().AddPacketizer(DesignGraph::PacketizerNode{
         full_name(), DemangleTypeName(typeid(T).name()), Marshal<T>::kWidth,
         kFlitBits, /*is_packetizer=*/false});
+    if (sim().trace_events().enabled()) trace_sink_ = &sim().trace_events();
     Thread("run", clk, [this] { Run(); });
   }
 
  private:
   void Run() {
     std::vector<std::uint64_t> flits;
+    std::uint64_t parent = 0;
     for (;;) {
       const Flit f = in.Pop();
+      if (trace_sink_ != nullptr && f.first) {
+        // The popped head flit left its child span in the thread context;
+        // resume the original message span for the reassembled push.
+        parent = trace_sink_->ParentOf(trace_sink_->PeekContext());
+      }
       if (f.first) flits.clear();
       flits.push_back(f.payload);
       if (f.last) {
         BitStream bits = BitStream::FromFlits(flits, kFlitBits);
+        if (trace_sink_ != nullptr) trace_sink_->SetContext(parent);
         out.Push(Marshal<T>::Read(bits));
         flits.clear();
       }
     }
   }
+
+  TraceEventSink* trace_sink_ = nullptr;  // craft-trace; nullptr unless enabled
 };
 
 }  // namespace craft::connections

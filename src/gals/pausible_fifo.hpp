@@ -45,6 +45,8 @@ class PausibleBisyncFifo : public Module {
     sim().design_graph().MarkCdcSafe(full_name());
     stats_ = sim().stats().RegisterCrossing(full_name(), pclk_.name(), cclk_.name(),
                                             cclk_.period());
+    trace_ = sim().trace_events().RegisterTrack(
+        full_name(), "crossing", pclk_.name() + "->" + cclk_.name());
     Thread("enq", pclk_, [this] { RunEnqueue(); });
     Thread("deq", cclk_, [this] { RunDequeue(); });
   }
@@ -92,6 +94,7 @@ class PausibleBisyncFifo : public Module {
             ++stats_->enq_pause_events;
           }
         }
+        if (trace_) trace_->PushStall();
         wait();
       }
       Slot& s = ring_[tail % kDepth];
@@ -99,6 +102,10 @@ class PausibleBisyncFifo : public Module {
       s.published = sim().now();
       s.full = true;
       ++tail;
+      // Residency slice covers the crossing itself: enqueue here (producer
+      // commit), dequeue when the consumer takes the slot. Ring order is
+      // FIFO order, so the track's span queue stays aligned.
+      if (trace_) trace_->Enqueue();
     }
   }
 
@@ -120,6 +127,7 @@ class PausibleBisyncFifo : public Module {
             ++stats_->deq_pause_events;
           }
         }
+        if (trace_) trace_->PopStall();
         wait();
       }
       Slot& s = ring_[head % kDepth];
@@ -133,6 +141,7 @@ class PausibleBisyncFifo : public Module {
       s.freed = sim().now();
       ++head;
       ++transfers_;
+      if (trace_) trace_->Dequeue();  // sets ctx so out.Push extends the span
       out.Push(v);
     }
   }
@@ -144,6 +153,7 @@ class PausibleBisyncFifo : public Module {
   std::uint64_t transfers_ = 0;
   Time total_latency_ = 0;
   CrossingStats* stats_ = nullptr;  // craft-stats; nullptr unless enabled
+  TraceTrack* trace_ = nullptr;     // craft-trace; nullptr unless enabled
 };
 
 }  // namespace craft::gals

@@ -14,3 +14,4 @@
 #include "kernel/stats.hpp"
 #include "kernel/time.hpp"
 #include "kernel/trace.hpp"
+#include "kernel/trace_events.hpp"

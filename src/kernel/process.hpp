@@ -7,6 +7,7 @@
 // onto the SystemC coding style used throughout the paper.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -20,6 +21,9 @@ namespace craft {
 class Simulator;
 class Clock;
 class Event;
+
+/// Sentinel for ProcessBase::trace_blocked_track: not blocked on any track.
+inline constexpr std::uint32_t kNoTraceTrack = 0xFFFF'FFFFu;
 
 /// Common base for thread and method processes.
 class ProcessBase {
@@ -40,6 +44,15 @@ class ProcessBase {
   // wall-clock accumulation only when the stats registry is enabled.
   std::uint64_t stat_dispatches = 0;
   std::uint64_t stat_wall_ns = 0;
+
+  // craft-trace slots (kernel/trace_events.hpp), touched only while the
+  // trace sink is enabled. trace_ctx carries the span id of the message
+  // this process last popped, consumed by its next push (the hop-to-hop
+  // propagation mechanism); the blocked fields record which track the
+  // process is currently stalled on, sampled by blame attribution.
+  std::uint64_t trace_ctx = 0;
+  std::uint32_t trace_blocked_track = kNoTraceTrack;
+  bool trace_blocked_is_push = false;
 
  private:
   Simulator& sim_;

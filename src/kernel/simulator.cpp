@@ -15,6 +15,7 @@ Simulator* g_current = nullptr;
 Simulator::Simulator() : design_graph_(std::make_shared<DesignGraph>()) {
   CRAFT_ASSERT(g_current == nullptr, "only one Simulator may exist at a time");
   g_current = this;
+  trace_events_.sim_ = this;
 }
 
 Simulator::~Simulator() { g_current = nullptr; }

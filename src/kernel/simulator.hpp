@@ -15,6 +15,7 @@
 #include "kernel/rng.hpp"
 #include "kernel/stats.hpp"
 #include "kernel/time.hpp"
+#include "kernel/trace_events.hpp"
 
 namespace craft {
 
@@ -72,6 +73,12 @@ class Simulator {
   /// default; call stats().Enable() before elaboration to collect counters.
   StatsRegistry& stats() { return stats_; }
   const StatsRegistry& stats() const { return stats_; }
+
+  /// The craft-trace transaction-event sink (kernel/trace_events.hpp).
+  /// Disabled by default; call trace_events().Enable() before elaboration
+  /// to record message spans and backpressure blame samples.
+  TraceEventSink& trace_events() { return trace_events_; }
+  const TraceEventSink& trace_events() const { return trace_events_; }
 
   Time now() const { return now_; }
   std::uint64_t delta_count() const { return delta_count_; }
@@ -161,6 +168,7 @@ class Simulator {
   Rng rng_;
   std::shared_ptr<DesignGraph> design_graph_;
   StatsRegistry stats_;
+  TraceEventSink trace_events_;
 
   std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<TimedEntry>> timed_;
   std::vector<ProcessBase*> runnable_;

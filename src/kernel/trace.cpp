@@ -24,21 +24,36 @@ std::string Tracer::NextId() {
   return id;
 }
 
-void Tracer::DeclareVar(const std::string& name, const std::string& id, unsigned width) {
+void Tracer::DeclareVar(const std::string& name, const std::string& id, unsigned width,
+                        std::function<std::uint64_t()> get) {
   CRAFT_ASSERT(!started_, "Trace() after Start()");
+  // VCD identifiers must be single whitespace-free tokens, and brackets
+  // would read as bit-select syntax — replace anything risky, not just
+  // spaces (design names can carry template arguments, tabs from generated
+  // hierarchies, etc.).
   std::string safe = name;
   for (char& c : safe) {
-    if (c == ' ') c = '_';
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u <= ' ' || u > '~' || c == '[' || c == ']') c = '_';
   }
-  decls_.push_back("$var wire " + std::to_string(width) + " " + id + " " + safe + " $end");
+  decls_.push_back(Decl{
+      "$var wire " + std::to_string(width) + " " + id + " " + safe + " $end",
+      id, width, std::move(get)});
 }
 
 void Tracer::Start() {
   CRAFT_ASSERT(!started_, "Start() called twice");
   started_ = true;
+  out_ << "$date\n  simulation run\n$end\n";
+  out_ << "$version\n  craft Tracer\n$end\n";
   out_ << "$timescale 1ps $end\n$scope module craft $end\n";
-  for (const auto& d : decls_) out_ << d << "\n";
+  for (const auto& d : decls_) out_ << d.var_line << "\n";
   out_ << "$upscope $end\n$enddefinitions $end\n";
+  // Initial value section: viewers need a defined value for every variable
+  // before the first timestamped change.
+  out_ << "$dumpvars\n";
+  for (const auto& d : decls_) WriteValue(d.id, d.get ? d.get() : 0, d.width);
+  out_ << "$end\n";
 }
 
 void Tracer::Record(const std::string& id, std::uint64_t value, unsigned width) {
@@ -47,6 +62,10 @@ void Tracer::Record(const std::string& id, std::uint64_t value, unsigned width) 
     last_time_ = sim_.now();
     out_ << "#" << last_time_ << "\n";
   }
+  WriteValue(id, value, width);
+}
+
+void Tracer::WriteValue(const std::string& id, std::uint64_t value, unsigned width) {
   if (width == 1) {
     out_ << (value & 1) << id << "\n";
     return;

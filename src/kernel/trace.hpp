@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -27,7 +28,8 @@ class Tracer {
   void Trace(Signal<T>& sig, unsigned width = 8 * sizeof(T)) {
     static_assert(std::is_integral_v<T>, "only integral signals are traceable");
     const std::string id = NextId();
-    DeclareVar(sig.name(), id, width);
+    DeclareVar(sig.name(), id, width,
+               [&sig] { return static_cast<std::uint64_t>(sig.read()); });
     sig.trace_hook_ = [this, &sig, id, width] {
       Record(id, static_cast<std::uint64_t>(sig.read()), width);
     };
@@ -38,14 +40,25 @@ class Tracer {
   void Start();
 
  private:
+  /// One declared variable: its $var line plus what is needed to dump the
+  /// initial value section at Start() time.
+  struct Decl {
+    std::string var_line;
+    std::string id;
+    unsigned width = 0;
+    std::function<std::uint64_t()> get;
+  };
+
   std::string NextId();
-  void DeclareVar(const std::string& name, const std::string& id, unsigned width);
+  void DeclareVar(const std::string& name, const std::string& id, unsigned width,
+                  std::function<std::uint64_t()> get);
   void Record(const std::string& id, std::uint64_t value, unsigned width);
+  void WriteValue(const std::string& id, std::uint64_t value, unsigned width);
 
   Simulator& sim_;
   std::ofstream out_;
   std::vector<SignalBase*> hooked_;
-  std::vector<std::string> decls_;
+  std::vector<Decl> decls_;
   unsigned next_code_ = 0;
   bool started_ = false;
   Time last_time_ = kTimeNever;

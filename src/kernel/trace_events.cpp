@@ -1,0 +1,215 @@
+#include "kernel/trace_events.hpp"
+
+#include "kernel/process.hpp"
+#include "kernel/simulator.hpp"
+
+namespace craft {
+
+// ---- TraceEventSink ----
+
+TraceTrack* TraceEventSink::RegisterTrack(const std::string& name,
+                                          const std::string& kind,
+                                          const std::string& clock) {
+  if (!enabled_) return nullptr;
+  auto t = std::make_unique<TraceTrack>();
+  t->sink_ = this;
+  t->name_ = name;
+  t->kind_ = kind;
+  t->clock_ = clock;
+  t->id_ = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.push_back(std::move(t));
+  return tracks_.back().get();
+}
+
+std::uint64_t TraceEventSink::NewSpan(std::uint64_t parent,
+                                      std::uint32_t flit_index) {
+  spans_.push_back(TraceSpanInfo{parent, flit_index});
+  return spans_.size();  // ids are 1-based
+}
+
+std::uint64_t TraceEventSink::ParentOf(std::uint64_t span) const {
+  return (span >= 1 && span <= spans_.size()) ? spans_[span - 1].parent : 0;
+}
+
+const TraceSpanInfo* TraceEventSink::SpanInfoOf(std::uint64_t span) const {
+  return (span >= 1 && span <= spans_.size()) ? &spans_[span - 1] : nullptr;
+}
+
+void TraceEventSink::SetContext(std::uint64_t span) {
+  if (ThreadProcess* t = ThreadProcess::Current()) t->trace_ctx = span;
+}
+
+std::uint64_t TraceEventSink::PeekContext() const {
+  ThreadProcess* t = ThreadProcess::Current();
+  return t ? t->trace_ctx : 0;
+}
+
+std::uint64_t TraceEventSink::TakeContextOrNew() {
+  if (ThreadProcess* t = ThreadProcess::Current()) {
+    if (t->trace_ctx != 0) {
+      const std::uint64_t s = t->trace_ctx;
+      t->trace_ctx = 0;
+      return s;
+    }
+  }
+  return NewSpan();
+}
+
+bool TraceEventSink::Record(TraceEventKind kind, std::uint32_t track,
+                            std::uint64_t span, std::uint64_t arg) {
+  // Only begins are capped: an end for a begin that made it in must also
+  // make it in, or the exported b/e pairs would be unbalanced. Instants are
+  // episode-start markers, bounded by the begins they interleave with.
+  if (kind == TraceEventKind::kBegin && events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(TraceEvent{kind, track, span, now(), arg});
+  return true;
+}
+
+ProcessBase* TraceEventSink::CurrentProcess() const {
+  return ThreadProcess::Current();
+}
+
+const TraceTrack* TraceEventSink::FindTrack(const std::string& name) const {
+  for (const auto& t : tracks_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+std::uint64_t TraceEventSink::total_begins() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tracks_) n += t->begins();
+  return n;
+}
+
+std::uint64_t TraceEventSink::total_ends() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tracks_) n += t->ends();
+  return n;
+}
+
+std::uint64_t TraceEventSink::open_slices() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tracks_) n += t->resident_spans().size();
+  return n;
+}
+
+Time TraceEventSink::now() const { return sim_ != nullptr ? sim_->now() : 0; }
+
+// ---- TraceTrack ----
+
+void TraceTrack::Enqueue() {
+  ProcessBase* self = sink_->CurrentProcess();
+  if (self != nullptr) {
+    // A successful push ends whatever blocked-state this process was in.
+    self->trace_blocked_track = kNoTraceTrack;
+    producer_ = self;
+  }
+  in_full_stall_ = false;
+  const std::uint64_t span = sink_->TakeContextOrNew();
+  ++begins_;
+  const bool recorded = sink_->Record(TraceEventKind::kBegin, id_, span);
+  span_q_.push_back(recorded ? span : (span | kDroppedBit));
+}
+
+void TraceTrack::Dequeue() {
+  ProcessBase* self = sink_->CurrentProcess();
+  if (self != nullptr) {
+    self->trace_blocked_track = kNoTraceTrack;
+    consumer_ = self;
+  }
+  in_empty_stall_ = false;
+  if (span_q_.empty()) return;  // defensive: nothing resident
+  const std::uint64_t raw = span_q_.front();
+  span_q_.pop_front();
+  const std::uint64_t span = raw & ~kDroppedBit;
+  ++ends_;
+  if ((raw & kDroppedBit) == 0) {
+    sink_->Record(TraceEventKind::kEnd, id_, span);
+  }
+  sink_->SetContext(span);
+}
+
+void TraceTrack::PushStall() {
+  ++full_stall_samples_;
+  ProcessBase* self = sink_->CurrentProcess();
+  if (self != nullptr) {
+    self->trace_blocked_track = id_;
+    self->trace_blocked_is_push = true;
+  }
+  if (!in_full_stall_) {
+    in_full_stall_ = true;
+    sink_->Record(TraceEventKind::kInstant, id_, 0, /*arg=*/0);
+  }
+  // Blame edge: what is my consumer blocked on right now? If it is blocked
+  // on another track, that track is the downstream cause of this stall
+  // cycle; otherwise the consumer is simply busy (or absent) — the chain
+  // root cause.
+  if (consumer_ != nullptr && consumer_ != self &&
+      consumer_->trace_blocked_track != kNoTraceTrack &&
+      consumer_->trace_blocked_track != id_) {
+    ++blame_full_[BlameKey(consumer_->trace_blocked_track,
+                           consumer_->trace_blocked_is_push)];
+  } else {
+    ++blame_busy_;
+  }
+}
+
+void TraceTrack::PopStall() {
+  ++empty_stall_samples_;
+  ProcessBase* self = sink_->CurrentProcess();
+  if (self != nullptr) {
+    self->trace_blocked_track = id_;
+    self->trace_blocked_is_push = false;
+    consumer_ = self;  // a blocked popper is still this track's consumer
+  }
+  if (!in_empty_stall_) {
+    in_empty_stall_ = true;
+    sink_->Record(TraceEventKind::kInstant, id_, 0, /*arg=*/1);
+  }
+  if (producer_ != nullptr && producer_ != self &&
+      producer_->trace_blocked_track != kNoTraceTrack &&
+      producer_->trace_blocked_track != id_) {
+    ++blame_empty_[BlameKey(producer_->trace_blocked_track,
+                            producer_->trace_blocked_is_push)];
+  } else {
+    ++starve_idle_;
+  }
+}
+
+void TraceTrack::PrimeContext() {
+  if (!span_q_.empty()) sink_->SetContext(span_q_.front() & ~kDroppedBit);
+}
+
+std::uint64_t TraceTrack::BeginActivity(std::uint64_t arg) {
+  const std::uint64_t span = sink_->NewSpan();
+  ++begins_;
+  const bool recorded = sink_->Record(TraceEventKind::kBegin, id_, span, arg);
+  span_q_.push_back(recorded ? span : (span | kDroppedBit));
+  return span;
+}
+
+void TraceTrack::EndActivity(std::uint64_t span) {
+  for (auto it = span_q_.begin(); it != span_q_.end(); ++it) {
+    if ((*it & ~kDroppedBit) == span) {
+      const bool recorded = (*it & kDroppedBit) == 0;
+      span_q_.erase(it);
+      ++ends_;
+      if (recorded) sink_->Record(TraceEventKind::kEnd, id_, span);
+      return;
+    }
+  }
+}
+
+std::string TraceTrack::producer_name() const {
+  return producer_ != nullptr ? producer_->name() : std::string();
+}
+
+std::string TraceTrack::consumer_name() const {
+  return consumer_ != nullptr ? consumer_->name() : std::string();
+}
+
+}  // namespace craft

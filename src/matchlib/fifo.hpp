@@ -12,6 +12,7 @@
 
 #include "kernel/report.hpp"
 #include "kernel/stats.hpp"
+#include "kernel/trace_events.hpp"
 
 namespace craft::matchlib {
 
@@ -30,6 +31,19 @@ class Fifo {
   /// fine — instrumentation stays a never-taken branch.
   void AttachStats(FifoStats* s) { stats_ = s; }
 
+  /// Attaches a craft-trace track (see TraceEventSink::RegisterTrack); spans
+  /// of resident elements are recorded as queue-residency slices. nullptr
+  /// (tracing disabled) is fine.
+  void AttachTrace(TraceTrack* t) { trace_ = t; }
+
+  /// Sets the calling thread's trace context to the span of the front
+  /// element *without* dequeuing. Owners that forward `Peek()` downstream
+  /// before `Pop()` (e.g. routers pushing Peek() over a link) call this so
+  /// the downstream channel extends the right span.
+  void PrimeTraceContext() {
+    if (trace_ && !Empty()) trace_->PrimeContext();
+  }
+
   /// Enqueues; caller must check !Full() first (models hardware contract).
   void Push(const T& v) {
     CRAFT_ASSERT(!Full(), "Fifo::Push on full FIFO");
@@ -40,6 +54,7 @@ class Fifo {
       ++stats_->pushes;
       if (count_ > stats_->high_water) stats_->high_water = count_;
     }
+    if (trace_) trace_->Enqueue();
   }
 
   /// Dequeues; caller must check !Empty() first.
@@ -49,6 +64,7 @@ class Fifo {
     head_ = (head_ + 1) % kCapacity;
     --count_;
     if (stats_) ++stats_->pops;
+    if (trace_) trace_->Dequeue();
     return v;
   }
 
@@ -69,6 +85,7 @@ class Fifo {
   std::size_t tail_ = 0;
   std::size_t count_ = 0;
   FifoStats* stats_ = nullptr;
+  TraceTrack* trace_ = nullptr;
 };
 
 }  // namespace craft::matchlib

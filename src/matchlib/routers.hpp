@@ -160,11 +160,16 @@ class WHVCRouter : public Module {
     for (unsigned o = 0; o < kPorts; ++o) arbiters_.emplace_back(kPorts * kVCs);
     // craft-stats: one FifoStats slot per (port, vc) input queue, named after
     // the router's hierarchical name. AttachStats(nullptr) is a no-op.
+    // craft-trace mirrors the same per-(port, vc) granularity so a flit's
+    // residency in each hop's VC queue shows up as its own slice.
     for (unsigned p = 0; p < kPorts; ++p) {
       for (unsigned v = 0; v < kVCs; ++v) {
-        vcs_[VcIndex(p, v)].fifo.AttachStats(sim().stats().RegisterFifo(
-            full_name() + ".vc" + std::to_string(p) + "_" + std::to_string(v),
-            kVcFifoDepth));
+        const std::string vc_name =
+            full_name() + ".vc" + std::to_string(p) + "_" + std::to_string(v);
+        vcs_[VcIndex(p, v)].fifo.AttachStats(
+            sim().stats().RegisterFifo(vc_name, kVcFifoDepth));
+        vcs_[VcIndex(p, v)].fifo.AttachTrace(
+            sim().trace_events().RegisterTrack(vc_name, "vc_fifo", clk.name()));
       }
     }
     Thread("run", clk, [this] { Run(); });
@@ -220,6 +225,9 @@ class WHVCRouter : public Module {
         if (winner < 0) continue;
         VcState& vs = vcs_[static_cast<unsigned>(winner)];
         const unsigned v = static_cast<unsigned>(winner) % kVCs;
+        // The link push happens on Peek() BEFORE the Pop(): prime the trace
+        // context with the head flit's span so the link channel extends it.
+        vs.fifo.PrimeTraceContext();
         if (out[o][v].PushNB(vs.fifo.Peek())) {
           const Flit f = vs.fifo.Pop();
           ++flits_forwarded_;

@@ -126,6 +126,11 @@ class ProcessingElement : public Module {
     resp_tx_(ni_.resp_tx_channel());
     req_tx_(ni_.req_tx_channel());
     resp_rx_(ni_.resp_rx_channel());
+    // craft-trace: an "activity" track whose slices are kernel executions
+    // (begin at launch, end at drain; arg = opcode). Gives the Perfetto
+    // timeline a per-PE busy/idle lane next to the channel residency lanes.
+    trace_ = sim().trace_events().RegisterTrack(full_name() + ".exec",
+                                                "activity", clk.name());
     Thread("server", clk, [this] { RunServer(); });
     Thread("control", clk, [this] { RunControl(); });
   }
@@ -200,11 +205,14 @@ class ProcessingElement : public Module {
     for (;;) {
       while (csrs_[kCsrStatus] != 1) wait(start_event_);
       const std::uint64_t busy_from = clk_.cycle();
+      const std::uint64_t exec_span =
+          trace_ ? trace_->BeginActivity(csrs_[kCsrCmd]) : 0;
       Execute();
       // Model the pipeline drain of the HLS-generated RTL: in RTL-cosim
       // emulation runs a kernel's epilogue costs a few extra cycles that the
       // loosely-timed model does not carry (the paper's <3% source).
       if (rtl_extra_latency_ > 0) wait(rtl_extra_latency_);
+      if (trace_) trace_->EndActivity(exec_span);
       busy_cycles_ += clk_.cycle() - busy_from;
       csrs_[kCsrStart] = 0;
       csrs_[kCsrStatus] = 2;  // done
@@ -370,6 +378,7 @@ class ProcessingElement : public Module {
   connections::In<NetResp> resp_rx_;
 
   Event start_event_;
+  TraceTrack* trace_ = nullptr;  // craft-trace; nullptr unless enabled
   std::array<std::uint64_t, kCsrCount> csrs_{};
   std::uint64_t kernels_executed_ = 0;
   std::uint64_t busy_cycles_ = 0;

@@ -354,11 +354,102 @@ Workload MakeDmaCopy() {
   return w;
 }
 
+// conv2d: a 2-D convolution composed from the PE's existing 1-D kernels —
+// each output row is K row-wise conv1d launches (one per kernel row)
+// accumulated with vadd. Exercises the longest launch sequences of any
+// workload (H_out * (2K - 1) kernel phases per PE), which is what makes it
+// the default craft-trace workload: sustained DMA + NoC + compute overlap.
+Workload MakeConv2d() {
+  static constexpr std::uint32_t kH = 6, kW = 8, kK = 3;
+  static constexpr std::uint32_t kHOut = kH - kK + 1;  // 4
+  static constexpr std::uint32_t kWOut = kW - kK + 1;  // 6
+  // Scratchpad layout (word addresses).
+  static constexpr std::uint32_t kSpImg = 0;            // H*W = 48 words
+  static constexpr std::uint32_t kSpKer = 64;           // K*K = 9 words
+  static constexpr std::uint32_t kSpTmp = 128;          // one partial row
+  static constexpr std::uint32_t kSpOut = 192;          // H_out*W_out = 24
+  Workload w;
+  w.name = "conv2d";
+  w.setup = [](SocTop& soc) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      for (std::uint32_t i = 0; i < kH * kW; ++i) soc.PreloadGm(GmA(k) + i, W(ValA(k, i)));
+      for (std::uint32_t i = 0; i < kK * kK; ++i) soc.PreloadGm(GmB(k) + i, W(ValB(k, i)));
+    }
+  };
+  w.commands = [](SocTop& soc) {
+    const auto& nodes = soc.pe_nodes();
+    std::vector<Command> c;
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaInWrites(GmA(k), kSpImg, kH * kW); });
+    EmitPhase(c, nodes, [&](unsigned k, unsigned) { return DmaInWrites(GmB(k), kSpKer, kK * kK); });
+    for (std::uint32_t y = 0; y < kHOut; ++y) {
+      for (std::uint32_t ky = 0; ky < kK; ++ky) {
+        // Row-wise conv1d of image row y+ky with kernel row ky. The first
+        // kernel row writes the output row directly; later rows go to the
+        // temp row and are accumulated in.
+        const std::uint32_t dst = ky == 0 ? kSpOut + y * kWOut : kSpTmp;
+        EmitPhase(c, nodes, [&, y, ky, dst](unsigned, unsigned) -> CsrWrites {
+          return {{kCsrCmd, static_cast<std::uint32_t>(PeOp::kConv1d)},
+                  {kCsrArg0, kSpImg + (y + ky) * kW},
+                  {kCsrArg1, kSpKer + ky * kK},
+                  {kCsrArg2, dst},
+                  {kCsrLen, kWOut},
+                  {kCsrAux, kK}};
+        });
+        if (ky > 0) {
+          EmitPhase(c, nodes, [&, y](unsigned, unsigned) -> CsrWrites {
+            return {{kCsrCmd, static_cast<std::uint32_t>(PeOp::kVadd)},
+                    {kCsrArg0, kSpOut + y * kWOut},
+                    {kCsrArg1, kSpTmp},
+                    {kCsrArg2, kSpOut + y * kWOut},
+                    {kCsrLen, kWOut}};
+          });
+        }
+      }
+    }
+    EmitPhase(c, nodes,
+              [&](unsigned k, unsigned) { return DmaOutWrites(kSpOut, GmOut(k), kHOut * kWOut); });
+    c.push_back(Command::Halt());
+    return c;
+  };
+  w.check = [](SocTop& soc, std::string* err) {
+    for (unsigned k = 0; k < soc.pe_nodes().size(); ++k) {
+      // Golden model replays the PE's exact FP order: an FpMulAdd chain per
+      // (row, kernel-row) conv1d, FpAdd-accumulated in kernel-row order.
+      std::vector<Float32> expect;
+      for (std::uint32_t y = 0; y < kHOut; ++y) {
+        for (std::uint32_t x = 0; x < kWOut; ++x) {
+          Float32 out = Float32::Zero();
+          for (std::uint32_t ky = 0; ky < kK; ++ky) {
+            Float32 row = Float32::Zero();
+            for (std::uint32_t kx = 0; kx < kK; ++kx) {
+              row = FpMulAdd(Float32::FromFloat(ValA(k, (y + ky) * kW + x + kx)),
+                             Float32::FromFloat(ValB(k, ky * kK + kx)), row);
+            }
+            out = ky == 0 ? row : FpAdd(out, row);
+          }
+          expect.push_back(out);
+        }
+      }
+      if (!CheckGmF32(soc, GmOut(k), expect, "conv2d.pe" + std::to_string(k), err)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return w;
+}
+
 }  // namespace
 
 std::vector<Workload> SixSocTests() {
   return {MakeVecMul(), MakeDot(),    MakeReduce(),
           MakeConv1d(), MakeKmeans(), MakeDmaCopy()};
+}
+
+std::vector<Workload> AllWorkloads() {
+  auto v = SixSocTests();
+  v.push_back(MakeConv2d());
+  return v;
 }
 
 WorkloadRun RunWorkload(SocTop& soc, const Workload& w, Time max_time) {

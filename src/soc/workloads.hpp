@@ -23,6 +23,10 @@ struct Workload {
 /// The six SoC-level tests: vecmul, dot, reduce, conv1d, kmeans, dma_copy.
 std::vector<Workload> SixSocTests();
 
+/// The six tests plus conv2d (a 2-D convolution composed from conv1d row
+/// launches + vadd accumulation — the craft-trace default workload).
+std::vector<Workload> AllWorkloads();
+
 struct WorkloadRun {
   std::string name;
   std::uint64_t cycles = 0;

@@ -1,0 +1,163 @@
+// Backpressure root-cause attribution (DESIGN.md §8).
+//
+// The kernel sampled one blame edge per stall cycle: when a producer sat
+// blocked pushing into channel A, the sink recorded what A's consumer
+// process was itself blocked on at that moment — another channel B (edge
+// A -> B), or nothing (the consumer was genuinely busy computing: a chain
+// root). AttributeBackpressure ranks channels by full-stall samples and,
+// for each, follows the largest-share edge downstream — flipping between
+// the full-blame map (hop blocked pushing) and the empty-blame map (hop
+// blocked popping) as the edge type dictates — until it reaches a busy
+// consumer, an idle producer, a cycle, or the depth limit. The result names
+// the channel/process actually responsible for the stall, not merely the
+// first full queue upstream of it.
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "kernel/simulator.hpp"
+#include "kernel/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace craft::trace {
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 32;
+
+BlameChain WalkChain(const TraceEventSink& sink, const TraceTrack* start) {
+  BlameChain chain;
+  chain.start = start->name();
+  chain.start_kind = start->kind();
+  chain.stall_samples = start->full_stall_samples();
+
+  const TraceTrack* cur = start;
+  bool is_push = true;  // the start is diagnosed for FULL stalls
+  std::set<std::uint64_t> visited{TraceTrack::BlameKey(cur->id(), is_push)};
+
+  for (std::size_t depth = 0; depth < kMaxDepth; ++depth) {
+    const auto& edges = is_push ? cur->blame_full() : cur->blame_empty();
+    const std::uint64_t terminal = is_push ? cur->blame_busy() : cur->starve_idle();
+    std::uint64_t total = terminal;
+    std::uint64_t best_samples = 0;
+    std::uint64_t best_key = 0;
+    // std::map iterates in track-id (elaboration) order; strict > keeps the
+    // earliest-registered track on ties, so the walk is deterministic.
+    for (const auto& [key, n] : edges) {
+      total += n;
+      if (n > best_samples) {
+        best_samples = n;
+        best_key = key;
+      }
+    }
+    // The dominant observation terminates the chain: the blocked endpoint's
+    // counterpart was making progress on its own (busy / idle), not waiting
+    // on a further channel.
+    if (best_samples == 0 || best_samples <= terminal) {
+      chain.root_cause = is_push
+                             ? "consumer busy (" + cur->consumer_name() + ")"
+                             : "producer idle (" + cur->producer_name() + ")";
+      return chain;
+    }
+    const TraceTrack* next = sink.track(TraceTrack::BlameTrackOf(best_key));
+    const bool next_push = TraceTrack::BlameIsPush(best_key);
+    BlameLink link;
+    link.track = next->name();
+    link.kind = next->kind();
+    link.push_block = next_push;
+    link.samples = best_samples;
+    link.share = total == 0 ? 0.0
+                            : static_cast<double>(best_samples) /
+                                  static_cast<double>(total);
+    link.via_process = is_push ? cur->consumer_name() : cur->producer_name();
+    chain.links.push_back(link);
+    if (!visited.insert(TraceTrack::BlameKey(next->id(), next_push)).second) {
+      chain.root_cause = "cycle";
+      return chain;
+    }
+    cur = next;
+    is_push = next_push;
+  }
+  chain.root_cause = "depth limit";
+  return chain;
+}
+
+}  // namespace
+
+std::vector<BlameChain> AttributeBackpressure(const Simulator& sim,
+                                              std::size_t top_n) {
+  const TraceEventSink& sink = sim.trace_events();
+  std::vector<const TraceTrack*> ranked;
+  for (const auto& t : sink.tracks()) {
+    if (t->full_stall_samples() > 0) ranked.push_back(t.get());
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const TraceTrack* a, const TraceTrack* b) {
+              if (a->full_stall_samples() != b->full_stall_samples()) {
+                return a->full_stall_samples() > b->full_stall_samples();
+              }
+              return a->name() < b->name();
+            });
+  if (ranked.size() > top_n) ranked.resize(top_n);
+
+  std::vector<BlameChain> chains;
+  chains.reserve(ranked.size());
+  for (const TraceTrack* t : ranked) chains.push_back(WalkChain(sink, t));
+  return chains;
+}
+
+std::string FormatTable(const std::vector<BlameChain>& chains) {
+  std::ostringstream os;
+  os << "craft-trace blame chains (channels ranked by full-stall samples)\n";
+  if (chains.empty()) {
+    os << "  (no full stalls observed)\n";
+    return os.str();
+  }
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    const BlameChain& c = chains[i];
+    os << " #" << (i + 1) << " " << c.start << " [" << c.start_kind << "]  "
+       << c.stall_samples << " full-stall samples\n";
+    for (const BlameLink& l : c.links) {
+      os << "     -> " << l.track << " [" << l.kind << "] "
+         << (l.push_block ? "push-blocked" : "pop-blocked") << "  "
+         << l.samples << " samples ("
+         << static_cast<int>(l.share * 100.0 + 0.5) << "%)";
+      if (!l.via_process.empty()) os << "  via " << l.via_process;
+      os << "\n";
+    }
+    os << "     root cause: " << c.root_cause << "  @ " << c.root_track()
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string FormatJson(const Simulator& sim,
+                       const std::vector<BlameChain>& chains) {
+  using stats::JsonEscape;
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"craft-trace-blame-v1\",\n";
+  os << "  \"now_ps\": " << sim.now() << ",\n";
+  os << "  \"chains\": [\n";
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    const BlameChain& c = chains[i];
+    os << "    {\"start\": \"" << JsonEscape(c.start) << "\", \"kind\": \""
+       << JsonEscape(c.start_kind)
+       << "\", \"full_stall_samples\": " << c.stall_samples
+       << ", \"root_cause\": \"" << JsonEscape(c.root_cause)
+       << "\", \"root_track\": \"" << JsonEscape(c.root_track())
+       << "\", \"links\": [";
+    for (std::size_t j = 0; j < c.links.size(); ++j) {
+      const BlameLink& l = c.links[j];
+      os << (j == 0 ? "" : ", ") << "{\"track\": \"" << JsonEscape(l.track)
+         << "\", \"kind\": \"" << JsonEscape(l.kind) << "\", \"block\": \""
+         << (l.push_block ? "push" : "pop") << "\", \"samples\": " << l.samples
+         << ", \"share\": " << l.share << ", \"via_process\": \""
+         << JsonEscape(l.via_process) << "\"}";
+    }
+    os << "]}" << (i + 1 < chains.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace craft::trace

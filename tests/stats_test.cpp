@@ -7,6 +7,7 @@
 #include <string>
 
 #include "connections/connections.hpp"
+#include "connections/packetizer.hpp"
 #include "gals/gals.hpp"
 #include "kernel/kernel.hpp"
 #include "matchlib/fifo.hpp"
@@ -305,6 +306,90 @@ TEST(Stats, SocWorkloadEmitsPerPeAndNocMetrics) {
         "\"schema\": \"craft-stats-v1\""}) {
     EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
   }
+}
+
+}  // namespace
+
+// ---------- packetizer / depacketizer counters ----------
+
+struct StatsPMsg {
+  std::uint32_t addr = 0;
+  std::uint16_t data = 0;
+  bool operator==(const StatsPMsg&) const = default;
+};
+
+template <>
+struct Marshal<StatsPMsg> {
+  static constexpr unsigned kWidth = 48;
+  static void Write(BitStream& s, const StatsPMsg& m) {
+    s.PutBits(m.addr, 32);
+    s.PutBits(m.data, 16);
+  }
+  static StatsPMsg Read(BitStream& s) {
+    StatsPMsg m;
+    m.addr = static_cast<std::uint32_t>(s.GetBits(32));
+    m.data = static_cast<std::uint16_t>(s.GetBits(16));
+    return m;
+  }
+};
+
+namespace {
+
+TEST(StatsPacketizer, FlitLevelCountersAndLatencyHistogram) {
+  Simulator sim;
+  sim.stats().Enable();
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  connections::Buffer<StatsPMsg> in_ch(top, "in_ch", clk, 2);
+  connections::Buffer<connections::Flit> flit_ch(top, "flit_ch", clk, 2);
+  connections::Buffer<StatsPMsg> out_ch(top, "out_ch", clk, 2);
+  connections::Packetizer<StatsPMsg, 16> pk(top, "pk", clk, /*dest=*/1);
+  connections::DePacketizer<StatsPMsg, 16> dpk(top, "dpk", clk);
+  pk.in(in_ch);
+  pk.out(flit_ch);
+  dpk.in(flit_ch);
+  dpk.out(out_ch);
+  constexpr std::uint64_t kMsgs = 12;
+  constexpr std::uint64_t kFlits = 3;  // 48-bit message over 16-bit flits
+  std::vector<StatsPMsg> got;
+  struct B : Module {
+    B(Module& p, Clock& clk, connections::Buffer<StatsPMsg>& in_ch,
+      connections::Buffer<StatsPMsg>& out_ch, std::vector<StatsPMsg>& got)
+        : Module(p, "b") {
+      Thread("src", clk, [&] {
+        for (std::uint32_t i = 0; i < kMsgs; ++i) {
+          in_ch.Push(StatsPMsg{i, static_cast<std::uint16_t>(i * 3)});
+        }
+      });
+      Thread("dst", clk, [&] {
+        for (std::uint64_t i = 0; i < kMsgs; ++i) got.push_back(out_ch.Pop());
+      });
+    }
+  } b(top, clk, in_ch, out_ch, got);
+  sim.Run(2000_ns);
+  ASSERT_EQ(got.size(), kMsgs);
+
+  // Message-level channels count messages; the flit channel counts flits:
+  // the packetizer multiplies traffic by FlitsPerMessage exactly.
+  ASSERT_EQ(
+      (connections::Packetizer<StatsPMsg, 16>::FlitsPerMessage()), kFlits);
+  const ChannelStats& cin = FindChannel(sim, "top.in_ch");
+  const ChannelStats& cflit = FindChannel(sim, "top.flit_ch");
+  const ChannelStats& cout = FindChannel(sim, "top.out_ch");
+  EXPECT_EQ(cin.enqueues, kMsgs);
+  EXPECT_EQ(cin.dequeues, kMsgs);
+  EXPECT_EQ(cflit.enqueues, kMsgs * kFlits);
+  EXPECT_EQ(cflit.dequeues, kMsgs * kFlits);
+  EXPECT_EQ(cout.enqueues, kMsgs);
+  EXPECT_EQ(cout.dequeues, kMsgs);
+
+  // Latency histograms: one sample per dequeue on every hop, and a Buffer
+  // hop takes at least one cycle.
+  EXPECT_EQ(cin.latency.count, kMsgs);
+  EXPECT_EQ(cflit.latency.count, kMsgs * kFlits);
+  EXPECT_EQ(cout.latency.count, kMsgs);
+  EXPECT_GE(cflit.latency.min, 1u);
+  EXPECT_GE(cflit.latency.mean(), 1.0);
 }
 
 }  // namespace
