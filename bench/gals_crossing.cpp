@@ -3,6 +3,7 @@
 // including jittering (supply-noise-tracking) GALS clocks.
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -130,7 +131,8 @@ int main() {
               stats_overhead_pct);
   namespace bj = craft::bench;
   bj::EmitJson("gals_crossing",
-               {bj::Num("prod_period_ps", std::uint64_t{1000}),
+               {bj::Num("hw_threads", std::thread::hardware_concurrency()),
+                bj::Num("prod_period_ps", std::uint64_t{1000}),
                 bj::Num("cons_period_ps", std::uint64_t{1370}),
                 bj::Num("transfers", on.transfers),
                 bj::Num("tokens_per_consumer_cycle", on.throughput),

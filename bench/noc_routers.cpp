@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -160,7 +161,8 @@ int main() {
               kJsonLen, flits, wh_on.wall_seconds, stats_overhead_pct);
   namespace bj = craft::bench;
   bj::EmitJson("noc_routers",
-               {bj::Num("packet_len_flits", kJsonLen),
+               {bj::Num("hw_threads", std::thread::hardware_concurrency()),
+                bj::Num("packet_len_flits", kJsonLen),
                 bj::Num("packets", static_cast<std::uint64_t>(kPackets)),
                 bj::Num("wh_cycles_per_packet", wh_on.cycles_per_packet),
                 bj::Num("wh_head_latency_cycles", wh_on.head_latency),

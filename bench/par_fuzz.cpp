@@ -1,0 +1,128 @@
+// craft-par randomized stall-injection fuzz (the nightly CI campaign).
+//
+// Reuses the §2.3 stall-injection machinery (bench/stall_coverage.cpp): each
+// seed is a distinct timing universe for the GALS prototype SoC running
+// vecmul. Every universe is simulated twice — n=1 and n=4 workers — and the
+// two runs must agree exactly (golden check, controller cycles, channel
+// transfers). Any disagreement is a determinism bug in the parallel engine;
+// the failing seed is printed for replay, together with the craft-trace
+// backpressure blame chains of the parallel run to localize where the two
+// timelines diverged.
+//
+//   par_fuzz [--seed-start S] [--seed-count N] [--stall P]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "connections/channel_control.hpp"
+#include "soc/workloads.hpp"
+#include "trace/trace.hpp"
+
+namespace craft::soc {
+namespace {
+
+using namespace craft::literals;
+
+struct Outcome {
+  bool ok = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t transfers = 0;
+  std::string error;
+};
+
+Outcome RunUniverse(unsigned parallelism, double stall_prob, std::uint64_t seed,
+                    Simulator* sim_out_owner) {
+  Simulator& sim = *sim_out_owner;
+  sim.trace_events().Enable();  // for blame chains on mismatch
+  SocConfig cfg;
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 2;
+  cfg.gals = true;
+  cfg.parallelism = parallelism;
+  SocTop soc(sim, cfg);
+  const Workload w = SixSocTests()[0];  // vecmul exercises DMA + compute
+  w.setup(soc);
+  if (stall_prob > 0.0) {
+    connections::ChannelControl::ApplyStallToAll(
+        {.valid_stall_prob = stall_prob, .ready_stall_prob = stall_prob / 2,
+         .seed = seed});
+  }
+  Outcome o;
+  o.cycles = soc.RunCommands(w.commands(soc), 500_ms);
+  o.ok = w.check(soc, &o.error);
+  o.transfers = connections::ChannelControl::TotalTransfers();
+  return o;
+}
+
+}  // namespace
+}  // namespace craft::soc
+
+int main(int argc, char** argv) {
+  using namespace craft::soc;
+  std::uint64_t seed_start = 1;
+  unsigned seed_count = 3;
+  double stall = 0.25;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--seed-start") == 0) {
+      seed_start = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed-count") == 0) {
+      seed_count = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--stall") == 0) {
+      stall = std::strtod(argv[i + 1], nullptr);
+    }
+  }
+
+  std::printf("craft-par stall-injection fuzz: vecmul on the GALS 2x2 SoC, "
+              "stall=%.2f, seeds [%llu, %llu]\n\n",
+              stall, (unsigned long long)seed_start,
+              (unsigned long long)(seed_start + seed_count - 1));
+  std::printf("%10s %8s %12s %12s %12s %8s\n", "seed", "mode", "cycles",
+              "transfers", "golden", "verdict");
+
+  unsigned failures = 0;
+  for (std::uint64_t seed = seed_start; seed < seed_start + seed_count; ++seed) {
+    Outcome o1, o4;
+    {
+      craft::Simulator sim;
+      o1 = RunUniverse(1, stall, seed, &sim);
+    }
+    bool mismatch = false;
+    {
+      craft::Simulator sim;
+      o4 = RunUniverse(4, stall, seed, &sim);
+      mismatch = o1.cycles != o4.cycles || o1.transfers != o4.transfers ||
+                 o1.ok != o4.ok || !o1.ok;
+      if (mismatch) {
+        ++failures;
+        std::printf("\nMISMATCH at seed %llu — replay with: par_fuzz "
+                    "--seed-start %llu --seed-count 1 --stall %.2f\n",
+                    (unsigned long long)seed, (unsigned long long)seed, stall);
+        std::printf("  n=1: cycles=%llu transfers=%llu ok=%d %s\n",
+                    (unsigned long long)o1.cycles, (unsigned long long)o1.transfers,
+                    o1.ok, o1.error.c_str());
+        std::printf("  n=4: cycles=%llu transfers=%llu ok=%d %s\n",
+                    (unsigned long long)o4.cycles, (unsigned long long)o4.transfers,
+                    o4.ok, o4.error.c_str());
+        std::printf("\nBackpressure blame chains of the n=4 run:\n%s\n",
+                    craft::trace::FormatTable(
+                        craft::trace::AttributeBackpressure(sim, 10))
+                        .c_str());
+      }
+    }
+    std::printf("%10llu %8s %12llu %12llu %12s %8s\n",
+                (unsigned long long)seed, "n=1", (unsigned long long)o1.cycles,
+                (unsigned long long)o1.transfers, o1.ok ? "PASS" : "FAIL", "");
+    std::printf("%10s %8s %12llu %12llu %12s %8s\n", "", "n=4",
+                (unsigned long long)o4.cycles, (unsigned long long)o4.transfers,
+                o4.ok ? "PASS" : "FAIL", mismatch ? "FAIL" : "OK");
+  }
+
+  if (failures != 0) {
+    std::printf("\n%u of %u seeds diverged between n=1 and n=4\n", failures,
+                seed_count);
+    return 1;
+  }
+  std::printf("\nall %u seeds bit-identical between n=1 and n=4\n", seed_count);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// craft-par speedup bench: the GALS prototype SoC (2x2 mesh: RISC-V
+// controller, global memory, two PEs, NoC-connected, every node its own
+// pausible clock domain) running the vecmul workload with the RTL-cosim
+// per-cycle signal load enabled — i.e. the Fig. 6 "slow" configuration,
+// which is exactly the case a parallel simulator is for: each node's
+// netlist-activity emulation is heavy, embarrassingly domain-local work,
+// and the only cross-domain traffic is NoC flits through pausible FIFOs.
+//
+// Runs the identical workload at n = 1, 2, 4 workers, checks results and
+// cycle counts are bit-identical (the determinism guarantee), and reports
+// wall-clock speedup. Speedup is only meaningful with >= 4 hardware
+// threads; the JSON records hw_threads so CI can gate its >= 2x assertion
+// on runner shape instead of trusting numbers from a starved host.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_json.hpp"
+#include "soc/workloads.hpp"
+
+namespace craft::soc {
+namespace {
+
+using namespace craft::literals;
+
+struct Result {
+  bool ok = false;
+  std::uint64_t cycles = 0;
+  double wall_sec = 0.0;
+  unsigned workers = 0;
+  unsigned groups = 0;
+};
+
+Result RunOnce(unsigned parallelism, unsigned signals_per_node) {
+  Simulator sim;
+  SocConfig cfg;
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 2;
+  cfg.gals = true;
+  cfg.rtl_cosim = true;
+  cfg.rtl_signals_per_node = signals_per_node;
+  cfg.parallelism = parallelism;
+  SocTop soc(sim, cfg);
+  const Workload w = SixSocTests()[0];  // vecmul: DMA in, PE compute, DMA out
+  const auto t0 = std::chrono::steady_clock::now();
+  const WorkloadRun r = RunWorkload(soc, w, 500_ms);
+  const auto t1 = std::chrono::steady_clock::now();
+  Result out;
+  out.ok = r.ok;
+  out.cycles = r.cycles;
+  out.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+  const auto [workers, groups] = sim.parallel_shape();
+  out.workers = workers;
+  out.groups = groups;
+  return out;
+}
+
+}  // namespace
+}  // namespace craft::soc
+
+int main() {
+  using namespace craft::soc;
+  unsigned signals = 2048;
+  if (const char* env = std::getenv("CRAFT_PAR_BENCH_SIGNALS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v >= 16) signals = static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("craft-par speedup: GALS 2x2 SoC, vecmul, RTL-cosim load "
+              "(%u signals/node), %u hardware threads\n\n",
+              signals, hw);
+  std::printf("%8s %8s %8s %12s %12s %10s %8s\n", "workers", "groups", "ok",
+              "cycles", "wall [s]", "speedup", "");
+
+  Result base{};
+  bool deterministic = true;
+  double wall[5] = {0, 0, 0, 0, 0};
+  for (unsigned n : {1u, 2u, 4u}) {
+    const Result r = RunOnce(n, signals);
+    wall[n] = r.wall_sec;
+    if (n == 1) {
+      base = r;
+    } else if (r.cycles != base.cycles || r.ok != base.ok) {
+      deterministic = false;
+    }
+    std::printf("%8u %8u %8s %12llu %12.3f %9.2fx\n", r.workers, r.groups,
+                r.ok ? "PASS" : "FAIL", (unsigned long long)r.cycles, r.wall_sec,
+                n == 1 ? 1.0 : base.wall_sec / r.wall_sec);
+  }
+  const double speedup2 = wall[2] > 0 ? wall[1] / wall[2] : 0.0;
+  const double speedup4 = wall[4] > 0 ? wall[1] / wall[4] : 0.0;
+  std::printf("\nn=4 speedup: %.2fx (%s; honest numbers need >= 4 hardware "
+              "threads)\n",
+              speedup4, deterministic ? "deterministic" : "NON-DETERMINISTIC");
+
+  craft::bench::EmitJson(
+      "par_noc",
+      {
+          craft::bench::Num("hw_threads", hw),
+          craft::bench::Num("rtl_signals_per_node", signals),
+          craft::bench::Num("cycles", base.cycles),
+          craft::bench::Bool("ok", base.ok),
+          craft::bench::Bool("deterministic", deterministic),
+          craft::bench::Num("wall_seconds_n1", wall[1]),
+          craft::bench::Num("wall_seconds_n2", wall[2]),
+          craft::bench::Num("wall_seconds_n4", wall[4]),
+          craft::bench::Num("speedup_n2", speedup2),
+          craft::bench::Num("speedup_n4", speedup4),
+      });
+  return (base.ok && deterministic) ? 0 : 1;
+}

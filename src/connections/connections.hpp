@@ -132,11 +132,13 @@ class Channel : public Module, public ChannelControl {
 
   /// Non-blocking push: attempts to hand `v` to the channel this cycle.
   bool PushNB(const T& v) {
+    CheckAffinity();
     return sim().mode() == SimMode::kSignalAccurate ? SigPushNB(v) : SimPushNB(v);
   }
 
   /// Blocking push: returns once the channel has accepted `v`.
   void Push(const T& v) {
+    CheckAffinity();
     if (sim().mode() == SimMode::kSignalAccurate) {
       SigPush(v);
     } else {
@@ -148,11 +150,13 @@ class Channel : public Module, public ChannelControl {
 
   /// Non-blocking pop: attempts to take a message this cycle.
   bool PopNB(T& out) {
+    CheckAffinity();
     return sim().mode() == SimMode::kSignalAccurate ? SigPopNB(out) : SimPopNB(out);
   }
 
   /// Blocking pop.
   T Pop() {
+    CheckAffinity();
     return sim().mode() == SimMode::kSignalAccurate ? SigPop() : SimPop();
   }
 
@@ -165,6 +169,22 @@ class Channel : public Module, public ChannelControl {
   }
 
  private:
+  // craft-par thread-affinity guard: every channel endpoint belongs to the
+  // channel's clock-domain group, so a worker may only touch channels whose
+  // group it owns. The single-threaded scheduler never sets tl_sched_shard,
+  // so the check is vacuous there; under the engine a violation means the
+  // design routes cross-domain traffic outside any registered crossing — a
+  // data race in parallel mode, flagged instead of silently tolerated.
+  void CheckAffinity() const {
+    CRAFT_ASSERT(
+        tl_sched_shard == nullptr ||
+            sim().ShardForGroupOrNull(clk_.par_group()) == tl_sched_shard,
+        "channel '" << full_name()
+                    << "' accessed from a foreign clock-domain group; "
+                       "cross-domain traffic must go through a registered "
+                       "GALS crossing (PausibleBisyncFifo / AsyncChannel)");
+  }
+
   // ---- craft-stats instrumentation (no-ops when stats_ == nullptr) ----
 
   /// Successful enqueue: count it, stamp the message for the latency
@@ -383,6 +403,9 @@ class Channel : public Module, public ChannelControl {
   void BuildSignalAccurate() {
     sig_ = std::make_unique<Signals>(sim(), full_name());
     MethodProcess& comb = Method("comb", [this] { SigComb(); });
+    // Signal-sensitive only — declare the clock domain for the craft-par
+    // partitioner explicitly (SensitiveTo would add an unwanted edge trigger).
+    comb.SetAffinity(clk_);
     sig_->p_valid.AddSensitive(comb);
     sig_->p_msg.AddSensitive(comb);
     sig_->c_ready.AddSensitive(comb);

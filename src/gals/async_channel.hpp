@@ -19,12 +19,16 @@ namespace craft::gals {
 template <typename T, unsigned kDepth = 4>
 class AsyncChannel : public Module {
  public:
+  /// `sync_delay` is forwarded to the internal crossing (0 = the fifo's
+  /// conservative default of half the consumer period). Under craft-par it
+  /// is also the crossing's lookahead contribution: a larger grace window
+  /// lets workers run further ahead between synchronizations.
   AsyncChannel(Module& parent, const std::string& name, Clock& producer_clk,
-               Clock& consumer_clk)
+               Clock& consumer_clk, Time sync_delay = 0)
       : Module(parent, name),
         ingress_(*this, "ingress", producer_clk, 2),
         egress_(*this, "egress", consumer_clk, 2),
-        fifo_(*this, "cdc", producer_clk, consumer_clk) {
+        fifo_(*this, "cdc", producer_clk, consumer_clk, sync_delay) {
     // A designated CDC element: the crossing inside is correct by
     // construction, so the CDC lint rules exempt this subtree.
     sim().design_graph().MarkCdcSafe(full_name());

@@ -15,7 +15,9 @@
 // the correct-by-construction claim the tests verify.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -40,9 +42,19 @@ class PausibleBisyncFifo : public Module {
       : Module(parent, name),
         pclk_(producer_clk),
         cclk_(consumer_clk),
-        sync_delay_(sync_delay == 0 ? DefaultSyncDelay(consumer_clk) : sync_delay) {
+        sync_delay_(std::max<Time>(
+            1, sync_delay == 0 ? DefaultSyncDelay(consumer_clk) : sync_delay)) {
     // The pausible FIFO *is* the legal clock-domain-crossing element.
     sim().design_graph().MarkCdcSafe(full_name());
+    // craft-par: declare the crossing to the scheduler. The sync_delay is
+    // this crossing's lookahead contribution (a publish at producer time t
+    // is unobservable before t + sync_delay, so workers may safely run that
+    // far ahead of each other), and the path tells the domain partitioner
+    // that this module's two clocks must NOT be merged into one group.
+    // sync_delay_ is clamped to >= 1 ps: a zero grace window would make a
+    // same-timestep publish observable, which neither real pausible
+    // arbitration nor conservative parallel execution permits.
+    sim().RegisterCrossing(&pclk_, &cclk_, sync_delay_, full_name());
     stats_ = sim().stats().RegisterCrossing(full_name(), pclk_.name(), cclk_.name(),
                                             cclk_.period());
     trace_ = sim().trace_events().RegisterTrack(
@@ -68,11 +80,19 @@ class PausibleBisyncFifo : public Module {
     return c.period() / 2;
   }
 
+  /// One ring slot, shared by the two domains. Under craft-par the two
+  /// sides run on different worker threads, so the handoff is a lock-free
+  /// SPSC protocol: the producer writes `value`/`published` and then
+  /// releases `full`; the consumer acquires `full` before reading either,
+  /// and symmetrically releases `full = false` after writing `freed`. The
+  /// sync_delay time gates mean a racy load of `full` can only ever flip
+  /// the outcome for a slot the reader was not yet allowed to observe —
+  /// the simulated result is identical either way (DESIGN.md §9).
   struct Slot {
     T value{};
-    Time published = kTimeNever;  // producer commit time
-    Time freed = 0;               // consumer free time
-    bool full = false;
+    std::atomic<Time> published{kTimeNever};  // producer commit time
+    std::atomic<Time> freed{0};               // consumer free time
+    std::atomic<bool> full{false};
   };
 
   void RunEnqueue() {
@@ -81,26 +101,34 @@ class PausibleBisyncFifo : public Module {
       const T v = in.Pop();
       // Wait until the tail slot is free AND its freeing has had time to
       // propagate through the pausible synchronizer back to this domain.
-      bool paused = false;
+      //
+      // Pause-event classification happens *after* the wait, from the slot's
+      // freed timestamp: the arbitration would have paused this clock iff
+      // some failed poll fell inside the [freed, freed + sync_delay) grace
+      // window. Classifying at poll time from the racy `full` flag would tie
+      // the count to cross-worker wall-clock interleaving (the other side's
+      // same-window commit may or may not be visible yet), breaking the
+      // n-invariance of the stats JSON; the timestamp read below is ordered
+      // by the `full` acquire and gives the same answer sequential execution
+      // would.
+      Time last_failed_poll = kTimeNever;
       for (;;) {
         Slot& s = ring_[tail % kDepth];
-        if (!s.full && sim().now() >= s.freed + sync_delay_) break;
-        if (stats_) {
-          ++stats_->enq_sync_wait_cycles;
-          // A full-but-not-yet-synchronized slot is the case where the
-          // pausible arbitration would have paused this domain's clock.
-          if (!paused && !s.full) {
-            paused = true;
-            ++stats_->enq_pause_events;
-          }
-        }
+        if (!s.full.load(std::memory_order_acquire) &&
+            sim().now() >= s.freed.load(std::memory_order_relaxed) + sync_delay_)
+          break;
+        if (stats_) ++stats_->enq_sync_wait_cycles;
+        last_failed_poll = sim().now();
         if (trace_) trace_->PushStall();
         wait();
       }
       Slot& s = ring_[tail % kDepth];
+      if (stats_ && last_failed_poll != kTimeNever &&
+          last_failed_poll >= s.freed.load(std::memory_order_relaxed))
+        ++stats_->enq_pause_events;
       s.value = v;
-      s.published = sim().now();
-      s.full = true;
+      s.published.store(sim().now(), std::memory_order_relaxed);
+      s.full.store(true, std::memory_order_release);
       ++tail;
       // Residency slice covers the crossing itself: enqueue here (producer
       // commit), dequeue when the consumer takes the slot. Ring order is
@@ -113,32 +141,37 @@ class PausibleBisyncFifo : public Module {
     std::uint64_t head = 0;
     for (;;) {
       // The head slot is observable once its publish time has cleared the
-      // synchronizer grace window at this domain's sampling edge.
-      bool paused = false;
+      // synchronizer grace window at this domain's sampling edge. As on the
+      // enqueue side, pause events are classified after the wait from the
+      // publish timestamp (a poll at/after the publish but inside the grace
+      // window is the case where the arbitration would have paused this
+      // clock) so the count does not depend on when the producer worker's
+      // store became visible.
+      Time last_failed_poll = kTimeNever;
       for (;;) {
         Slot& s = ring_[head % kDepth];
-        if (s.full && sim().now() >= s.published + sync_delay_) break;
-        if (stats_) {
-          ++stats_->deq_sync_wait_cycles;
-          // Written but still inside the grace window: the arbitration would
-          // have paused the consumer clock rather than let it sample now.
-          if (!paused && s.full) {
-            paused = true;
-            ++stats_->deq_pause_events;
-          }
-        }
+        if (s.full.load(std::memory_order_acquire) &&
+            sim().now() >=
+                s.published.load(std::memory_order_relaxed) + sync_delay_)
+          break;
+        if (stats_) ++stats_->deq_sync_wait_cycles;
+        last_failed_poll = sim().now();
         if (trace_) trace_->PopStall();
         wait();
       }
       Slot& s = ring_[head % kDepth];
       const T v = s.value;
-      total_latency_ += sim().now() - s.published;
+      const Time latency = sim().now() - s.published.load(std::memory_order_relaxed);
+      if (stats_ && last_failed_poll != kTimeNever &&
+          last_failed_poll >= s.published.load(std::memory_order_relaxed))
+        ++stats_->deq_pause_events;
+      total_latency_ += latency;
       if (stats_) {
         ++stats_->transfers;
-        stats_->total_latency_ps += sim().now() - s.published;
+        stats_->total_latency_ps += latency;
       }
-      s.full = false;
-      s.freed = sim().now();
+      s.freed.store(sim().now(), std::memory_order_relaxed);
+      s.full.store(false, std::memory_order_release);
       ++head;
       ++transfers_;
       if (trace_) trace_->Dequeue();  // sets ctx so out.Push extends the span

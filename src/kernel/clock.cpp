@@ -9,7 +9,7 @@ Clock::Clock(Simulator& sim, std::string name, Time period, Time first_edge)
   CRAFT_ASSERT(period_ > 0, "clock period must be positive");
   sim_.RegisterClock(*this);
   const Time t0 = (first_edge == kTimeNever) ? sim_.now() + period_ : first_edge;
-  sim_.ScheduleAt(t0, [this] { Edge(); });
+  sim_.ScheduleAt(t0, [this] { Edge(); }, /*affinity=*/this);
 }
 
 void Clock::AttachMethod(MethodProcess& m) { methods_.push_back(&m); }
@@ -20,6 +20,7 @@ void Clock::AddEdgeHook(std::function<void()> fn, int priority) {
 }
 
 void Clock::Edge() {
+  tl_sched_group = par_group_;
   ++cycle_;
   if (hooks_dirty_) {
     std::stable_sort(hooks_.begin(), hooks_.end(), [](const Hook& a, const Hook& b) {
@@ -34,7 +35,7 @@ void Clock::Edge() {
   for (ProcessBase* p : w) sim_.MakeRunnable(*p);
   // Trigger statically sensitive methods.
   for (ProcessBase* m : methods_) sim_.MakeRunnable(*m);
-  sim_.ScheduleAt(sim_.now() + NextPeriod(), [this] { Edge(); });
+  sim_.ScheduleAt(sim_.now() + NextPeriod(), [this] { Edge(); }, /*affinity=*/this);
 }
 
 }  // namespace craft

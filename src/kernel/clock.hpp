@@ -51,6 +51,12 @@ class Clock {
   /// Makes `m` run at every posedge.
   void AttachMethod(MethodProcess& m);
 
+  /// craft-par: the clock-domain group this clock was assigned to by the
+  /// engine's partitioner (0 under the original scheduler). Edge callbacks
+  /// stamp it into tl_sched_group so trace span allocation stays grouped.
+  unsigned par_group() const { return par_group_; }
+  void set_par_group(unsigned g) { par_group_ = g; }
+
  protected:
   /// Period to use for the *next* cycle; GALS local clock generators override
   /// this to model supply-noise-driven frequency modulation.
@@ -63,6 +69,7 @@ class Clock {
   std::string name_;
   Time period_;
   std::uint64_t cycle_ = 0;
+  unsigned par_group_ = 0;
 
   struct Hook {
     int priority;

@@ -20,10 +20,50 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer has the analogous requirement (a "fiber" per call stack,
+// switched explicitly), with its own API. Without it, TSan attributes a
+// resumed fiber's frames to whatever stack the worker thread last ran and
+// reports false races the first time a fiber suspends across an epoch.
+#if defined(__SANITIZE_THREAD__)
+#define CRAFT_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CRAFT_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(CRAFT_TSAN_FIBERS)
+// Declared here rather than via <sanitizer/tsan_interface.h> so the file
+// also compiles against toolchains whose header predates the fiber API.
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace craft {
 
 namespace {
 thread_local Fiber* tl_current_fiber = nullptr;
+
+// TLS accessors, deliberately opaque to the optimizer. Code before and
+// after a swapcontext may execute on different OS threads (a fiber last
+// suspended on a craft-par worker is cancel-unwound from the main thread
+// in ~Simulator, after the workers have been joined); an inlined TLS access
+// whose address was computed before the switch would then write through a
+// dead thread's TLS. A noinline call recomputes the address on whichever
+// thread is actually running.
+__attribute__((noinline)) void SetCurrentFiber(Fiber* f) {
+  tl_current_fiber = f;
+  asm volatile("" ::: "memory");
+}
+
+__attribute__((noinline)) Fiber* GetCurrentFiber() {
+  asm volatile("" ::: "memory");
+  return tl_current_fiber;
+}
 }  // namespace
 
 Fiber::Fiber(Fn body, std::size_t stack_bytes)
@@ -44,12 +84,15 @@ Fiber::~Fiber() {
     CRAFT_ASSERT(done_, "fiber survived cancellation — a catch-all in the "
                         "body must rethrow FiberUnwind");
   }
+#if defined(CRAFT_TSAN_FIBERS)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
 }
 
-Fiber* Fiber::Current() { return tl_current_fiber; }
+Fiber* Fiber::Current() { return GetCurrentFiber(); }
 
 void Fiber::Trampoline() {
-  Fiber* self = tl_current_fiber;
+  Fiber* self = GetCurrentFiber();
 #if defined(CRAFT_ASAN_FIBERS)
   // First arrival on this fiber's stack: no fake stack to restore yet, but
   // record where we came from (the main context's bounds) for the way back.
@@ -72,11 +115,14 @@ void Fiber::Trampoline() {
   __sanitizer_start_switch_fiber(nullptr, self->asan_main_bottom_,
                                  self->asan_main_size_);
 #endif
+#if defined(CRAFT_TSAN_FIBERS)
+  __tsan_switch_to_fiber(self->tsan_host_, 0);
+#endif
   swapcontext(&self->ctx_, &self->link_);
 }
 
 void Fiber::resume() {
-  CRAFT_ASSERT(tl_current_fiber == nullptr, "resume() called from inside a fiber");
+  CRAFT_ASSERT(GetCurrentFiber() == nullptr, "resume() called from inside a fiber");
   CRAFT_ASSERT(!done_, "resume() on a finished fiber");
   if (!started_) {
     started_ = true;
@@ -86,16 +132,21 @@ void Fiber::resume() {
     ctx_.uc_link = nullptr;
     makecontext(&ctx_, &Fiber::Trampoline, 0);
   }
-  tl_current_fiber = this;
+  SetCurrentFiber(this);
 #if defined(CRAFT_ASAN_FIBERS)
   __sanitizer_start_switch_fiber(&asan_main_fss_, stack_.data(), stack_.size());
+#endif
+#if defined(CRAFT_TSAN_FIBERS)
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = __tsan_create_fiber(0);
+  tsan_host_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
 #endif
   swapcontext(&link_, &ctx_);
 #if defined(CRAFT_ASAN_FIBERS)
   // Back on the main stack, arriving from Suspend() or the Trampoline exit.
   __sanitizer_finish_switch_fiber(asan_main_fss_, nullptr, nullptr);
 #endif
-  tl_current_fiber = nullptr;
+  SetCurrentFiber(nullptr);
   if (pending_exception_) {
     std::exception_ptr e = pending_exception_;
     pending_exception_ = nullptr;
@@ -104,12 +155,15 @@ void Fiber::resume() {
 }
 
 void Fiber::Suspend() {
-  Fiber* self = tl_current_fiber;
+  Fiber* self = GetCurrentFiber();
   CRAFT_ASSERT(self != nullptr, "Suspend() called outside any fiber");
-  tl_current_fiber = nullptr;
+  SetCurrentFiber(nullptr);
 #if defined(CRAFT_ASAN_FIBERS)
   __sanitizer_start_switch_fiber(&self->asan_fiber_fss_, self->asan_main_bottom_,
                                  self->asan_main_size_);
+#endif
+#if defined(CRAFT_TSAN_FIBERS)
+  __tsan_switch_to_fiber(self->tsan_host_, 0);
 #endif
   swapcontext(&self->ctx_, &self->link_);
 #if defined(CRAFT_ASAN_FIBERS)
@@ -118,7 +172,7 @@ void Fiber::Suspend() {
   __sanitizer_finish_switch_fiber(self->asan_fiber_fss_, &self->asan_main_bottom_,
                                   &self->asan_main_size_);
 #endif
-  tl_current_fiber = self;
+  SetCurrentFiber(self);
   if (self->cancelling_) throw FiberUnwind{};
 }
 

@@ -72,6 +72,13 @@ class Fiber {
   void* asan_fiber_fss_ = nullptr;       ///< fiber's fake stack, saved on suspend
   const void* asan_main_bottom_ = nullptr;  ///< main stack bounds, learned on
   std::size_t asan_main_size_ = 0;          ///< first switch into the fiber
+
+  // ThreadSanitizer fiber-switch bookkeeping (see fiber.cpp; unused in
+  // non-TSan builds). TSan models each call stack as a "fiber" object that
+  // the thread must explicitly switch between, or it reports races between
+  // a fiber's frames and the scheduler stack that resumed it.
+  void* tsan_fiber_ = nullptr;  ///< this fiber's TSan context, lazily created
+  void* tsan_host_ = nullptr;   ///< TSan context of the resuming (scheduler) stack
 };
 
 }  // namespace craft

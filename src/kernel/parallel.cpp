@@ -1,0 +1,383 @@
+#include "kernel/parallel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "kernel/clock.hpp"
+#include "kernel/design_graph.hpp"
+#include "kernel/process.hpp"
+
+namespace craft::par {
+
+namespace {
+
+/// Plain union-find over dense clock indices.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Engine::Engine(Simulator& sim, unsigned requested) : sim_(sim) {
+  Partition(requested);
+  if (workers_.size() > 1) StartThreads();
+}
+
+Engine::~Engine() {
+  if (workers_.size() > 1) {
+    quit_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+  }
+  sim_.group_shards_.clear();
+}
+
+void Engine::Partition(unsigned requested) {
+  const auto& clocks = sim_.clocks();
+  const DesignGraph& graph = sim_.design_graph();
+
+  // Dense index per clock, in registration order (deterministic across
+  // runs, machines and worker counts — everything downstream keys off it).
+  std::unordered_map<const void*, std::size_t> clock_index;
+  clock_index.reserve(clocks.size());
+  for (std::size_t i = 0; i < clocks.size(); ++i) clock_index.emplace(clocks[i], i);
+
+  Dsu dsu(clocks.size());
+  const auto index_of = [&](const void* clk) -> const std::size_t* {
+    auto it = clock_index.find(clk);
+    return it != clock_index.end() ? &it->second : nullptr;
+  };
+
+  // Crossing paths are the designated cuts: the only module subtrees whose
+  // multi-clock contents must NOT merge their clock domains.
+  std::vector<const std::string*> cuts;
+  for (const auto& c : sim_.crossings()) cuts.push_back(&c.path);
+  const auto under_cut = [&](const std::string& path) {
+    for (const std::string* cut : cuts) {
+      if (PathIsUnder(path, *cut)) return true;
+    }
+    return false;
+  };
+
+  // 1. A module running threads on several clocks couples those domains
+  //    (its threads share state without any crossing) — unless the module
+  //    is a crossing itself.
+  for (const auto& [name, mod] : graph.modules()) {
+    if (mod.thread_clocks.size() < 2 || under_cut(name)) continue;
+    const std::size_t* first = nullptr;
+    for (const void* clk : mod.thread_clocks) {
+      const std::size_t* idx = index_of(clk);
+      if (idx == nullptr) continue;
+      if (first == nullptr) {
+        first = idx;
+      } else {
+        dsu.Union(*first, *idx);
+      }
+    }
+  }
+
+  // 2. A port binds its owner's processes to the channel's clock domain:
+  //    the channel's commit hook (on its clock) wakes the owner's blocked
+  //    threads. Walk the attributed owner up to the nearest module that
+  //    actually runs threads (owner attribution is ancestor-or-self exact).
+  for (const auto& port : graph.ports()) {
+    if (port.channel.empty()) continue;
+    const auto ch = graph.channels().find(port.channel);
+    if (ch == graph.channels().end() || ch->second.clock == nullptr) continue;
+    const std::size_t* ch_idx = index_of(ch->second.clock);
+    if (ch_idx == nullptr) continue;
+    std::string owner = port.owner;
+    const DesignGraph::ModuleNode* mod = nullptr;
+    while (!owner.empty()) {
+      const auto it = graph.modules().find(owner);
+      if (it == graph.modules().end()) break;
+      if (!it->second.thread_clocks.empty()) {
+        mod = &it->second;
+        break;
+      }
+      owner = it->second.parent;
+    }
+    if (mod == nullptr || under_cut(mod->name)) continue;
+    for (const void* clk : mod->thread_clocks) {
+      const std::size_t* idx = index_of(clk);
+      if (idx != nullptr) dsu.Union(*ch_idx, *idx);
+    }
+  }
+
+  // 3. Method processes: triggers and declared affinities couple their
+  //    clocks. A method with no clock at all is unplaceable — fall back to
+  //    one group (correct, just not concurrent) rather than guess.
+  for (const auto& p : sim_.processes()) {
+    const auto* m = dynamic_cast<const MethodProcess*>(p.get());
+    if (m == nullptr) continue;
+    if (m->affinity_clocks().empty()) {
+      single_group_forced_ = true;
+      continue;
+    }
+    const std::size_t* first = index_of(m->affinity_clocks().front());
+    for (const Clock* clk : m->affinity_clocks()) {
+      const std::size_t* idx = index_of(clk);
+      if (idx == nullptr) continue;
+      if (first == nullptr) {
+        first = idx;
+      } else {
+        dsu.Union(*first, *idx);
+      }
+    }
+  }
+
+  // Dense group ids, ordered by first appearance over clock registration
+  // order — identical for every worker count by construction.
+  num_groups_ = 0;
+  if (single_group_forced_ || clocks.empty()) {
+    num_groups_ = 1;
+    for (Clock* c : clocks) {
+      clock_group_[c] = 0;
+      c->set_par_group(0);
+    }
+  } else {
+    std::unordered_map<std::size_t, unsigned> root_group;
+    for (std::size_t i = 0; i < clocks.size(); ++i) {
+      const std::size_t root = dsu.Find(i);
+      auto [it, fresh] = root_group.emplace(root, num_groups_);
+      if (fresh) ++num_groups_;
+      clock_group_[clocks[i]] = it->second;
+      clocks[i]->set_par_group(it->second);
+    }
+  }
+
+  // Conservative lookahead: the tightest synchronizer grace window over all
+  // crossings bounds how far any worker may run ahead of the global minimum.
+  for (const auto& c : sim_.crossings()) {
+    lookahead_ = std::min(lookahead_, std::max<Time>(1, c.sync_delay));
+  }
+
+  // Stamp every process with its owning group.
+  std::vector<std::uint64_t> group_load(num_groups_, 0);
+  for (const auto& p : sim_.processes()) {
+    unsigned g = 0;
+    if (const auto* t = dynamic_cast<const ThreadProcess*>(p.get())) {
+      const auto it = clock_group_.find(&t->clock());
+      if (it != clock_group_.end()) g = it->second;
+    } else if (const auto* m = dynamic_cast<const MethodProcess*>(p.get())) {
+      if (!m->affinity_clocks().empty()) {
+        const auto it = clock_group_.find(m->affinity_clocks().front());
+        if (it != clock_group_.end()) g = it->second;
+      }
+    }
+    p->par_group = g;
+    ++group_load[g];
+  }
+
+  // Greedy least-loaded assignment of groups to workers, heaviest group
+  // first (process count is the best static load proxy available).
+  const unsigned n_workers =
+      std::max(1u, std::min(requested, num_groups_));
+  workers_.reserve(n_workers);
+  for (unsigned i = 0; i < n_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->index = i;
+  }
+  std::vector<unsigned> order(num_groups_);
+  for (unsigned g = 0; g < num_groups_; ++g) order[g] = g;
+  std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    return group_load[a] != group_load[b] ? group_load[a] > group_load[b]
+                                          : a < b;
+  });
+  std::vector<std::uint64_t> worker_load(n_workers, 0);
+  sim_.group_shards_.assign(num_groups_, nullptr);
+  for (unsigned g : order) {
+    unsigned best = 0;
+    for (unsigned w = 1; w < n_workers; ++w) {
+      if (worker_load[w] < worker_load[best]) best = w;
+    }
+    worker_load[best] += group_load[g];
+    workers_[best]->groups.push_back(g);
+    sim_.group_shards_[g] = &workers_[best]->shard;
+  }
+
+  for (auto& w : workers_) w->shard.now = sim_.main_shard_.now;
+
+  if (sim_.trace_events().enabled()) {
+    sim_.trace_events().SetSharded(num_groups_, n_workers);
+  }
+
+  Redistribute();
+}
+
+void Engine::Redistribute() {
+  SchedShard& main = sim_.main_shard_;
+
+  // Updates queued outside any window (elaboration-time signal writes)
+  // commit here on the main thread; the process wakes they trigger route to
+  // the owning shards through the now-populated group table.
+  while (!main.updates.empty()) {
+    std::vector<Updatable*> ups;
+    ups.swap(main.updates);
+    for (Updatable* u : ups) u->Update();
+  }
+
+  // Runnable processes move to their group's shard in queue order; `queued`
+  // stays set (they are still queued, just elsewhere).
+  if (!main.runnable.empty()) {
+    std::vector<ProcessBase*> batch;
+    batch.swap(main.runnable);
+    for (ProcessBase* p : batch) {
+      sim_.group_shards_[p->par_group]->runnable.push_back(p);
+    }
+  }
+
+  // Timed entries drain in (t, seq) order and are re-sequenced per target
+  // shard, preserving each shard's relative firing order. Routing key is
+  // the scheduling affinity (Clocks pass themselves); anonymous entries
+  // (delayed notifications issued from the main thread) go to group 0.
+  while (!main.timed.empty()) {
+    TimedEntry e{main.timed.top().t, 0, main.timed.top().affinity,
+                 std::move(const_cast<TimedEntry&>(main.timed.top()).fn)};
+    main.timed.pop();
+    unsigned g = 0;
+    const auto it = clock_group_.find(e.affinity);
+    if (it != clock_group_.end()) g = it->second;
+    SchedShard& target = *sim_.group_shards_[g];
+    e.seq = target.seq++;
+    target.timed.push(std::move(e));
+  }
+}
+
+void Engine::StartThreads() {
+  for (auto& w : workers_) {
+    Worker* wp = w.get();
+    wp->thread = std::thread([this, wp] { WorkerLoop(*wp); });
+  }
+}
+
+Time Engine::NextEventTime(const SchedShard& s) {
+  if (!s.runnable.empty() || !s.updates.empty()) return s.now;
+  if (!s.timed.empty()) return s.timed.top().t;
+  return kTimeNever;
+}
+
+void Engine::RunWindow(Worker& w) {
+  SchedShard& s = w.shard;
+  tl_sched_shard = &s;
+  TraceEventSink::set_worker_slot(static_cast<int>(w.index));
+  try {
+    sim_.SettleDeltas(s);
+    while (!s.local_stop && !s.timed.empty() && s.timed.top().t <= horizon_) {
+      sim_.FireTimestep(s);
+      sim_.SettleDeltas(s);
+    }
+  } catch (...) {
+    w.error = std::current_exception();
+  }
+  TraceEventSink::set_worker_slot(-1);
+  tl_sched_shard = nullptr;
+}
+
+void Engine::WorkerLoop(Worker& w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    while (e == seen) {
+      epoch_.wait(e, std::memory_order_acquire);
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    seen = e;
+    if (quit_.load(std::memory_order_acquire)) return;
+    RunWindow(w);
+    arrived_.fetch_add(1, std::memory_order_acq_rel);
+    arrived_.notify_all();
+  }
+}
+
+void Engine::RunUntil(Time t) {
+  Redistribute();
+  for (auto& w : workers_) w->shard.local_stop = false;
+  const bool threaded = workers_.size() > 1;
+
+  while (!sim_.stopped()) {
+    Time m = kTimeNever;
+    for (const auto& w : workers_) m = std::min(m, NextEventTime(w->shard));
+    if (m == kTimeNever || m > t) break;
+    // Conservative window [m, h]: nothing published at >= m can be observed
+    // before m + lookahead, so every event at <= h is safe to fire without
+    // cross-worker synchronization. No crossings at all means the groups
+    // are fully independent (anything that couples domains either merged
+    // them during partitioning or faults in MakeRunnable), so the whole
+    // run is one window.
+    horizon_ = (lookahead_ == kTimeNever || lookahead_ - 1 >= t - m)
+                   ? t
+                   : m + lookahead_ - 1;
+    if (!threaded) {
+      RunWindow(*workers_[0]);
+    } else {
+      epoch_.fetch_add(1, std::memory_order_release);
+      epoch_.notify_all();
+      std::uint64_t a = arrived_.load(std::memory_order_acquire);
+      while (a != workers_.size()) {
+        arrived_.wait(a, std::memory_order_acquire);
+        a = arrived_.load(std::memory_order_acquire);
+      }
+      arrived_.store(0, std::memory_order_relaxed);
+    }
+    for (auto& w : workers_) {
+      if (w->error != nullptr) {
+        std::exception_ptr e = w->error;
+        w->error = nullptr;
+        if (sim_.trace_events().enabled()) sim_.trace_events().MergeShards();
+        std::rethrow_exception(e);
+      }
+    }
+  }
+
+  if (!sim_.stopped()) {
+    for (auto& w : workers_) {
+      if (w->shard.now < t) w->shard.now = t;
+    }
+  }
+  Time max_now = sim_.main_shard_.now;
+  for (const auto& w : workers_) max_now = std::max(max_now, w->shard.now);
+  sim_.main_shard_.now = max_now;
+  if (sim_.trace_events().enabled()) sim_.trace_events().MergeShards();
+}
+
+std::uint64_t Engine::TotalDeltaCount() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->shard.delta_count;
+  return n;
+}
+
+std::uint64_t Engine::TotalDispatchCount() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->shard.dispatch_count;
+  return n;
+}
+
+std::uint64_t Engine::TotalTimedFired() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->shard.timed_fired;
+  return n;
+}
+
+}  // namespace craft::par

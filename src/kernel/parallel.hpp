@@ -1,0 +1,104 @@
+// craft-par: the domain-sharded parallel execution engine (DESIGN.md §9).
+//
+// The engine partitions the elaborated design into GALS clock-domain groups
+// (connected components of the clock graph, cut only at registered
+// PausibleBisyncFifo crossings), assigns each group to a worker thread, and
+// runs the simulation as a sequence of conservative epoch windows:
+//
+//   M = min over shards of the next event time
+//   H = min(t, M + lookahead - 1), lookahead = min crossing sync_delay
+//
+// Every worker runs its own shard's timed/delta loop up to H with no locks
+// and no communication; a value published into a crossing at time p >= M is
+// unobservable before p + sync_delay >= M + lookahead > H, so nothing one
+// worker does inside a window can affect another worker in the same window.
+// The crossings' SPSC slots are the only shared mutable simulation state;
+// an epoch barrier between windows publishes them (release/acquire on the
+// barrier counters), making the window sequence — and therefore results,
+// stats and trace spans — identical for every worker count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/simulator.hpp"
+#include "kernel/time.hpp"
+
+namespace craft::par {
+
+class Engine {
+ public:
+  /// Partitions the design owned by `sim` and, when more than one group
+  /// exists and `requested` > 1, starts the worker threads. Must run after
+  /// elaboration (it reads the design graph, clocks and crossings).
+  Engine(Simulator& sim, unsigned requested);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs all shards until absolute time `t` (or until Stop()), in
+  /// conservative epoch windows. Called from the main thread only.
+  void RunUntil(Time t);
+
+  unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
+  unsigned group_count() const { return num_groups_; }
+
+  /// The conservative window width: the minimum synchronizer grace window
+  /// over all registered crossings (kTimeNever = no crossings, so the
+  /// groups are fully independent and the whole run is one window).
+  Time lookahead() const { return lookahead_; }
+
+  /// True when a method process without a declared clock affinity forced
+  /// the whole design into one group (parallel-safe but not concurrent).
+  bool single_group_forced() const { return single_group_forced_; }
+
+  std::uint64_t TotalDeltaCount() const;
+  std::uint64_t TotalDispatchCount() const;
+  std::uint64_t TotalTimedFired() const;
+
+ private:
+  struct Worker {
+    SchedShard shard;
+    std::vector<unsigned> groups;  // group ids this worker owns
+    unsigned index = 0;
+    std::exception_ptr error;
+    std::thread thread;
+  };
+
+  void Partition(unsigned requested);
+  /// Moves work queued on the main shard (elaboration, between runs) onto
+  /// the owning workers' shards. Main-thread only, workers quiescent.
+  void Redistribute();
+  void StartThreads();
+  void WorkerLoop(Worker& w);
+  /// One conservative window on `w`'s shard: settle, then fire timesteps
+  /// up to horizon_. Runs on the worker's thread (or inline when W == 1).
+  void RunWindow(Worker& w);
+  static Time NextEventTime(const SchedShard& s);
+
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unordered_map<const void*, unsigned> clock_group_;
+  unsigned num_groups_ = 1;
+  Time lookahead_ = kTimeNever;
+  bool single_group_forced_ = false;
+
+  // Epoch barrier. The coordinator publishes horizon_ with the release
+  // increment of epoch_; workers acquire epoch_, run the window, and
+  // release-increment arrived_, which the coordinator acquires before
+  // reading any shard. Both counters use C++20 atomic wait/notify. This
+  // release/acquire chain is also what publishes one window's crossing-slot
+  // writes to every other worker before the next window begins.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> arrived_{0};
+  std::atomic<bool> quit_{false};
+  Time horizon_ = 0;  // ordered by the epoch_ release/acquire pair
+};
+
+}  // namespace craft::par

@@ -57,6 +57,12 @@ MethodProcess::MethodProcess(Simulator& sim, std::string name, std::function<voi
 
 MethodProcess& MethodProcess::SensitiveTo(Clock& clk) {
   clk.AttachMethod(*this);
+  affinity_clocks_.push_back(&clk);
+  return *this;
+}
+
+MethodProcess& MethodProcess::SetAffinity(Clock& clk) {
+  affinity_clocks_.push_back(&clk);
   return *this;
 }
 

@@ -7,6 +7,7 @@
 // onto the SystemC coding style used throughout the paper.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -39,6 +40,12 @@ class ProcessBase {
 
   bool queued = false;  // managed by Simulator::MakeRunnable
 
+  /// craft-par: the GALS clock-domain group this process belongs to,
+  /// assigned by the engine's partitioner before the first parallel Run.
+  /// Routes MakeRunnable to the owning worker's shard; 0 (the only group)
+  /// under the original scheduler.
+  unsigned par_group = 0;
+
   // craft-stats profiling slots, written by the scheduler's dispatch loop
   // (kernel/stats.hpp). Dispatch counting is always on (one increment);
   // wall-clock accumulation only when the stats registry is enabled.
@@ -49,10 +56,13 @@ class ProcessBase {
   // trace sink is enabled. trace_ctx carries the span id of the message
   // this process last popped, consumed by its next push (the hop-to-hop
   // propagation mechanism); the blocked fields record which track the
-  // process is currently stalled on, sampled by blame attribution.
+  // process is currently stalled on, sampled by blame attribution. The
+  // blocked fields are atomic because blame sampling reads them across a
+  // GALS crossing (the only place two workers see the same process);
+  // trace_ctx is only ever touched by the owning worker.
   std::uint64_t trace_ctx = 0;
-  std::uint32_t trace_blocked_track = kNoTraceTrack;
-  bool trace_blocked_is_push = false;
+  std::atomic<std::uint32_t> trace_blocked_track{kNoTraceTrack};
+  std::atomic<bool> trace_blocked_is_push{false};
 
  private:
   Simulator& sim_;
@@ -100,8 +110,22 @@ class MethodProcess : public ProcessBase {
   /// Adds a clock posedge trigger.
   MethodProcess& SensitiveTo(Clock& clk);
 
+  /// Declares the clock domain this method belongs to WITHOUT adding a
+  /// trigger — for signal-sensitive methods (combinational logic), whose
+  /// domain craft-par's partitioner cannot infer from triggers alone. A
+  /// method with neither a SensitiveTo clock nor a declared affinity forces
+  /// the whole design into a single domain group (safe, not parallel).
+  MethodProcess& SetAffinity(Clock& clk);
+
+  /// Clocks this method is tied to (triggers + declared affinities), for
+  /// the partitioner. Multiple distinct clocks merge their domain groups.
+  const std::vector<const Clock*>& affinity_clocks() const {
+    return affinity_clocks_;
+  }
+
  private:
   std::function<void()> body_;
+  std::vector<const Clock*> affinity_clocks_;
 };
 
 // ---- SystemC-style free functions (operate on the current thread) ----

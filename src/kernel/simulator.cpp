@@ -1,9 +1,11 @@
 #include "kernel/simulator.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
 
 #include "kernel/design_graph.hpp"
+#include "kernel/parallel.hpp"
 #include "kernel/process.hpp"
 
 namespace craft {
@@ -12,13 +14,29 @@ namespace {
 Simulator* g_current = nullptr;
 }  // namespace
 
+thread_local constinit SchedShard* tl_sched_shard = nullptr;
+thread_local constinit unsigned tl_sched_group = 0;
+
 Simulator::Simulator() : design_graph_(std::make_shared<DesignGraph>()) {
   CRAFT_ASSERT(g_current == nullptr, "only one Simulator may exist at a time");
   g_current = this;
   trace_events_.sim_ = this;
+  // CRAFT_PARALLELISM=<n> selects the domain-sharded engine without code
+  // changes (used by the TSan CI job to force n=4 under the existing test
+  // suites). An explicit SetParallelism() call overrides it.
+  if (const char* env = std::getenv("CRAFT_PARALLELISM")) {
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    if (n >= 1) parallelism_ = static_cast<unsigned>(n);
+  }
 }
 
-Simulator::~Simulator() { g_current = nullptr; }
+Simulator::~Simulator() {
+  // Join engine workers before anything else dies: process fibers must not
+  // be torn down (cancel-unwind resumes them on this thread) while a worker
+  // thread could still be referencing them.
+  engine_.reset();
+  g_current = nullptr;
+}
 
 Simulator& Simulator::Current() {
   CRAFT_ASSERT(g_current != nullptr, "no Simulator installed");
@@ -27,18 +45,41 @@ Simulator& Simulator::Current() {
 
 Simulator* Simulator::CurrentOrNull() { return g_current; }
 
-void Simulator::ScheduleAt(Time t, std::function<void()> fn) {
-  CRAFT_ASSERT(t >= now_, "cannot schedule in the past");
-  timed_.push(TimedEntry{t, seq_++, std::move(fn)});
+void Simulator::SetParallelism(unsigned n) {
+  CRAFT_ASSERT(!started_, "SetParallelism must be called before the first Run()");
+  parallelism_ = n;
+}
+
+void Simulator::RegisterCrossing(const void* producer_clk,
+                                 const void* consumer_clk, Time sync_delay,
+                                 const std::string& path) {
+  crossings_.push_back(CrossingDecl{producer_clk, consumer_clk, sync_delay, path});
+}
+
+void Simulator::ScheduleAt(Time t, std::function<void()> fn,
+                           const void* affinity) {
+  SchedShard& s = CurShard();
+  CRAFT_ASSERT(t >= s.now, "cannot schedule in the past");
+  s.timed.push(TimedEntry{t, s.seq++, affinity, std::move(fn)});
 }
 
 void Simulator::MakeRunnable(ProcessBase& p) {
   if (p.queued) return;
+  SchedShard* routed =
+      group_shards_.empty() ? nullptr : group_shards_[p.par_group];
+  SchedShard& s = routed != nullptr ? *routed : main_shard_;
+  // Thread-affinity check (craft-par): a worker may only wake processes on
+  // its own shard. Waking another domain group's process mid-window would
+  // be a cross-domain interaction outside any registered crossing — a data
+  // race that single-threaded simulation silently tolerates.
+  CRAFT_ASSERT(tl_sched_shard == nullptr || tl_sched_shard == &s,
+               "cross-domain wake of process '"
+                   << p.name()
+                   << "': clock domains may only interact through a "
+                      "registered GALS crossing (PausibleBisyncFifo)");
   p.queued = true;
-  runnable_.push_back(&p);
+  s.runnable.push_back(&p);
 }
-
-void Simulator::QueueUpdate(Updatable& u) { updates_.push_back(&u); }
 
 ProcessBase& Simulator::AdoptProcess(std::unique_ptr<ProcessBase> p) {
   ProcessBase& ref = *p;
@@ -49,42 +90,46 @@ ProcessBase& Simulator::AdoptProcess(std::unique_ptr<ProcessBase> p) {
   return ref;
 }
 
-void Simulator::ReportDeltaOverflow() {
+void Simulator::ReportDeltaOverflow(const SchedShard& s) {
   // The delta loop failed to settle: almost always a zero-delay
   // combinational oscillation (e.g. two methods sensitive to each other's
   // signals). Name the processes still runnable so the cycle is findable.
   std::ostringstream os;
-  os << "delta limit (" << delta_limit_ << ") exceeded at t=" << now_
+  os << "delta limit (" << delta_limit_ << ") exceeded at t=" << s.now
      << " ps without settling; likely a zero-delay combinational oscillation."
      << " Runnable processes:";
   std::size_t shown = 0;
-  for (ProcessBase* p : runnable_) {
+  for (ProcessBase* p : s.runnable) {
     if (shown++ == 8) {
-      os << " ... (" << runnable_.size() << " total)";
+      os << " ... (" << s.runnable.size() << " total)";
       break;
     }
     os << " " << p->name();
   }
-  if (runnable_.empty()) os << " (none: update-phase-only oscillation)";
+  if (s.runnable.empty()) os << " (none: update-phase-only oscillation)";
   CRAFT_ERROR(os.str());
 }
 
-void Simulator::RunDeltasAtCurrentTime() {
+void Simulator::SettleDeltas(SchedShard& s) {
   const bool profile = stats_.enabled();
   std::uint64_t deltas_this_step = 0;
   // A process may call Stop() mid-settle (e.g. a testbench watchdog inside
   // an oscillating design); honour it here, not just between timesteps. The
   // update phase of the stopping delta still runs so no written signal value
-  // is left uncommitted across a resume.
-  while ((!runnable_.empty() || !updates_.empty()) && !stop_requested_) {
-    ++delta_count_;
-    if (delta_limit_ != 0 && ++deltas_this_step > delta_limit_) ReportDeltaOverflow();
+  // is left uncommitted across a resume. The flag checked is the
+  // shard-local one: under craft-par only the shard the stopper ran on
+  // breaks early, so every other shard's window stays deterministic.
+  while ((!s.runnable.empty() || !s.updates.empty()) && !s.local_stop) {
+    ++s.delta_count;
+    if (delta_limit_ != 0 && ++deltas_this_step > delta_limit_)
+      ReportDeltaOverflow(s);
     std::vector<ProcessBase*> batch;
-    batch.swap(runnable_);
+    batch.swap(s.runnable);
     for (ProcessBase* p : batch) {
       p->queued = false;
-      ++dispatch_count_;
+      ++s.dispatch_count;
       ++p->stat_dispatches;
+      tl_sched_group = p->par_group;
       if (profile) {
         const auto t0 = std::chrono::steady_clock::now();
         p->Dispatch();
@@ -97,8 +142,19 @@ void Simulator::RunDeltasAtCurrentTime() {
       }
     }
     std::vector<Updatable*> ups;
-    ups.swap(updates_);
+    ups.swap(s.updates);
     for (Updatable* u : ups) u->Update();
+  }
+}
+
+void Simulator::FireTimestep(SchedShard& s) {
+  s.now = s.timed.top().t;
+  // Fire every timed entry at this timestamp; the caller settles deltas.
+  while (!s.timed.empty() && s.timed.top().t == s.now) {
+    auto fn = std::move(const_cast<TimedEntry&>(s.timed.top()).fn);
+    s.timed.pop();
+    ++s.timed_fired;
+    fn();
   }
 }
 
@@ -107,31 +163,59 @@ void Simulator::StartIfNeeded() {
   started_ = true;
   // Initial evaluation: every process runs once at time zero (threads run
   // until their first wait; methods compute initial combinational outputs).
-  RunDeltasAtCurrentTime();
+  SettleDeltas(main_shard_);
+}
+
+void Simulator::StartEngine() {
+  started_ = true;
+  engine_ = std::make_unique<par::Engine>(*this, parallelism_);
 }
 
 void Simulator::RunUntil(Time t) {
   // A stop request only ends the Run() it was issued under; clear it so a
   // stop-then-resume sequence works (the request must not be sticky).
-  stop_requested_ = false;
+  stop_requested_.store(false, std::memory_order_relaxed);
+  main_shard_.local_stop = false;
+  if (parallelism_ > 0) {
+    if (engine_ == nullptr) StartEngine();
+    engine_->RunUntil(t);
+    return;
+  }
   StartIfNeeded();
   // Settle deltas left pending by a Stop() that landed mid-settle; a no-op
   // on the common path (nothing runnable between Run calls).
-  RunDeltasAtCurrentTime();
-  while (!stop_requested_ && !timed_.empty() && timed_.top().t <= t) {
-    now_ = timed_.top().t;
-    // Fire every timed entry at this timestamp, then settle all deltas.
-    while (!timed_.empty() && timed_.top().t == now_) {
-      auto fn = std::move(const_cast<TimedEntry&>(timed_.top()).fn);
-      timed_.pop();
-      ++timed_fired_;
-      fn();
-    }
-    RunDeltasAtCurrentTime();
+  SettleDeltas(main_shard_);
+  while (!stopped() && !main_shard_.timed.empty() &&
+         main_shard_.timed.top().t <= t) {
+    FireTimestep(main_shard_);
+    SettleDeltas(main_shard_);
   }
-  if (!stop_requested_ && now_ < t) now_ = t;
+  if (!stopped() && main_shard_.now < t) main_shard_.now = t;
 }
 
-void Simulator::Run(Time duration) { RunUntil(now_ + duration); }
+void Simulator::Run(Time duration) { RunUntil(now() + duration); }
+
+std::uint64_t Simulator::delta_count() const {
+  std::uint64_t n = main_shard_.delta_count;
+  if (engine_ != nullptr) n += engine_->TotalDeltaCount();
+  return n;
+}
+
+std::uint64_t Simulator::dispatch_count() const {
+  std::uint64_t n = main_shard_.dispatch_count;
+  if (engine_ != nullptr) n += engine_->TotalDispatchCount();
+  return n;
+}
+
+std::uint64_t Simulator::timed_fired() const {
+  std::uint64_t n = main_shard_.timed_fired;
+  if (engine_ != nullptr) n += engine_->TotalTimedFired();
+  return n;
+}
+
+std::pair<unsigned, unsigned> Simulator::parallel_shape() const {
+  if (engine_ == nullptr) return {1u, 1u};
+  return {engine_->worker_count(), engine_->group_count()};
+}
 
 }  // namespace craft

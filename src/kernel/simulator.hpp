@@ -2,8 +2,15 @@
 // (evaluate / update) signal protocol, mirroring SystemC's scheduler
 // semantics closely enough that Connections' signal-accurate and
 // sim-accurate channel models behave exactly as described in the paper.
+//
+// craft-par (DESIGN.md §9): the scheduler state lives in SchedShard so the
+// parallel engine can run one shard per worker thread, partitioned by GALS
+// clock-domain group. The default (SetParallelism never called, no
+// CRAFT_PARALLELISM in the environment) keeps the original single-queue
+// code path byte-for-byte.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,6 +30,10 @@ class ProcessBase;
 class Clock;
 class DesignGraph;
 
+namespace par {
+class Engine;
+}  // namespace par
+
 /// Global simulation mode, selecting which implementation Connections
 /// channels instantiate (paper §2.3):
 ///  - kSignalAccurate: ports drive valid/ready/msg signals with delayed
@@ -38,6 +49,55 @@ class Updatable {
   virtual ~Updatable() = default;
   virtual void Update() = 0;
 };
+
+/// One timed-event queue entry. `affinity` identifies the scheduling object
+/// (the Clock, for edges) so the parallel partitioner can move entries
+/// queued during elaboration onto the worker that owns that clock's domain.
+struct TimedEntry {
+  Time t;
+  std::uint64_t seq;  // FIFO tie-break for determinism
+  const void* affinity;
+  std::function<void()> fn;
+  bool operator>(const TimedEntry& o) const {
+    return t != o.t ? t > o.t : seq > o.seq;
+  }
+};
+
+/// The per-worker slice of scheduler state. The plain (non-parallel)
+/// scheduler uses exactly one of these; the parallel engine owns one per
+/// worker thread plus the group->shard routing table in the Simulator.
+struct SchedShard {
+  Time now = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t delta_count = 0;
+  std::uint64_t dispatch_count = 0;
+  std::uint64_t timed_fired = 0;
+  /// Set by Stop() issued from a process running on this shard; breaks the
+  /// delta-settle loop exactly like the single-threaded scheduler.
+  bool local_stop = false;
+
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<TimedEntry>>
+      timed;
+  std::vector<ProcessBase*> runnable;
+  std::vector<Updatable*> updates;
+};
+
+/// Shard the calling thread is currently executing simulation work for.
+/// Null on the main thread outside the parallel engine's windows — accessors
+/// then fall back to the Simulator's main shard.
+///
+/// `constinit` is load-bearing: it guarantees constant initialization, so the
+/// compiler accesses the variable directly instead of going through the TLS
+/// init wrapper (_ZTW/_ZTH). Besides being faster on this hot path, the
+/// wrapper is what GCC's -fsanitize=null mis-instruments when inlining the
+/// access from another TU (the null-check branch can consume stale flags from
+/// the wrapper's weak-symbol test), producing spurious "load of null pointer"
+/// aborts mid-run under UBSan.
+extern thread_local constinit SchedShard* tl_sched_shard;
+
+/// Clock-domain group of the process currently being dispatched (0 outside a
+/// dispatch). Used by the sharded trace sink for n-independent span ids.
+extern thread_local constinit unsigned tl_sched_group;
 
 /// The event-driven scheduler. One Simulator instance is "current" at a time
 /// (RAII: the constructor installs it, the destructor uninstalls it), so
@@ -80,20 +140,76 @@ class Simulator {
   TraceEventSink& trace_events() { return trace_events_; }
   const TraceEventSink& trace_events() const { return trace_events_; }
 
-  Time now() const { return now_; }
-  std::uint64_t delta_count() const { return delta_count_; }
+  Time now() const {
+    const SchedShard* s = tl_sched_shard;
+    return s != nullptr ? s->now : main_shard_.now;
+  }
+
+  /// Delta cycles settled so far, summed over shards when parallel. Note
+  /// the sum depends on how domains were batched: the same design settles
+  /// per-group under craft-par but in merged batches single-threaded, so
+  /// this is kernel-load telemetry, not a determinism-checked quantity.
+  std::uint64_t delta_count() const;
 
   /// Number of timed-event callbacks fired so far (clock edges, delayed
   /// notifications); together with delta_count() the kernel-load telemetry.
-  std::uint64_t timed_fired() const { return timed_fired_; }
+  std::uint64_t timed_fired() const;
 
   SimMode mode() const { return mode_; }
   void set_mode(SimMode m) { mode_ = m; }
 
   /// Simulator-global RNG used for stall injection and jitter; reseed for
-  /// reproducible experiments.
+  /// reproducible experiments. Main-thread / elaboration use only under
+  /// craft-par (per-channel and per-clock RNGs are already worker-local).
   Rng& rng() { return rng_; }
   void ReseedRng(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  // ---- craft-par: domain-sharded parallel execution ----
+
+  /// Selects the execution engine for this simulator. n == 1 runs the
+  /// domain-sharded engine inline on the calling thread; n >= 2 runs up to
+  /// n worker threads, one per GALS clock-domain group (workers are capped
+  /// at the number of independent groups). Must be called before the first
+  /// Run(). Never calling it keeps the original single-queue scheduler.
+  ///
+  /// Determinism: for a fixed design and seeds, results, stats counters and
+  /// trace span sets are identical for every n >= 1 — conservative epoch
+  /// windows bound each worker to the lookahead implied by its
+  /// PausibleBisyncFifo crossings, so no cross-domain interaction can land
+  /// inside a window (DESIGN.md §9).
+  /// n = 0 explicitly selects the original single-threaded scheduler,
+  /// overriding any CRAFT_PARALLELISM environment value (useful for tests
+  /// and for bisecting engine-vs-legacy differences).
+  void SetParallelism(unsigned n);
+
+  /// Effective parallelism: the SetParallelism / CRAFT_PARALLELISM value,
+  /// or 1 when the original scheduler is active.
+  unsigned parallelism() const { return parallelism_ == 0 ? 1 : parallelism_; }
+
+  /// True once the domain-sharded engine (any n >= 1) is selected.
+  bool parallel_engine_selected() const { return parallelism_ > 0; }
+
+  /// Declared by every PausibleBisyncFifo: a legal clock-domain crossing
+  /// from `producer_clk` to `consumer_clk` whose synchronizer grace window
+  /// is `sync_delay` ps. The minimum sync_delay over all crossings is the
+  /// engine's conservative lookahead; `path` (the fifo's hierarchical name)
+  /// tells the partitioner which module subtree is the designated cut.
+  void RegisterCrossing(const void* producer_clk, const void* consumer_clk,
+                        Time sync_delay, const std::string& path);
+
+  struct CrossingDecl {
+    const void* producer_clk;
+    const void* consumer_clk;
+    Time sync_delay;
+    std::string path;
+  };
+  const std::vector<CrossingDecl>& crossings() const { return crossings_; }
+
+  /// Shard that owns clock-domain group `g`, or nullptr while the design is
+  /// not partitioned (original scheduler, or before the first parallel Run).
+  SchedShard* ShardForGroupOrNull(unsigned g) const {
+    return group_shards_.empty() ? nullptr : group_shards_[g];
+  }
 
   /// Runs for `duration` picoseconds of simulated time (or until Stop()).
   void Run(Time duration);
@@ -103,10 +219,16 @@ class Simulator {
   void RunUntil(Time t);
 
   /// Requests the current Run() to return; callable from inside processes.
-  /// Takes effect at the end of the current delta (the update phase of the
-  /// stopping delta still runs, keeping the two-phase protocol atomic).
-  void Stop() { stop_requested_ = true; }
-  bool stopped() const { return stop_requested_; }
+  /// Takes effect at the end of the current delta on the calling process's
+  /// shard (the update phase of the stopping delta still runs, keeping the
+  /// two-phase protocol atomic). Under craft-par, other workers finish
+  /// their current conservative window before the Run() returns.
+  void Stop() {
+    stop_requested_.store(true, std::memory_order_relaxed);
+    SchedShard* s = tl_sched_shard;
+    (s != nullptr ? *s : main_shard_).local_stop = true;
+  }
+  bool stopped() const { return stop_requested_.load(std::memory_order_relaxed); }
 
   /// Bounds the delta cycles settled within one timestep. Exceeding the
   /// bound raises a SimError naming the runnable processes — the standard
@@ -117,15 +239,20 @@ class Simulator {
 
   // ---- Scheduling interface (used by Clock, Event, Signal, processes) ----
 
-  /// Schedules `fn` to run at absolute time `t` (>= now).
-  void ScheduleAt(Time t, std::function<void()> fn);
+  /// Schedules `fn` to run at absolute time `t` (>= now). `affinity`
+  /// identifies the owning scheduling object (Clocks pass themselves) so
+  /// entries queued before partitioning can be routed to the right worker.
+  void ScheduleAt(Time t, std::function<void()> fn, const void* affinity = nullptr);
 
   /// Queues a process for execution in the next evaluation phase of the
   /// current timestep. Safe to call multiple times; the process runs once.
+  /// Under craft-par the target shard is the process's domain group; waking
+  /// a process owned by another worker mid-window is a cross-domain
+  /// interaction outside a crossing and raises a SimError.
   void MakeRunnable(ProcessBase& p);
 
   /// Queues an Updatable for the update phase of the current delta.
-  void QueueUpdate(Updatable& u);
+  void QueueUpdate(Updatable& u) { CurShard().updates.push_back(&u); }
 
   /// Registers a process for lifetime management and the initial evaluation.
   ProcessBase& AdoptProcess(std::unique_ptr<ProcessBase> p);
@@ -135,46 +262,49 @@ class Simulator {
 
   /// Number of evaluate-phase process dispatches so far; a cheap proxy for
   /// simulator work used by the Fig. 6 speedup bench.
-  std::uint64_t dispatch_count() const { return dispatch_count_; }
+  std::uint64_t dispatch_count() const;
 
   /// All adopted processes, for the stats reporters' per-process profile.
   const std::vector<std::unique_ptr<ProcessBase>>& processes() const {
     return processes_;
   }
 
+  /// Parallel-engine shape for reporters: {workers, groups}. {1, 1} under
+  /// the original scheduler.
+  std::pair<unsigned, unsigned> parallel_shape() const;
+
  private:
-  struct TimedEntry {
-    Time t;
-    std::uint64_t seq;  // FIFO tie-break for determinism
-    std::function<void()> fn;
-    bool operator>(const TimedEntry& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
-  };
+  friend class par::Engine;
 
-  void RunDeltasAtCurrentTime();
+  /// Shard the calling context schedules into: the worker's shard inside an
+  /// engine window, the main shard otherwise (elaboration, between runs).
+  SchedShard& CurShard() {
+    SchedShard* s = tl_sched_shard;
+    return s != nullptr ? *s : main_shard_;
+  }
+
+  void SettleDeltas(SchedShard& s);
+  void FireTimestep(SchedShard& s);
   void StartIfNeeded();
-  [[noreturn]] void ReportDeltaOverflow();
+  void StartEngine();
+  [[noreturn]] void ReportDeltaOverflow(const SchedShard& s);
 
-  Time now_ = 0;
-  std::uint64_t seq_ = 0;
-  std::uint64_t delta_count_ = 0;
-  std::uint64_t dispatch_count_ = 0;
-  std::uint64_t timed_fired_ = 0;
   std::uint64_t delta_limit_ = 1'000'000;
-  bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_{false};
   bool started_ = false;
+  unsigned parallelism_ = 0;  // 0 = original single-queue scheduler
   SimMode mode_ = SimMode::kSimAccurate;
   Rng rng_;
   std::shared_ptr<DesignGraph> design_graph_;
   StatsRegistry stats_;
   TraceEventSink trace_events_;
 
-  std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<TimedEntry>> timed_;
-  std::vector<ProcessBase*> runnable_;
-  std::vector<Updatable*> updates_;
+  SchedShard main_shard_;
+  std::vector<SchedShard*> group_shards_;  // group id -> owning shard
+  std::vector<CrossingDecl> crossings_;
   std::vector<std::unique_ptr<ProcessBase>> processes_;
   std::vector<Clock*> clocks_;
+  std::unique_ptr<par::Engine> engine_;
 };
 
 }  // namespace craft

@@ -1,9 +1,21 @@
 #include "kernel/trace_events.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "kernel/process.hpp"
 #include "kernel/simulator.hpp"
 
 namespace craft {
+
+namespace {
+/// Worker event-buffer slot of the calling thread (-1 = main thread).
+thread_local int tl_trace_worker = -1;
+
+constexpr std::uint64_t kSpanGroupShift = 40;
+constexpr std::uint64_t kSpanIndexMask = (1ull << kSpanGroupShift) - 1;
+constexpr std::uint64_t kSpanDroppedBit = 1ull << 63;
+}  // namespace
 
 // ---- TraceEventSink ----
 
@@ -23,16 +35,69 @@ TraceTrack* TraceEventSink::RegisterTrack(const std::string& name,
 
 std::uint64_t TraceEventSink::NewSpan(std::uint64_t parent,
                                       std::uint32_t flit_index) {
-  spans_.push_back(TraceSpanInfo{parent, flit_index});
-  return spans_.size();  // ids are 1-based
-}
-
-std::uint64_t TraceEventSink::ParentOf(std::uint64_t span) const {
-  return (span >= 1 && span <= spans_.size()) ? spans_[span - 1].parent : 0;
+  if (!sharded_) {
+    spans_.push_back(TraceSpanInfo{parent, flit_index});
+    return spans_.size();  // ids are 1-based
+  }
+  const unsigned g = tl_sched_group;
+  auto& arena = group_spans_[g];
+  arena.push_back(TraceSpanInfo{parent, flit_index});
+  return (static_cast<std::uint64_t>(g + 1) << kSpanGroupShift) | arena.size();
 }
 
 const TraceSpanInfo* TraceEventSink::SpanInfoOf(std::uint64_t span) const {
-  return (span >= 1 && span <= spans_.size()) ? &spans_[span - 1] : nullptr;
+  span &= ~kSpanDroppedBit;
+  if (span == 0) return nullptr;
+  const std::uint64_t g = span >> kSpanGroupShift;
+  if (g != 0) {
+    const std::uint64_t idx = span & kSpanIndexMask;
+    if (g - 1 < group_spans_.size() && idx >= 1 &&
+        idx <= group_spans_[g - 1].size()) {
+      return &group_spans_[g - 1][idx - 1];
+    }
+    return nullptr;
+  }
+  return span <= spans_.size() ? &spans_[span - 1] : nullptr;
+}
+
+std::uint64_t TraceEventSink::ParentOf(std::uint64_t span) const {
+  const TraceSpanInfo* info = SpanInfoOf(span);
+  return info != nullptr ? info->parent : 0;
+}
+
+std::uint64_t TraceEventSink::spans_allocated() const {
+  std::uint64_t n = spans_.size();
+  for (const auto& arena : group_spans_) n += arena.size();
+  return n;
+}
+
+void TraceEventSink::SetSharded(unsigned num_groups, unsigned num_workers) {
+  sharded_ = true;
+  group_spans_.resize(num_groups);
+  group_event_counts_.assign(num_groups, 0);
+  group_dropped_.assign(num_groups, 0);
+  worker_events_.resize(num_workers);
+  group_cap_ = std::max<std::size_t>(1, max_events_ / std::max(1u, num_groups));
+}
+
+void TraceEventSink::set_worker_slot(int w) { tl_trace_worker = w; }
+
+void TraceEventSink::MergeShards() {
+  std::vector<TraceEvent> batch;
+  for (auto& buf : worker_events_) {
+    batch.insert(batch.end(), buf.begin(), buf.end());
+    buf.clear();
+  }
+  if (batch.empty()) return;
+  // Sort on the full event value: the event *set* per window is the same
+  // for any worker count, so a total order over values makes the merged
+  // sequence identical too (worker interleaving is wall-clock-dependent).
+  std::sort(batch.begin(), batch.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.ts, a.track, a.span, a.kind, a.arg) <
+                     std::tie(b.ts, b.track, b.span, b.kind, b.arg);
+            });
+  events_.insert(events_.end(), batch.begin(), batch.end());
 }
 
 void TraceEventSink::SetContext(std::uint64_t span) {
@@ -60,12 +125,36 @@ bool TraceEventSink::Record(TraceEventKind kind, std::uint32_t track,
   // Only begins are capped: an end for a begin that made it in must also
   // make it in, or the exported b/e pairs would be unbalanced. Instants are
   // episode-start markers, bounded by the begins they interleave with.
-  if (kind == TraceEventKind::kBegin && events_.size() >= max_events_) {
-    ++dropped_;
+  if (!sharded_) {
+    if (kind == TraceEventKind::kBegin && events_.size() >= max_events_) {
+      ++dropped_;
+      return false;
+    }
+    events_.push_back(TraceEvent{kind, track, span, now(), arg});
+    return true;
+  }
+  // Sharded: the budget is per clock-domain group (worker-count-invariant),
+  // the destination buffer per worker thread (merged later).
+  const unsigned g = tl_sched_group;
+  if (kind == TraceEventKind::kBegin && group_event_counts_[g] >= group_cap_) {
+    ++group_dropped_[g];
     return false;
   }
-  events_.push_back(TraceEvent{kind, track, span, now(), arg});
+  ++group_event_counts_[g];
+  const TraceEvent ev{kind, track, span, now(), arg};
+  const int w = tl_trace_worker;
+  if (w < 0) {
+    events_.push_back(ev);
+  } else {
+    worker_events_[static_cast<std::size_t>(w)].push_back(ev);
+  }
   return true;
+}
+
+std::uint64_t TraceEventSink::dropped_events() const {
+  std::uint64_t n = dropped_;
+  for (std::uint64_t d : group_dropped_) n += d;
+  return n;
 }
 
 ProcessBase* TraceEventSink::CurrentProcess() const {
@@ -105,26 +194,31 @@ void TraceTrack::Enqueue() {
   ProcessBase* self = sink_->CurrentProcess();
   if (self != nullptr) {
     // A successful push ends whatever blocked-state this process was in.
-    self->trace_blocked_track = kNoTraceTrack;
-    producer_ = self;
+    self->trace_blocked_track.store(kNoTraceTrack, std::memory_order_relaxed);
+    producer_.store(self, std::memory_order_relaxed);
   }
   in_full_stall_ = false;
   const std::uint64_t span = sink_->TakeContextOrNew();
   ++begins_;
   const bool recorded = sink_->Record(TraceEventKind::kBegin, id_, span);
+  std::lock_guard<std::mutex> lock(span_q_mu_);
   span_q_.push_back(recorded ? span : (span | kDroppedBit));
 }
 
 void TraceTrack::Dequeue() {
   ProcessBase* self = sink_->CurrentProcess();
   if (self != nullptr) {
-    self->trace_blocked_track = kNoTraceTrack;
-    consumer_ = self;
+    self->trace_blocked_track.store(kNoTraceTrack, std::memory_order_relaxed);
+    consumer_.store(self, std::memory_order_relaxed);
   }
   in_empty_stall_ = false;
-  if (span_q_.empty()) return;  // defensive: nothing resident
-  const std::uint64_t raw = span_q_.front();
-  span_q_.pop_front();
+  std::uint64_t raw = 0;
+  {
+    std::lock_guard<std::mutex> lock(span_q_mu_);
+    if (span_q_.empty()) return;  // defensive: nothing resident
+    raw = span_q_.front();
+    span_q_.pop_front();
+  }
   const std::uint64_t span = raw & ~kDroppedBit;
   ++ends_;
   if ((raw & kDroppedBit) == 0) {
@@ -137,8 +231,8 @@ void TraceTrack::PushStall() {
   ++full_stall_samples_;
   ProcessBase* self = sink_->CurrentProcess();
   if (self != nullptr) {
-    self->trace_blocked_track = id_;
-    self->trace_blocked_is_push = true;
+    self->trace_blocked_track.store(id_, std::memory_order_relaxed);
+    self->trace_blocked_is_push.store(true, std::memory_order_relaxed);
   }
   if (!in_full_stall_) {
     in_full_stall_ = true;
@@ -147,69 +241,92 @@ void TraceTrack::PushStall() {
   // Blame edge: what is my consumer blocked on right now? If it is blocked
   // on another track, that track is the downstream cause of this stall
   // cycle; otherwise the consumer is simply busy (or absent) — the chain
-  // root cause.
-  if (consumer_ != nullptr && consumer_ != self &&
-      consumer_->trace_blocked_track != kNoTraceTrack &&
-      consumer_->trace_blocked_track != id_) {
-    ++blame_full_[BlameKey(consumer_->trace_blocked_track,
-                           consumer_->trace_blocked_is_push)];
-  } else {
-    ++blame_busy_;
+  // root cause. Across a GALS crossing the sample is a relaxed racy read
+  // of the other worker's state: blame shares are diagnostics, not part of
+  // the determinism guarantee (DESIGN.md §9).
+  ProcessBase* cons = consumer_.load(std::memory_order_relaxed);
+  if (cons != nullptr && cons != self) {
+    const std::uint32_t bt = cons->trace_blocked_track.load(std::memory_order_relaxed);
+    if (bt != kNoTraceTrack && bt != id_) {
+      ++blame_full_[BlameKey(bt, cons->trace_blocked_is_push.load(
+                                     std::memory_order_relaxed))];
+      return;
+    }
   }
+  ++blame_busy_;
 }
 
 void TraceTrack::PopStall() {
   ++empty_stall_samples_;
   ProcessBase* self = sink_->CurrentProcess();
   if (self != nullptr) {
-    self->trace_blocked_track = id_;
-    self->trace_blocked_is_push = false;
-    consumer_ = self;  // a blocked popper is still this track's consumer
+    self->trace_blocked_track.store(id_, std::memory_order_relaxed);
+    self->trace_blocked_is_push.store(false, std::memory_order_relaxed);
+    consumer_.store(self, std::memory_order_relaxed);  // a blocked popper is
+                                                       // still the consumer
   }
   if (!in_empty_stall_) {
     in_empty_stall_ = true;
     sink_->Record(TraceEventKind::kInstant, id_, 0, /*arg=*/1);
   }
-  if (producer_ != nullptr && producer_ != self &&
-      producer_->trace_blocked_track != kNoTraceTrack &&
-      producer_->trace_blocked_track != id_) {
-    ++blame_empty_[BlameKey(producer_->trace_blocked_track,
-                            producer_->trace_blocked_is_push)];
-  } else {
-    ++starve_idle_;
+  ProcessBase* prod = producer_.load(std::memory_order_relaxed);
+  if (prod != nullptr && prod != self) {
+    const std::uint32_t bt = prod->trace_blocked_track.load(std::memory_order_relaxed);
+    if (bt != kNoTraceTrack && bt != id_) {
+      ++blame_empty_[BlameKey(bt, prod->trace_blocked_is_push.load(
+                                      std::memory_order_relaxed))];
+      return;
+    }
   }
+  ++starve_idle_;
 }
 
 void TraceTrack::PrimeContext() {
-  if (!span_q_.empty()) sink_->SetContext(span_q_.front() & ~kDroppedBit);
+  std::uint64_t raw = 0;
+  {
+    std::lock_guard<std::mutex> lock(span_q_mu_);
+    if (span_q_.empty()) return;
+    raw = span_q_.front();
+  }
+  sink_->SetContext(raw & ~kDroppedBit);
 }
 
 std::uint64_t TraceTrack::BeginActivity(std::uint64_t arg) {
   const std::uint64_t span = sink_->NewSpan();
   ++begins_;
   const bool recorded = sink_->Record(TraceEventKind::kBegin, id_, span, arg);
+  std::lock_guard<std::mutex> lock(span_q_mu_);
   span_q_.push_back(recorded ? span : (span | kDroppedBit));
   return span;
 }
 
 void TraceTrack::EndActivity(std::uint64_t span) {
-  for (auto it = span_q_.begin(); it != span_q_.end(); ++it) {
-    if ((*it & ~kDroppedBit) == span) {
-      const bool recorded = (*it & kDroppedBit) == 0;
-      span_q_.erase(it);
-      ++ends_;
-      if (recorded) sink_->Record(TraceEventKind::kEnd, id_, span);
-      return;
+  bool found = false;
+  bool recorded = false;
+  {
+    std::lock_guard<std::mutex> lock(span_q_mu_);
+    for (auto it = span_q_.begin(); it != span_q_.end(); ++it) {
+      if ((*it & ~kDroppedBit) == span) {
+        recorded = (*it & kDroppedBit) == 0;
+        span_q_.erase(it);
+        found = true;
+        break;
+      }
     }
   }
+  if (!found) return;
+  ++ends_;
+  if (recorded) sink_->Record(TraceEventKind::kEnd, id_, span);
 }
 
 std::string TraceTrack::producer_name() const {
-  return producer_ != nullptr ? producer_->name() : std::string();
+  ProcessBase* p = producer_.load(std::memory_order_relaxed);
+  return p != nullptr ? p->name() : std::string();
 }
 
 std::string TraceTrack::consumer_name() const {
-  return consumer_ != nullptr ? consumer_->name() : std::string();
+  ProcessBase* c = consumer_.load(std::memory_order_relaxed);
+  return c != nullptr ? c->name() : std::string();
 }
 
 }  // namespace craft

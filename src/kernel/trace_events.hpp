@@ -24,10 +24,12 @@
 // craft-trace-v1, documented in DESIGN.md §8).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -152,9 +154,18 @@ class TraceTrack {
   std::string clock_;
   std::uint32_t id_ = 0;
 
+  // The residency queue is the one piece of track state both sides of a
+  // GALS crossing touch (producer pushes, consumer pops); under craft-par
+  // those run on different workers, so it is mutex-guarded. Uncontended —
+  // and semantically inert — everywhere else. producer_/consumer_ and the
+  // per-process blocked fields are read across the crossing by blame
+  // sampling, hence atomic; the remaining counters are single-side-owned
+  // (begins/full-stall state on the producer side, ends/empty-stall state
+  // on the consumer side).
+  std::mutex span_q_mu_;
   std::deque<std::uint64_t> span_q_;
-  ProcessBase* producer_ = nullptr;
-  ProcessBase* consumer_ = nullptr;
+  std::atomic<ProcessBase*> producer_{nullptr};
+  std::atomic<ProcessBase*> consumer_{nullptr};
   bool in_full_stall_ = false;
   bool in_empty_stall_ = false;
 
@@ -187,12 +198,36 @@ class TraceEventSink {
 
   // ---- span management ----
 
-  /// Allocates a span id (1-based; 0 means "no span").
+  /// Allocates a span id (1-based; 0 means "no span"). In sharded mode the
+  /// id is (group+1) << 40 | per-group index: a function of the allocating
+  /// clock-domain group's own history, so ids are identical for any worker
+  /// count (and never collide with pre-sharding flat ids, which stay below
+  /// 2^40).
   std::uint64_t NewSpan(std::uint64_t parent = 0,
                         std::uint32_t flit_index = kNoFlitIndex);
   std::uint64_t ParentOf(std::uint64_t span) const;
   const TraceSpanInfo* SpanInfoOf(std::uint64_t span) const;
-  std::uint64_t spans_allocated() const { return spans_.size(); }
+  std::uint64_t spans_allocated() const;
+
+  // ---- craft-par sharding ----
+
+  /// Switches span allocation to per-domain-group arenas and event
+  /// recording to per-worker buffers (merged by MergeShards). Called once
+  /// by the parallel engine at partition time. The per-group begin-event
+  /// budget is max_events / num_groups, so capping behaviour is also
+  /// independent of the worker count.
+  void SetSharded(unsigned num_groups, unsigned num_workers);
+  bool sharded() const { return sharded_; }
+
+  /// Installs the calling thread's worker event buffer (-1 = the main
+  /// thread, which appends straight to the merged vector). Set by the
+  /// engine on each worker thread.
+  static void set_worker_slot(int w);
+
+  /// Drains the worker buffers into events() in a deterministic order
+  /// (sorted by timestamp/track/span/kind). Called by the engine at the end
+  /// of each Run, with all workers parked.
+  void MergeShards();
 
   // ---- per-thread span context (the propagation mechanism) ----
 
@@ -217,7 +252,7 @@ class TraceEventSink {
   /// Bounds the event vector (memory guard for very long runs). Ends for
   /// already-recorded begins are exempt so the export stays well-formed.
   void set_max_events(std::size_t n) { max_events_ = n; }
-  std::uint64_t dropped_events() const { return dropped_; }
+  std::uint64_t dropped_events() const;
 
   // ---- results ----
 
@@ -254,6 +289,15 @@ class TraceEventSink {
   std::vector<TraceSpanInfo> spans_;
   std::size_t max_events_ = 4'000'000;
   std::uint64_t dropped_ = 0;
+
+  // Sharded mode (craft-par): per-group span arenas and drop accounting,
+  // per-worker event buffers. Untouched while sharded_ is false.
+  bool sharded_ = false;
+  std::size_t group_cap_ = 0;
+  std::vector<std::vector<TraceSpanInfo>> group_spans_;
+  std::vector<std::size_t> group_event_counts_;
+  std::vector<std::uint64_t> group_dropped_;
+  std::vector<std::vector<TraceEvent>> worker_events_;
 };
 
 }  // namespace craft

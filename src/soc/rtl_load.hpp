@@ -36,6 +36,8 @@ class RtlActivityEmulator : public Module {
         volatile std::uint32_t x = sigs_[i]->read();
         (void)x;
       });
+      // Signal-sensitive only; declare the clock domain for craft-par.
+      m.SetAffinity(clk);
       sigs_[i]->AddSensitive(m);
     }
     Method("toggle", [this] {

@@ -35,6 +35,10 @@ struct SocConfig {
   unsigned rtl_signals_per_node = 10240;  ///< modeled netlist nets per partition
   unsigned rtl_pe_drain_cycles = 5;   ///< HLS pipeline drain per kernel
   bool with_io = false;               ///< instantiate the I/O partition (node 2)
+  /// craft-par worker threads (0 = leave the simulator's engine selection
+  /// untouched; >= 1 selects the domain-sharded engine). In GALS mode each
+  /// node is its own clock-domain group, so the mesh partitions naturally.
+  unsigned parallelism = 0;
 };
 
 class SocTop : public Module {
@@ -48,6 +52,7 @@ class SocTop : public Module {
   SocTop(Simulator& sim, const SocConfig& cfg) : Module(sim, "soc"), cfg_(cfg) {
     const unsigned n = cfg.mesh_width * cfg.mesh_height;
     CRAFT_ASSERT(n >= 3, "SoC needs controller + global memory + >= 1 PE");
+    if (cfg.parallelism >= 1) sim.SetParallelism(cfg.parallelism);
     // Clock domains: one generator per partition in GALS mode.
     if (cfg.gals) {
       for (unsigned i = 0; i < n; ++i) {

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Compare fresh bench results against committed baselines.
+
+Reads two result flavors:
+
+* craft-bench-v1 JSON (``BENCH_<name>.json``, written by bench/bench_json.hpp)
+* google-benchmark JSON (``kernel_microbench.json``, written with
+  ``--benchmark_out``)
+
+and fails (exit 1) when a gated throughput metric regressed more than
+``--threshold`` (default 15%) relative to the baseline.
+
+Wall-clock throughput is only comparable between like machines, so a
+baseline is *binding* only when the host shape matches: craft benches
+record ``hw_threads`` and google-benchmark records ``context.num_cpus``.
+On mismatch the comparison is reported as SKIP (warn, not fail) — the
+committed baselines may have been produced on a different box than the CI
+runner, and a "regression" across machines is noise. CI keeps itself
+honest by uploading the fresh JSONs as artifacts so baselines can be
+refreshed from runner-produced numbers.
+
+Counter-like metrics (cycles, transfers, latencies in cycles) are machine
+independent and always compared; a change there is a functional delta,
+reported in the table but only *gated* for keys listed in GATED.
+
+Usage:
+  tools/bench-compare.py --baseline-dir bench/baselines --current-dir . \
+      [--threshold 0.15] [--table-out bench_delta.md]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Gated throughput keys per bench: (key, higher_is_better).
+GATED = {
+    "noc_routers": [("wh_flits_per_wall_sec", True)],
+    "gals_crossing": [("transfers_per_wall_sec", True)],
+    "par_noc": [("speedup_n4", True)],
+}
+
+# google-benchmark entries are gated on real_time (lower is better).
+GBENCH_FILE = "kernel_microbench.json"
+
+
+def load_craft(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "craft-bench-v1":
+        raise ValueError(f"{path}: not a craft-bench-v1 document")
+    return doc
+
+
+def fmt(v):
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def compare_craft(name, base, cur, threshold, rows):
+    """Returns list of failure strings."""
+    failures = []
+    bm, cm = base["metrics"], cur["metrics"]
+    host_match = bm.get("hw_threads") == cm.get("hw_threads")
+    gated = dict((k, hib) for k, hib in GATED.get(name, []))
+    for key in bm:
+        if key not in cm:
+            rows.append((name, key, fmt(bm[key]), "(missing)", "-", "MISSING"))
+            continue
+        b, c = bm[key], cm[key]
+        if not isinstance(b, (int, float)) or isinstance(b, bool) or not isinstance(c, (int, float)):
+            status = "OK" if b == c else "CHANGED"
+            rows.append((name, key, fmt(b), fmt(c), "-", status))
+            continue
+        delta = (c - b) / b if b else 0.0
+        status = "OK"
+        if key in gated:
+            if not host_match:
+                status = "SKIP (host shape differs from baseline)"
+            else:
+                higher_better = gated[key]
+                regressed = delta < -threshold if higher_better else delta > threshold
+                if regressed:
+                    status = "FAIL"
+                    failures.append(
+                        f"{name}:{key} regressed {delta:+.1%} "
+                        f"(baseline {fmt(b)}, current {fmt(c)})")
+        rows.append((name, key, fmt(b), fmt(c), f"{delta:+.1%}", status))
+    return failures
+
+
+def compare_gbench(base, cur, threshold, rows):
+    failures = []
+    host_match = (base.get("context", {}).get("num_cpus")
+                  == cur.get("context", {}).get("num_cpus"))
+    cur_by_name = {b["name"]: b for b in cur.get("benchmarks", [])}
+    for b in base.get("benchmarks", []):
+        name = b["name"]
+        c = cur_by_name.get(name)
+        if c is None:
+            rows.append(("kernel_microbench", name, fmt(b.get("real_time")),
+                         "(missing)", "-", "MISSING"))
+            continue
+        bt, ct = b.get("real_time"), c.get("real_time")
+        if not bt:
+            continue
+        delta = (ct - bt) / bt
+        if not host_match:
+            status = "SKIP (host shape differs from baseline)"
+        elif delta > threshold:  # real_time: lower is better
+            status = "FAIL"
+            failures.append(
+                f"kernel_microbench:{name} slowed {delta:+.1%} "
+                f"(baseline {fmt(bt)}{b.get('time_unit', '')}, "
+                f"current {fmt(ct)}{c.get('time_unit', '')})")
+        else:
+            status = "OK"
+        rows.append(("kernel_microbench", name, fmt(bt), fmt(ct),
+                     f"{delta:+.1%}", status))
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--current-dir", default=".")
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--table-out", default=None,
+                    help="write the delta table as markdown to this file")
+    args = ap.parse_args()
+
+    rows = []  # (bench, key, baseline, current, delta, status)
+    failures = []
+    compared = 0
+
+    for fname in sorted(os.listdir(args.baseline_dir)):
+        if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+            continue
+        bpath = os.path.join(args.baseline_dir, fname)
+        cpath = os.path.join(args.current_dir, fname)
+        base = load_craft(bpath)
+        name = base["bench"]
+        if not os.path.exists(cpath):
+            print(f"warning: no current result for baseline {fname}, skipping",
+                  file=sys.stderr)
+            rows.append((name, "(whole bench)", "present", "(missing)", "-",
+                         "MISSING"))
+            continue
+        failures += compare_craft(name, base, load_craft(cpath),
+                                  args.threshold, rows)
+        compared += 1
+
+    gb_base = os.path.join(args.baseline_dir, GBENCH_FILE)
+    gb_cur = os.path.join(args.current_dir, GBENCH_FILE)
+    if os.path.exists(gb_base):
+        if os.path.exists(gb_cur):
+            with open(gb_base) as f:
+                base = json.load(f)
+            with open(gb_cur) as f:
+                cur = json.load(f)
+            failures += compare_gbench(base, cur, args.threshold, rows)
+            compared += 1
+        else:
+            print(f"warning: no current {GBENCH_FILE}", file=sys.stderr)
+
+    header = ("| bench | metric | baseline | current | delta | status |",
+              "|---|---|---:|---:|---:|---|")
+    lines = list(header) + [
+        f"| {b} | {k} | {bv} | {cv} | {d} | {s} |" for b, k, bv, cv, d, s in rows
+    ]
+    table = "\n".join(lines)
+    print(table)
+    if args.table_out:
+        with open(args.table_out, "w") as f:
+            f.write(f"## Bench delta (threshold {args.threshold:.0%})\n\n")
+            f.write(table + "\n")
+            if failures:
+                f.write("\n### Regressions\n\n")
+                for msg in failures:
+                    f.write(f"- {msg}\n")
+
+    if compared == 0:
+        print("error: nothing compared — wrong --baseline-dir/--current-dir?",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} throughput regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print(f"\nno gated regressions across {compared} result file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
