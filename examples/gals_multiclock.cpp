@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "analyze/analyze.hpp"
 #include "gals/gals.hpp"
 #include "kernel/kernel.hpp"
 #include "lint/lint.hpp"
@@ -95,6 +96,22 @@ int main() {
     std::fputs(lint::FormatText("gals_multiclock", findings).c_str(), stderr);
     return 1;
   }
+
+  // Static performance analysis (craft-prove): deadlock-freedom and a
+  // sustainable-rate bound per crossing, before a single cycle runs. The
+  // slowest partition (1300 ps nominal) bounds the whole pipeline.
+  const analyze::Analysis proof = analyze::Analyze(sim.design_graph());
+  if (lint::ErrorCount(proof.findings) > 0) {
+    std::fputs(analyze::FormatText("gals_multiclock", proof).c_str(), stderr);
+    return 1;
+  }
+  std::printf("static bounds (craft-prove):\n%-8s %18s\n", "link", "bound (tokens/ns)");
+  for (auto* c : {&c01, &c12, &c23}) {
+    const auto* b = analyze::FindCrossingBound(proof, c->full_name() + ".cdc");
+    std::printf("%-8s %18.4f\n", c->name().c_str(),
+                b ? b->tokens_per_ps * 1000.0 : 0.0);
+  }
+  std::printf("\n");
 
   sim.Run(100_ms);
 

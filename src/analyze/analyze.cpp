@@ -1,0 +1,478 @@
+// craft-prove analysis passes. See analyze.hpp for the model; DESIGN.md
+// section 10 for the formulation.
+//
+// The channel graph shared with craft-lint (lint/graph_utils.hpp) is given
+// quantitative edge weights here:
+//
+//   module --(0, 0)--> channel            Out-port binding
+//   channel --(C, L)--> module            In-port binding; C = storage tokens
+//                                         (0 for zero-storage Combinational),
+//                                         L = latency_cycles x period_ps
+//   X#in --(depth, 2 x sync_delay)--> X#out    pausible crossing internals
+//
+// A pausible crossing module is split into #in/#out halves so its ring
+// buffer contributes exactly one weighted edge per traversal. Module
+// traversal itself costs nothing — the model never under-estimates a rate,
+// keeping every reported bound a sound upper bound on measured throughput.
+#include "analyze/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "lint/graph_utils.hpp"
+
+namespace craft::analyze {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct WEdge {
+  int from = 0;
+  int to = 0;
+  double cap = 0.0;  ///< tokens of storage crossed by this edge
+  double lat = 0.0;  ///< minimum latency in picoseconds
+};
+
+/// The weighted channel graph plus the name-keyed mirror reused for SCC and
+/// witness extraction.
+struct ChannelGraph {
+  lint::NameGraph names;
+  std::vector<std::string> node_names;
+  std::unordered_map<std::string, int> node_ids;
+  std::vector<WEdge> edges;
+  /// channel name -> adjacent crossing paths (ingress or egress side).
+  std::unordered_map<std::string, std::vector<std::string>> channel_crossings;
+
+  int NodeId(const std::string& name) {
+    auto [it, inserted] = node_ids.emplace(name, node_names.size());
+    if (inserted) node_names.push_back(name);
+    return it->second;
+  }
+
+  void Add(const std::string& a, const std::string& b, double cap, double lat) {
+    edges.push_back(WEdge{NodeId(a), NodeId(b), cap, lat});
+    lint::AddEdge(names, a, b);
+  }
+};
+
+double ChannelStorage(const DesignGraph::ChannelNode& ch) {
+  return ch.zero_storage ? 0.0 : static_cast<double>(ch.capacity);
+}
+
+double ChannelLatencyPs(const DesignGraph::ChannelNode& ch) {
+  return static_cast<double>(ch.latency_cycles) *
+         static_cast<double>(ch.period_ps);
+}
+
+/// min(1/Tp, 1/Tc, depth / (2 x sync_delay)) in tokens per picosecond, with
+/// the argmin name in `limited_by` if non-null.
+double CrossingRate(const DesignGraph::CrossingNode& c,
+                    std::string* limited_by) {
+  const double tp = c.producer_period_ps
+                        ? 1.0 / static_cast<double>(c.producer_period_ps)
+                        : kInf;
+  const double tc = c.consumer_period_ps
+                        ? 1.0 / static_cast<double>(c.consumer_period_ps)
+                        : kInf;
+  const double sync = static_cast<double>(std::max<std::uint64_t>(1, c.sync_delay_ps));
+  const double ts = static_cast<double>(c.depth) / (2.0 * sync);
+  double best = tp;
+  const char* which = "producer-clock";
+  if (tc < best) { best = tc; which = "consumer-clock"; }
+  if (ts < best) { best = ts; which = "sync-delay"; }
+  if (limited_by) *limited_by = which;
+  return best;
+}
+
+/// Crossing whose subtree contains `owner`, or nullptr.
+const DesignGraph::CrossingNode* CrossingOf(
+    const std::vector<DesignGraph::CrossingNode>& crossings,
+    const std::string& owner) {
+  for (const auto& c : crossings) {
+    if (PathIsUnder(owner, c.path)) return &c;
+  }
+  return nullptr;
+}
+
+ChannelGraph BuildGraph(const DesignGraph& g,
+                        const std::vector<DesignGraph::PortNode>& ports) {
+  ChannelGraph cg;
+  const auto uses = lint::GroupByChannel(ports);
+  for (const auto& c : g.crossings()) {
+    cg.Add(c.path + "#in", c.path + "#out", static_cast<double>(c.depth),
+           2.0 * static_cast<double>(std::max<std::uint64_t>(1, c.sync_delay_ps)));
+  }
+  for (const auto& [name, use] : uses) {
+    auto it = g.channels().find(name);
+    if (it == g.channels().end()) continue;
+    const DesignGraph::ChannelNode& ch = it->second;
+    for (const DesignGraph::PortNode* p : use.drivers) {
+      const auto* x = CrossingOf(g.crossings(), p->owner);
+      if (x) cg.channel_crossings[name].push_back(x->path);
+      cg.Add(x ? x->path + "#out" : p->owner, name, 0.0, 0.0);
+    }
+    for (const DesignGraph::PortNode* p : use.consumers) {
+      const auto* x = CrossingOf(g.crossings(), p->owner);
+      if (x) cg.channel_crossings[name].push_back(x->path);
+      cg.Add(name, x ? x->path + "#in" : p->owner, ChannelStorage(ch),
+             ChannelLatencyPs(ch));
+    }
+  }
+  return cg;
+}
+
+/// Bellman-Ford negative-cycle detection with weights cap - lambda x lat,
+/// restricted to `member` nodes. Returns a cycle (node-id sequence, first
+/// node not repeated) or empty when none is negative.
+std::vector<int> NegativeCycle(const ChannelGraph& cg,
+                               const std::vector<char>& member, double lambda) {
+  const int n = static_cast<int>(cg.node_names.size());
+  std::vector<double> dist(n, 0.0);
+  std::vector<int> pred(n, -1);
+  int updated = -1;
+  for (int pass = 0; pass <= n; ++pass) {
+    updated = -1;
+    for (const WEdge& e : cg.edges) {
+      if (!member[e.from] || !member[e.to]) continue;
+      const double w = e.cap - lambda * e.lat;
+      if (dist[e.from] + w < dist[e.to] - 1e-9) {
+        dist[e.to] = dist[e.from] + w;
+        pred[e.to] = e.from;
+        updated = e.to;
+      }
+    }
+    if (updated == -1) return {};
+  }
+  // `updated` lies on or downstream of a negative cycle; walk predecessors
+  // n times to land inside it, then collect one lap.
+  int x = updated;
+  for (int i = 0; i < n; ++i) x = pred[x];
+  std::vector<int> cycle;
+  for (int v = x;; v = pred[v]) {
+    cycle.push_back(v);
+    if (v == x && cycle.size() > 1) break;
+  }
+  cycle.pop_back();                       // drop the repeated start
+  std::reverse(cycle.begin(), cycle.end());  // pred walk was backwards
+  return cycle;
+}
+
+/// Exact capacity/latency sums around a node cycle (consecutive-pair edge
+/// lookup; parallel edges are disambiguated by taking the minimum-weight one,
+/// matching what the cycle-mean search would pick).
+void CycleWeights(const ChannelGraph& cg, const std::vector<int>& cycle,
+                  double* cap, double* lat) {
+  *cap = 0.0;
+  *lat = 0.0;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const int from = cycle[i];
+    const int to = cycle[(i + 1) % cycle.size()];
+    double best_cap = 0.0, best_lat = 0.0;
+    bool found = false;
+    for (const WEdge& e : cg.edges) {
+      if (e.from != from || e.to != to) continue;
+      if (!found || e.cap - best_cap < 0.0) {
+        best_cap = e.cap;
+        best_lat = e.lat;
+        found = true;
+      }
+    }
+    *cap += best_cap;
+    *lat += best_lat;
+  }
+}
+
+/// Rotates a cycle so its lexicographically smallest node comes first —
+/// canonical form, so reports do not depend on DFS start order.
+template <typename T>
+void Canonicalize(std::vector<T>& cycle, const ChannelGraph& cg) {
+  if (cycle.empty()) return;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < cycle.size(); ++i) {
+    if (cg.node_names[cycle[i]] < cg.node_names[cycle[best]]) best = i;
+  }
+  std::rotate(cycle.begin(), cycle.begin() + best, cycle.end());
+}
+
+std::string JoinCycle(const std::vector<std::string>& nodes) {
+  std::string out;
+  for (const auto& n : nodes) {
+    if (!out.empty()) out += " -> ";
+    out += n;
+  }
+  out += " -> " + (nodes.empty() ? std::string() : nodes.front());
+  return out;
+}
+
+std::string FormatRatePerNs(double tokens_per_ps) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g tokens/ns", tokens_per_ps * 1000.0);
+  return buf;
+}
+
+unsigned DivCeil(unsigned a, unsigned b) { return b ? (a + b - 1) / b : a; }
+
+}  // namespace
+
+const ChannelBound* FindChannelBound(const Analysis& a, const std::string& name) {
+  for (const auto& b : a.channels) {
+    if (b.channel == name) return &b;
+  }
+  return nullptr;
+}
+
+const CrossingBound* FindCrossingBound(const Analysis& a, const std::string& path) {
+  for (const auto& b : a.crossings) {
+    if (b.path == path) return &b;
+  }
+  return nullptr;
+}
+
+Analysis Analyze(const DesignGraph& g) {
+  Analysis out;
+  const std::vector<DesignGraph::PortNode> ports = g.ports();
+  ChannelGraph cg = BuildGraph(g, ports);
+
+  // ---- per-crossing bounds, sync-window and clock-ratio diagnostics ----
+  for (const auto& c : g.crossings()) {
+    CrossingBound b;
+    b.path = c.path;
+    b.tokens_per_ps = CrossingRate(c, &b.limited_by);
+    const double sync = static_cast<double>(std::max<std::uint64_t>(1, c.sync_delay_ps));
+    const std::uint64_t slower =
+        std::max(c.producer_period_ps, c.consumer_period_ps);
+    const double clock_rate = slower ? 1.0 / static_cast<double>(slower) : kInf;
+    b.sync_limited = b.limited_by == "sync-delay" &&
+                     b.tokens_per_ps < clock_rate * (1.0 - 1e-9);
+    b.recommended_depth =
+        b.sync_limited && slower
+            ? static_cast<unsigned>(
+                  std::ceil(2.0 * sync / static_cast<double>(slower) - 1e-9))
+            : c.depth;
+    if (b.sync_limited) {
+      char msg[256];
+      std::snprintf(msg, sizeof(msg),
+                    "synchronizer window limits the crossing to %s, below the "
+                    "slower clock's %s; depth %u -> %u would recover it",
+                    FormatRatePerNs(b.tokens_per_ps).c_str(),
+                    FormatRatePerNs(clock_rate).c_str(), c.depth,
+                    b.recommended_depth);
+      out.findings.push_back({"gals-rate-mismatch", lint::Severity::kWarning,
+                              c.path, msg});
+    } else if (c.producer_period_ps && c.consumer_period_ps) {
+      const std::uint64_t faster =
+          std::min(c.producer_period_ps, c.consumer_period_ps);
+      if (static_cast<double>(slower) > 1.05 * static_cast<double>(faster)) {
+        char msg[256];
+        std::snprintf(
+            msg, sizeof(msg),
+            "clock ratio %.2f: throughput is capped by the slower domain at "
+            "%s; the faster domain cannot sustain one token per cycle",
+            static_cast<double>(slower) / static_cast<double>(faster),
+            FormatRatePerNs(clock_rate).c_str());
+        out.findings.push_back({"gals-clock-ratio", lint::Severity::kInfo,
+                                c.path, msg});
+      }
+    }
+    out.crossings.push_back(std::move(b));
+  }
+
+  // ---- per-channel sustainable-rate bounds ----
+  for (const auto& [name, ch] : g.channels()) {
+    ChannelBound b;
+    b.channel = name;
+    b.kind = ch.kind;
+    b.capacity = ch.capacity;
+    double best = ch.period_ps ? 1.0 / static_cast<double>(ch.period_ps) : kInf;
+    b.limited_by = "structural";
+    auto adj = cg.channel_crossings.find(name);
+    if (adj != cg.channel_crossings.end()) {
+      for (const std::string& path : adj->second) {
+        const CrossingBound* xb = FindCrossingBound(out, path);
+        if (xb && xb->tokens_per_ps < best) {
+          best = xb->tokens_per_ps;
+          b.limited_by = "crossing:" + path;
+        }
+      }
+    }
+    b.tokens_per_ps = std::isinf(best) ? 0.0 : best;
+    b.tokens_per_cycle =
+        ch.period_ps ? best * static_cast<double>(ch.period_ps) : 1.0;
+    if (b.tokens_per_cycle > 1.0) b.tokens_per_cycle = 1.0;
+    out.channels.push_back(std::move(b));
+  }
+
+  // ---- SCC passes: deadlock feasibility, then minimum cycle ratio ----
+  const auto sccs = lint::CyclicSccs(cg.names);
+  for (const auto& scc : sccs) {
+    std::unordered_set<std::string> in_scc(scc.begin(), scc.end());
+    std::vector<char> member(cg.node_names.size(), 0);
+    for (const auto& n : scc) {
+      auto it = cg.node_ids.find(n);
+      if (it != cg.node_ids.end()) member[it->second] = 1;
+    }
+
+    // Total buffering in the component: channel storage plus the ring depth
+    // of every crossing whose both halves lie inside.
+    double scc_cap = 0.0;
+    for (const auto& n : scc) {
+      auto ch = g.channels().find(n);
+      if (ch != g.channels().end()) scc_cap += ChannelStorage(ch->second);
+    }
+    for (const auto& c : g.crossings()) {
+      if (in_scc.count(c.path + "#in") && in_scc.count(c.path + "#out")) {
+        scc_cap += static_cast<double>(c.depth);
+      }
+    }
+
+    // Token demand: one token circulating suffices unless a DePacketizer
+    // reassembles inside the loop — then a full flits-per-message burst must
+    // fit in the loop's buffering before one message can move on.
+    unsigned demand = 1;
+    for (const auto& p : g.packetizers()) {
+      if (!p.is_packetizer && in_scc.count(p.module)) {
+        demand = std::max(demand, DivCeil(p.msg_width, p.flit_bits));
+      }
+    }
+
+    CycleBound cb;
+    cb.demand_tokens = demand;
+    cb.scc_capacity = static_cast<unsigned>(scc_cap);
+    if (scc_cap + 1e-9 < static_cast<double>(demand)) {
+      cb.deadlock = true;
+      cb.nodes = lint::FindCycleInScc(cg.names, scc);
+      if (!cb.nodes.empty()) {
+        std::rotate(cb.nodes.begin(),
+                    std::min_element(cb.nodes.begin(), cb.nodes.end()),
+                    cb.nodes.end());
+      }
+      CycleWeights(cg,
+                   [&] {
+                     std::vector<int> ids;
+                     for (const auto& n : cb.nodes) ids.push_back(cg.NodeId(n));
+                     return ids;
+                   }(),
+                   &cb.capacity_tokens, &cb.latency_ps);
+      cb.tokens_per_ps =
+          cb.latency_ps > 0.0 ? cb.capacity_tokens / cb.latency_ps : 0.0;
+      char msg[512];
+      std::snprintf(msg, sizeof(msg),
+                    "provable deadlock: cycle [%s] lies in a component with "
+                    "%u token%s of buffering but forward progress needs >= %u "
+                    "(%s)",
+                    JoinCycle(cb.nodes).c_str(), cb.scc_capacity,
+                    cb.scc_capacity == 1 ? "" : "s", demand,
+                    demand > 1 ? "a DePacketizer must buffer a full message"
+                               : "at least one token must circulate");
+      std::string path = scc.front();
+      for (const auto& n : cb.nodes) {
+        if (g.channels().count(n)) { path = n; break; }
+      }
+      out.findings.push_back({"prove-deadlock", lint::Severity::kError, path, msg});
+      out.cycles.push_back(std::move(cb));
+      continue;
+    }
+
+    // Minimum cycle ratio lambda* = min over cycles of cap/lat, by Lawler
+    // binary search: a cycle with cap - lambda x lat < 0 exists iff
+    // lambda > lambda*.
+    double total_cap = 0.0;
+    double min_lat = kInf;
+    for (const WEdge& e : cg.edges) {
+      if (!member[e.from] || !member[e.to]) continue;
+      total_cap += e.cap;
+      if (e.lat > 0.0 && e.lat < min_lat) min_lat = e.lat;
+    }
+    if (std::isinf(min_lat)) continue;  // all-zero-latency loops: no finite bound
+    double lo = 0.0;
+    double hi = (total_cap + 1.0) / min_lat;
+    if (NegativeCycle(cg, member, hi).empty()) continue;  // rate unbounded
+    for (int iter = 0; iter < 64 && hi - lo > 1e-12 + 1e-9 * hi; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (NegativeCycle(cg, member, mid).empty()) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    std::vector<int> crit = NegativeCycle(cg, member, hi);
+    if (crit.empty()) continue;
+    Canonicalize(crit, cg);
+    CycleWeights(cg, crit, &cb.capacity_tokens, &cb.latency_ps);
+    cb.tokens_per_ps =
+        cb.latency_ps > 0.0 ? cb.capacity_tokens / cb.latency_ps : 0.0;
+    for (int id : crit) cb.nodes.push_back(cg.node_names[id]);
+    if (cb.latency_ps <= 0.0) continue;
+
+    // Buffer sizing: the unconstrained target is the tightest per-element
+    // bound around this cycle; if the cycle's own capacity/latency ratio sits
+    // below it, buffering (not clocks or synchronizers) is the limiter.
+    double target = kInf;
+    for (const auto& n : cb.nodes) {
+      auto ch = g.channels().find(n);
+      if (ch != g.channels().end() && ch->second.period_ps) {
+        target = std::min(target, 1.0 / static_cast<double>(ch->second.period_ps));
+      }
+      if (n.size() > 3 && n.compare(n.size() - 3, 3, "#in") == 0) {
+        const auto* x = g.CrossingAt(n.substr(0, n.size() - 3));
+        if (x) target = std::min(target, CrossingRate(*x, nullptr));
+      }
+    }
+    if (!std::isinf(target) && cb.tokens_per_ps < target * (1.0 - 1e-9)) {
+      const DesignGraph::ChannelNode* grow = nullptr;
+      for (const auto& n : cb.nodes) {
+        auto ch = g.channels().find(n);
+        if (ch == g.channels().end() || ch->second.zero_storage) continue;
+        if (!grow || ch->second.capacity < grow->capacity) grow = &ch->second;
+      }
+      if (grow) {
+        const unsigned needed = static_cast<unsigned>(
+            std::ceil(target * cb.latency_ps - 1e-9));
+        const unsigned delta =
+            needed > static_cast<unsigned>(cb.capacity_tokens)
+                ? needed - static_cast<unsigned>(cb.capacity_tokens)
+                : 1;
+        BufferRec rec;
+        rec.channel = grow->name;
+        rec.current_capacity = grow->capacity;
+        rec.recommended_capacity = grow->capacity + delta;
+        rec.cycle_bound_tokens_per_ps = cb.tokens_per_ps;
+        rec.target_tokens_per_ps = target;
+        char msg[512];
+        std::snprintf(msg, sizeof(msg),
+                      "cycle [%s] is buffering-limited to %s (per-element "
+                      "bound %s); raising %s capacity %u -> %u recovers it",
+                      JoinCycle(cb.nodes).c_str(),
+                      FormatRatePerNs(cb.tokens_per_ps).c_str(),
+                      FormatRatePerNs(target).c_str(), grow->name.c_str(),
+                      rec.current_capacity, rec.recommended_capacity);
+        out.findings.push_back({"buffer-sizing", lint::Severity::kInfo,
+                                grow->name, msg});
+        out.buffer_recs.push_back(std::move(rec));
+      }
+    }
+    out.cycles.push_back(std::move(cb));
+  }
+
+  std::sort(out.cycles.begin(), out.cycles.end(),
+            [](const CycleBound& a, const CycleBound& b) {
+              return a.nodes < b.nodes;
+            });
+  std::sort(out.findings.begin(), out.findings.end(),
+            [](const lint::Finding& a, const lint::Finding& b) {
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.path < b.path;
+            });
+  return out;
+}
+
+}  // namespace craft::analyze

@@ -1,0 +1,133 @@
+// craft-prove: quantitative static analysis over the elaborated DesignGraph.
+//
+// Where craft-lint answers "is this design legal?", craft-prove answers "how
+// fast can it go, and can it wedge?" — before a single cycle is simulated.
+// Four passes run over the latency-insensitive channel graph:
+//
+//   prove-deadlock      capacity-aware deadlock feasibility. Generalizes the
+//                       zero-buffer comb-cycle rule: for every strongly
+//                       connected component of the channel graph, if the total
+//                       buffer capacity is smaller than the token demand
+//                       needed to make progress (1 token, or a full
+//                       flits-per-message burst when a DePacketizer reassembles
+//                       inside the component), no schedule can drain it —
+//                       provable deadlock, reported with a witness cycle.
+//
+//   cycle bounds        maximum-cycle-mean analysis: for each SCC the minimum
+//                       cycle ratio  lambda* = min over cycles of
+//                       capacity(cycle) / latency(cycle)  bounds the
+//                       sustainable token rate of every loop through it.
+//                       Edge weights: channel capacity in tokens; channel
+//                       latency in picoseconds (latency_cycles x period);
+//                       GALS crossings contribute (depth, 2 x sync_delay) for
+//                       the slot round-trip through both synchronizers.
+//
+//   channel bounds      per-channel sustainable-rate upper bounds: the
+//                       structural one-token-per-cycle limit, tightened by any
+//                       adjacent pausible crossing's rate  min(1/Tp, 1/Tc,
+//                       depth / (2 x sync_delay)).  These are the bounds the
+//                       cross-validation tests hold measured throughput to.
+//
+//   buffer sizing /     actionable diagnostics: the minimum extra capacity a
+//   GALS rate match     limiting cycle needs to reach its unconstrained rate,
+//                       and crossings whose synchronizer window (not either
+//                       clock) is the limiter, with the ring depth that would
+//                       recover the slower clock's full rate.
+//
+// All bounds are sound upper bounds: the model never under-estimates a rate
+// (module traversal costs zero latency, credits return instantly), so
+// measured throughput <= static bound holds for any workload. See DESIGN.md
+// section 10 for the formulation and the tolerance methodology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/design_graph.hpp"
+#include "lint/lint.hpp"
+
+namespace craft::analyze {
+
+/// Sustainable-rate upper bound for one channel.
+struct ChannelBound {
+  std::string channel;
+  std::string kind;
+  unsigned capacity = 0;
+  /// Upper bound in tokens per cycle of the channel's own clock (<= 1.0).
+  double tokens_per_cycle = 1.0;
+  /// Same bound in tokens per picosecond (0 when the period is unknown).
+  double tokens_per_ps = 0.0;
+  /// What set the bound: "structural" or "crossing:<path>".
+  std::string limited_by = "structural";
+};
+
+/// Rate bound for one pausible GALS crossing:
+/// min(1/Tproducer, 1/Tconsumer, depth / (2 x sync_delay)).
+struct CrossingBound {
+  std::string path;
+  double tokens_per_ps = 0.0;
+  /// "producer-clock", "consumer-clock" or "sync-delay".
+  std::string limited_by;
+  /// True when the synchronizer window limits below both clocks — the
+  /// crossing cannot sustain even the slower domain's full rate.
+  bool sync_limited = false;
+  /// Smallest ring depth that would recover the slower clock's full rate
+  /// (equals the current depth when not sync-limited).
+  unsigned recommended_depth = 0;
+};
+
+/// One limiting (or deadlocked) cycle found in an SCC of the channel graph.
+struct CycleBound {
+  /// Witness node sequence (channels, modules, crossing #in/#out halves);
+  /// the cycle closes from the last element back to the first.
+  std::vector<std::string> nodes;
+  double capacity_tokens = 0.0;   ///< total buffering around the cycle
+  double latency_ps = 0.0;        ///< total minimum latency around the cycle
+  /// capacity / latency — the sustainable-rate bound for this loop
+  /// (0 when latency is 0, i.e. a purely combinational cycle).
+  double tokens_per_ps = 0.0;
+  bool deadlock = false;          ///< SCC capacity < token demand
+  unsigned demand_tokens = 1;     ///< tokens needed for progress (see header)
+  unsigned scc_capacity = 0;      ///< total buffering in the enclosing SCC
+};
+
+/// Minimum extra buffering for a limiting cycle to reach its unconstrained
+/// per-element bound.
+struct BufferRec {
+  std::string channel;            ///< cheapest channel on the cycle to grow
+  unsigned current_capacity = 0;
+  unsigned recommended_capacity = 0;
+  double cycle_bound_tokens_per_ps = 0.0;
+  double target_tokens_per_ps = 0.0;
+};
+
+struct Analysis {
+  /// Diagnostics in craft-lint's Finding shape so text/JSON/SARIF reporting
+  /// is shared: prove-deadlock (error), gals-rate-mismatch (warning),
+  /// buffer-sizing and gals-clock-ratio (info).
+  std::vector<lint::Finding> findings;
+  std::vector<ChannelBound> channels;
+  std::vector<CrossingBound> crossings;
+  std::vector<CycleBound> cycles;
+  std::vector<BufferRec> buffer_recs;
+};
+
+/// Runs all four passes over an elaborated design graph. Purely static: the
+/// simulator is never run.
+Analysis Analyze(const DesignGraph& g);
+
+/// Bound lookup helpers (linear; analysis vectors are small).
+const ChannelBound* FindChannelBound(const Analysis& a, const std::string& name);
+const CrossingBound* FindCrossingBound(const Analysis& a, const std::string& path);
+
+// ---- reporting ----
+
+/// Human-readable report block for one design.
+std::string FormatText(const std::string& design, const Analysis& a);
+
+/// Machine-readable JSON document ("craft-prove-v1") over all designs.
+std::string FormatJson(
+    const std::vector<std::pair<std::string, Analysis>>& reports);
+
+}  // namespace craft::analyze

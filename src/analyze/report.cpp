@@ -1,0 +1,167 @@
+// craft-prove report rendering: a human-readable block per design and the
+// machine-readable "craft-prove-v1" JSON document over all analyzed designs.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+
+namespace craft::analyze {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JoinArrow(const std::vector<std::string>& nodes) {
+  std::string out;
+  for (const auto& n : nodes) {
+    if (!out.empty()) out += " -> ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatText(const std::string& design, const Analysis& a) {
+  std::ostringstream os;
+  os << "== prove: " << design << " ==\n";
+  int errors = 0, warnings = 0;
+  for (const auto& f : a.findings) {
+    if (f.severity == lint::Severity::kError) ++errors;
+    if (f.severity == lint::Severity::kWarning) ++warnings;
+  }
+  os << "  channels: " << a.channels.size()
+     << ", crossings: " << a.crossings.size() << ", cycles analyzed: "
+     << a.cycles.size() << "\n";
+  for (const auto& c : a.cycles) {
+    char line[256];
+    if (c.deadlock) {
+      std::snprintf(line, sizeof(line),
+                    "  cycle (DEADLOCK, capacity %u < demand %u): ",
+                    c.scc_capacity, c.demand_tokens);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  cycle (%.4g tokens/ns, capacity %.4g, latency %.4g ns): ",
+                    c.tokens_per_ps * 1000.0, c.capacity_tokens,
+                    c.latency_ps / 1000.0);
+    }
+    os << line << JoinArrow(c.nodes) << "\n";
+  }
+  for (const auto& f : a.findings) {
+    os << "  [" << lint::ToString(f.severity) << "] " << f.rule << " " << f.path
+       << "\n      " << f.message << "\n";
+  }
+  os << "  " << a.findings.size() << " finding"
+     << (a.findings.size() == 1 ? "" : "s") << " (" << errors << " error"
+     << (errors == 1 ? "" : "s") << ", " << warnings << " warning"
+     << (warnings == 1 ? "" : "s") << ")\n";
+  return os.str();
+}
+
+std::string FormatJson(
+    const std::vector<std::pair<std::string, Analysis>>& reports) {
+  int errors = 0, warnings = 0;
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"craft-prove-v1\",\n  \"designs\": [";
+  bool first_design = true;
+  for (const auto& [design, a] : reports) {
+    os << (first_design ? "" : ",") << "\n    {\"name\": \""
+       << JsonEscape(design) << "\",\n     \"channels\": [";
+    first_design = false;
+    bool first = true;
+    for (const auto& b : a.channels) {
+      os << (first ? "" : ",") << "\n      {\"name\": \"" << JsonEscape(b.channel)
+         << "\", \"kind\": \"" << JsonEscape(b.kind) << "\", \"capacity\": "
+         << b.capacity << ", \"tokens_per_cycle\": " << Num(b.tokens_per_cycle)
+         << ", \"tokens_per_ps\": " << Num(b.tokens_per_ps)
+         << ", \"limited_by\": \"" << JsonEscape(b.limited_by) << "\"}";
+      first = false;
+    }
+    os << (first ? "" : "\n    ") << "],\n     \"crossings\": [";
+    first = true;
+    for (const auto& b : a.crossings) {
+      os << (first ? "" : ",") << "\n      {\"path\": \"" << JsonEscape(b.path)
+         << "\", \"tokens_per_ps\": " << Num(b.tokens_per_ps)
+         << ", \"limited_by\": \"" << JsonEscape(b.limited_by)
+         << "\", \"sync_limited\": " << (b.sync_limited ? "true" : "false")
+         << ", \"recommended_depth\": " << b.recommended_depth << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n    ") << "],\n     \"cycles\": [";
+    first = true;
+    for (const auto& c : a.cycles) {
+      os << (first ? "" : ",") << "\n      {\"nodes\": [";
+      bool fn = true;
+      for (const auto& n : c.nodes) {
+        os << (fn ? "" : ", ") << "\"" << JsonEscape(n) << "\"";
+        fn = false;
+      }
+      os << "], \"capacity_tokens\": " << Num(c.capacity_tokens)
+         << ", \"latency_ps\": " << Num(c.latency_ps)
+         << ", \"tokens_per_ps\": " << Num(c.tokens_per_ps)
+         << ", \"deadlock\": " << (c.deadlock ? "true" : "false")
+         << ", \"demand_tokens\": " << c.demand_tokens
+         << ", \"scc_capacity\": " << c.scc_capacity << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n    ") << "],\n     \"buffer_recs\": [";
+    first = true;
+    for (const auto& r : a.buffer_recs) {
+      os << (first ? "" : ",") << "\n      {\"channel\": \""
+         << JsonEscape(r.channel) << "\", \"current_capacity\": "
+         << r.current_capacity << ", \"recommended_capacity\": "
+         << r.recommended_capacity << ", \"cycle_bound_tokens_per_ps\": "
+         << Num(r.cycle_bound_tokens_per_ps) << ", \"target_tokens_per_ps\": "
+         << Num(r.target_tokens_per_ps) << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n    ") << "],\n     \"findings\": [";
+    first = true;
+    for (const auto& f : a.findings) {
+      if (f.severity == lint::Severity::kError) ++errors;
+      if (f.severity == lint::Severity::kWarning) ++warnings;
+      os << (first ? "" : ",") << "\n      {\"rule\": \"" << JsonEscape(f.rule)
+         << "\", \"severity\": \"" << lint::ToString(f.severity)
+         << "\", \"path\": \"" << JsonEscape(f.path) << "\", \"message\": \""
+         << JsonEscape(f.message) << "\"}";
+      first = false;
+    }
+    os << (first ? "" : "\n    ") << "]}";
+  }
+  os << (first_design ? "" : "\n  ") << "],\n";
+  os << "  \"errors\": " << errors << ",\n";
+  os << "  \"warnings\": " << warnings << "\n}\n";
+  return os.str();
+}
+
+}  // namespace craft::analyze

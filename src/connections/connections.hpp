@@ -88,13 +88,22 @@ class Channel : public Module, public ChannelControl {
         space_event_(sim()) {
     CRAFT_ASSERT(capacity_ >= 1 || kind_ == ChannelKind::kCombinational,
                  "channel capacity must be >= 1");
+    // Minimum enqueue-to-dequeue latency: kinds that commit at the posedge
+    // make a token visible one cycle after the push; Combinational transfers
+    // and the Bypass empty-queue path are same-cycle. craft-prove's
+    // throughput analysis consumes this together with capacity and period.
+    const unsigned latency_cycles =
+        (kind_ == ChannelKind::kCombinational || kind_ == ChannelKind::kBypass) ? 0
+                                                                                : 1;
     sim().design_graph().AddChannel(DesignGraph::ChannelNode{
         full_name(), ToString(kind_), capacity_,
-        /*zero_storage=*/kind_ == ChannelKind::kCombinational, &clk_, clk_.name()});
+        /*zero_storage=*/kind_ == ChannelKind::kCombinational, &clk_, clk_.name(),
+        clk_.period(), latency_cycles});
     // nullptr unless craft-stats was enabled before elaboration; every
     // instrumentation site below guards on it, so the disabled cost is one
     // never-taken branch per operation.
-    stats_ = sim().stats().RegisterChannel(full_name(), ToString(kind), capacity_);
+    stats_ = sim().stats().RegisterChannel(full_name(), ToString(kind), capacity_,
+                                           clk_.period());
     // Same contract for craft-trace: span slices + blame samples, nullptr
     // (and one never-taken branch per operation) unless enabled.
     trace_ = sim().trace_events().RegisterTrack(full_name(), ToString(kind),

@@ -55,6 +55,12 @@ class PausibleBisyncFifo : public Module {
     // same-timestep publish observable, which neither real pausible
     // arbitration nor conservative parallel execution permits.
     sim().RegisterCrossing(&pclk_, &cclk_, sync_delay_, full_name());
+    // Quantitative record for static analysis (craft-prove): ring depth and
+    // grace window bound the crossing's sustainable rate, the periods convert
+    // it between the two domains' cycle bases.
+    sim().design_graph().AddCrossing(DesignGraph::CrossingNode{
+        full_name(), &pclk_, &cclk_, pclk_.name(), cclk_.name(), pclk_.period(),
+        cclk_.period(), sync_delay_, kDepth});
     stats_ = sim().stats().RegisterCrossing(full_name(), pclk_.name(), cclk_.name(),
                                             cclk_.period());
     trace_ = sim().trace_events().RegisterTrack(

@@ -51,6 +51,16 @@ void DesignGraph::MarkCdcSafe(const std::string& path) { cdc_safe_.push_back(pat
 
 void DesignGraph::AddPacketizer(const PacketizerNode& p) { packetizers_.push_back(p); }
 
+void DesignGraph::AddCrossing(const CrossingNode& c) { crossings_.push_back(c); }
+
+const DesignGraph::CrossingNode* DesignGraph::CrossingAt(
+    const std::string& path) const {
+  for (const CrossingNode& c : crossings_) {
+    if (c.path == path) return &c;
+  }
+  return nullptr;
+}
+
 void DesignGraph::RegisterPort(const void* key, bool is_input, std::string type) {
   PortNode& p = ports_[key];
   p.id = next_port_id_++;

@@ -45,6 +45,14 @@ class DesignGraph {
     bool zero_storage = false; ///< no internal buffering (Combinational)
     const void* clock = nullptr;
     std::string clock_name;
+    /// Nominal period of `clock` in picoseconds (0 if unknown). Recorded so
+    /// static analysis can convert per-cycle rates into time units without
+    /// holding live Clock pointers.
+    std::uint64_t period_ps = 0;
+    /// Minimum enqueue-to-dequeue latency in cycles of `clock`: 0 for
+    /// same-cycle kinds (Combinational, Bypass via the bypass path), 1 for
+    /// kinds that commit at the posedge (Pipeline, Buffer).
+    unsigned latency_cycles = 0;
   };
 
   struct PortNode {
@@ -68,6 +76,22 @@ class DesignGraph {
     unsigned msg_width = 0;    ///< Marshal<T>::kWidth
     unsigned flit_bits = 0;
     bool is_packetizer = false; ///< false = depacketizer
+  };
+
+  /// A declared GALS clock-domain crossing (PausibleBisyncFifo). Mirrors the
+  /// Simulator's CrossingDecl but carries the quantitative parameters the
+  /// static throughput analysis (src/analyze) needs: ring depth, synchronizer
+  /// grace window, and both nominal clock periods.
+  struct CrossingNode {
+    std::string path;                     ///< fifo's hierarchical name
+    const void* producer_clock = nullptr;
+    const void* consumer_clock = nullptr;
+    std::string producer_clock_name;
+    std::string consumer_clock_name;
+    std::uint64_t producer_period_ps = 0;
+    std::uint64_t consumer_period_ps = 0;
+    std::uint64_t sync_delay_ps = 0;      ///< grace window per direction
+    unsigned depth = 0;                   ///< ring slots (kDepth)
   };
 
   // ---- registration (called during elaboration) ----
@@ -98,6 +122,11 @@ class DesignGraph {
 
   void AddPacketizer(const PacketizerNode& p);
 
+  /// Declares a GALS crossing (called by PausibleBisyncFifo alongside
+  /// Simulator::RegisterCrossing, which keeps only what the parallel engine
+  /// needs; this record keeps what static analysis needs).
+  void AddCrossing(const CrossingNode& c);
+
   // Port lifecycle, keyed by the port object's address.
   void RegisterPort(const void* key, bool is_input, std::string type);
   /// Copy/move: the new port inherits the source's attribution and binding.
@@ -113,6 +142,10 @@ class DesignGraph {
   const std::map<std::string, ChannelNode>& channels() const { return channels_; }
   const std::vector<DomainScope>& domain_scopes() const { return scopes_; }
   const std::vector<PacketizerNode>& packetizers() const { return packetizers_; }
+  const std::vector<CrossingNode>& crossings() const { return crossings_; }
+
+  /// Crossing registered at `path`, or nullptr.
+  const CrossingNode* CrossingAt(const std::string& path) const;
 
   /// All live ports, sorted by registration id (deterministic).
   std::vector<PortNode> ports() const;
@@ -133,6 +166,7 @@ class DesignGraph {
   std::vector<DomainScope> scopes_;
   std::vector<std::string> cdc_safe_;
   std::vector<PacketizerNode> packetizers_;
+  std::vector<CrossingNode> crossings_;
   std::string current_module_;
   std::uint64_t next_port_id_ = 0;
 };

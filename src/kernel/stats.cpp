@@ -52,6 +52,34 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+std::map<std::string, MeasuredRate> MeasuredChannelRates(const Simulator& sim) {
+  std::map<std::string, MeasuredRate> out;
+  const Time elapsed = sim.now();
+  if (!sim.stats().enabled() || elapsed == 0) return out;
+  for (const auto& [name, ch] : sim.stats().channels()) {
+    MeasuredRate r;
+    r.tokens = ch.dequeues;
+    r.tokens_per_ps = static_cast<double>(ch.dequeues) / static_cast<double>(elapsed);
+    r.tokens_per_cycle = r.tokens_per_ps * static_cast<double>(ch.period_ps);
+    out[name] = r;
+  }
+  return out;
+}
+
+std::map<std::string, MeasuredRate> MeasuredCrossingRates(const Simulator& sim) {
+  std::map<std::string, MeasuredRate> out;
+  const Time elapsed = sim.now();
+  if (!sim.stats().enabled() || elapsed == 0) return out;
+  for (const auto& [name, x] : sim.stats().crossings()) {
+    MeasuredRate r;
+    r.tokens = x.transfers;
+    r.tokens_per_ps = static_cast<double>(x.transfers) / static_cast<double>(elapsed);
+    r.tokens_per_cycle = r.tokens_per_ps * static_cast<double>(x.consumer_period_ps);
+    out[name] = r;
+  }
+  return out;
+}
+
 std::string FormatTable(const Simulator& sim) {
   const StatsRegistry& reg = sim.stats();
   std::ostringstream os;

@@ -65,6 +65,7 @@ struct ChannelStats {
   std::string name;
   std::string kind;
   unsigned capacity = 0;
+  std::uint64_t period_ps = 0;  ///< nominal period of the channel's clock
 
   std::uint64_t enqueues = 0;
   std::uint64_t dequeues = 0;
@@ -119,12 +120,13 @@ class StatsRegistry {
   void Enable() { enabled_ = true; }
 
   ChannelStats* RegisterChannel(const std::string& name, const std::string& kind,
-                                unsigned capacity) {
+                                unsigned capacity, std::uint64_t period_ps = 0) {
     if (!enabled_) return nullptr;
     ChannelStats& s = channels_[name];
     s.name = name;
     s.kind = kind;
     s.capacity = capacity;
+    s.period_ps = period_ps;
     return &s;
   }
 
@@ -163,6 +165,22 @@ class StatsRegistry {
 };
 
 namespace stats {
+
+/// Measured steady-state rate of one channel or crossing, for cross-checking
+/// against craft-prove's static bounds (src/analyze).
+struct MeasuredRate {
+  std::uint64_t tokens = 0;        ///< dequeues (channels) / transfers (crossings)
+  double tokens_per_ps = 0.0;      ///< tokens / elapsed simulated time
+  double tokens_per_cycle = 0.0;   ///< ... in periods of the endpoint's clock
+};
+
+/// Per-channel measured throughput over the elapsed simulation (sim.now()).
+/// Keys are design-graph channel names; requires stats to have been enabled
+/// before elaboration (returns empty otherwise, or at time zero).
+std::map<std::string, MeasuredRate> MeasuredChannelRates(const Simulator& sim);
+
+/// Per-GALS-crossing measured throughput, in consumer-clock cycles.
+std::map<std::string, MeasuredRate> MeasuredCrossingRates(const Simulator& sim);
 
 /// Human-readable end-of-sim report: kernel totals, per-process profile,
 /// and one row per active channel / crossing / FIFO.

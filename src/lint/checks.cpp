@@ -6,6 +6,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "lint/graph_utils.hpp"
+
 namespace craft::lint {
 
 bool GlobMatch(const std::string& pattern, const std::string& text) {
@@ -36,23 +38,6 @@ Suppression ParseSuppression(const std::string& spec) {
 }
 
 namespace {
-
-/// Per-channel binding summary built from the ports table.
-struct ChannelUse {
-  std::vector<const DesignGraph::PortNode*> drivers;    // Out ports
-  std::vector<const DesignGraph::PortNode*> consumers;  // In ports
-};
-
-std::unordered_map<std::string, ChannelUse> GroupByChannel(
-    const std::vector<DesignGraph::PortNode>& ports) {
-  std::unordered_map<std::string, ChannelUse> use;
-  for (const auto& p : ports) {
-    if (p.channel.empty()) continue;
-    ChannelUse& u = use[p.channel];
-    (p.is_input ? u.consumers : u.drivers).push_back(&p);
-  }
-  return use;
-}
 
 std::string JoinOwners(const std::vector<const DesignGraph::PortNode*>& ps) {
   std::set<std::string> names;
@@ -110,79 +95,18 @@ std::vector<Finding> CheckCombCycles(const DesignGraph& g) {
   // is a cycle with no storage anywhere on it — the LI deadlock-
   // susceptibility rule (a rendezvous loop cannot make progress).
   const auto& channels = g.channels();
-  std::unordered_map<std::string, std::vector<std::string>> adj;
+  NameGraph adj;
   for (const auto& p : g.ports()) {
     if (p.channel.empty()) continue;
     auto it = channels.find(p.channel);
     if (it == channels.end() || !it->second.zero_storage) continue;
     if (p.is_input) {
-      adj[p.channel].push_back(p.owner);
-      adj[p.owner];  // ensure node exists
+      AddEdge(adj, p.channel, p.owner);
     } else {
-      adj[p.owner].push_back(p.channel);
-      adj[p.channel];
+      AddEdge(adj, p.owner, p.channel);
     }
   }
-
-  // Iterative Tarjan SCC.
-  struct NodeState {
-    int index = -1, lowlink = -1;
-    bool on_stack = false;
-  };
-  std::unordered_map<std::string, NodeState> state;
-  std::vector<std::string> stack;
-  std::vector<std::vector<std::string>> sccs;
-  int next_index = 0;
-
-  std::function<void(const std::string&)> strongconnect = [&](const std::string& v) {
-    struct Frame {
-      std::string node;
-      std::size_t child = 0;
-    };
-    std::vector<Frame> frames{{v, 0}};
-    state[v].index = state[v].lowlink = next_index++;
-    state[v].on_stack = true;
-    stack.push_back(v);
-    static const std::vector<std::string> kNoEdges;
-    while (!frames.empty()) {
-      Frame& f = frames.back();
-      const auto eit = adj.find(f.node);
-      const auto& edges = (eit != adj.end()) ? eit->second : kNoEdges;
-      if (f.child < edges.size()) {
-        const std::string& w = edges[f.child++];
-        NodeState& ws = state[w];
-        if (ws.index < 0) {
-          ws.index = ws.lowlink = next_index++;
-          ws.on_stack = true;
-          stack.push_back(w);
-          frames.push_back(Frame{w, 0});
-        } else if (ws.on_stack) {
-          state[f.node].lowlink = std::min(state[f.node].lowlink, ws.index);
-        }
-      } else {
-        if (state[f.node].lowlink == state[f.node].index) {
-          std::vector<std::string> scc;
-          for (;;) {
-            std::string w = stack.back();
-            stack.pop_back();
-            state[w].on_stack = false;
-            scc.push_back(std::move(w));
-            if (scc.back() == f.node) break;
-          }
-          if (scc.size() > 1) sccs.push_back(std::move(scc));
-        }
-        const std::string done = f.node;
-        frames.pop_back();
-        if (!frames.empty()) {
-          state[frames.back().node].lowlink =
-              std::min(state[frames.back().node].lowlink, state[done].lowlink);
-        }
-      }
-    }
-  };
-  for (const auto& [node, edges] : adj) {
-    if (state[node].index < 0) strongconnect(node);
-  }
+  std::vector<std::vector<std::string>> sccs = CyclicSccs(adj);
 
   std::vector<Finding> out;
   for (auto& scc : sccs) {
@@ -332,15 +256,23 @@ std::vector<Finding> CheckPacketizers(const DesignGraph& g) {
 }
 
 std::vector<Finding> ApplyOptions(std::vector<Finding> findings,
-                                  const LintOptions& opts) {
+                                  const LintOptions& opts,
+                                  std::vector<bool>* used_suppressions) {
+  if (used_suppressions != nullptr) {
+    used_suppressions->resize(opts.suppressions.size(), false);
+  }
   std::vector<Finding> kept;
   kept.reserve(findings.size());
   for (Finding& f : findings) {
     bool suppressed = false;
-    for (const Suppression& s : opts.suppressions) {
+    for (std::size_t i = 0; i < opts.suppressions.size(); ++i) {
+      const Suppression& s = opts.suppressions[i];
       if (GlobMatch(s.rule_glob, f.rule) && GlobMatch(s.path_glob, f.path)) {
         suppressed = true;
-        break;
+        if (used_suppressions != nullptr) (*used_suppressions)[i] = true;
+        // No break: later suppressions covering the same finding still count
+        // as used, so the unused-suppression warning stays precise.
+        if (used_suppressions == nullptr) break;
       }
     }
     if (suppressed) continue;
@@ -354,13 +286,28 @@ std::vector<Finding> ApplyOptions(std::vector<Finding> findings,
   return kept;
 }
 
-std::vector<Finding> CheckDesignGraph(const DesignGraph& g, const LintOptions& opts) {
+std::vector<Finding> UnusedSuppressionFindings(
+    const std::vector<Suppression>& suppressions, const std::vector<bool>& used) {
+  std::vector<Finding> out;
+  for (std::size_t i = 0; i < suppressions.size(); ++i) {
+    if (i < used.size() && used[i]) continue;
+    const Suppression& s = suppressions[i];
+    out.push_back(Finding{
+        "unused-suppression", Severity::kWarning, s.rule_glob + "@" + s.path_glob,
+        "suppression '" + s.rule_glob + "@" + s.path_glob +
+            "' matched no finding — stale after a fix, or a typo in the glob"});
+  }
+  return out;
+}
+
+std::vector<Finding> CheckDesignGraph(const DesignGraph& g, const LintOptions& opts,
+                                      std::vector<bool>* used_suppressions) {
   std::vector<Finding> all;
   for (auto&& chunk : {CheckUnboundPorts(g), CheckMultiDriver(g), CheckCombCycles(g),
                        CheckCdc(g), CheckPacketizers(g)}) {
     all.insert(all.end(), chunk.begin(), chunk.end());
   }
-  return ApplyOptions(std::move(all), opts);
+  return ApplyOptions(std::move(all), opts, used_suppressions);
 }
 
 }  // namespace craft::lint

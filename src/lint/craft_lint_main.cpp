@@ -1,14 +1,19 @@
 // craft_lint: elaborate the repo's reference designs and run the full
 // design-rule suite over each one — the "run after elaboration, before
-// simulation" step of the flow. Exits non-zero iff any design has
-// error-severity findings, so it can gate CI.
+// simulation" step of the flow. Exits non-zero iff any design has findings
+// at or above the --fail-on threshold (default: error), so it can gate CI
+// while still publishing warnings.
 //
 // Usage:
-//   craft_lint [--json[=FILE]] [--suppress RULE[@PATH-GLOB]]... [--quiet]
+//   craft_lint [--json[=FILE]] [--sarif=FILE] [--suppress RULE[@PATH-GLOB]]...
+//              [--fail-on SEVERITY] [--quiet]
 //
 //   --json            print the machine-readable report to stdout
 //   --json=FILE       ... or write it to FILE
+//   --sarif=FILE      write findings as SARIF 2.1.0 for code-scanning upload
 //   --suppress SPEC   drop findings matching "rule@path-glob" (glob: * ?)
+//   --fail-on SEV     exit non-zero on findings at SEV or worse:
+//                     error (default), warning, info, or none
 //   --quiet           suppress per-design text blocks for clean designs
 #include <cstdio>
 #include <cstring>
@@ -17,12 +22,11 @@
 #include <utility>
 #include <vector>
 
-#include "gals/gals.hpp"
 #include "hls/designs.hpp"
 #include "hls/scheduler.hpp"
 #include "kernel/kernel.hpp"
 #include "lint/lint.hpp"
-#include "soc/soc.hpp"
+#include "lint/ref_designs.hpp"
 
 namespace {
 
@@ -32,66 +36,20 @@ using lint::LintOptions;
 
 using Report = std::pair<std::string, std::vector<Finding>>;
 
-/// Elaborates one SocTop configuration and lints its design graph. The
-/// simulator is never Run(): lint is purely an elaboration-time pass.
-Report LintSoc(const std::string& label, const soc::SocConfig& cfg,
-               const LintOptions& opts) {
-  Simulator sim;
-  soc::SocTop soc(sim, cfg);
-  return {label, lint::CheckDesignGraph(sim.design_graph(), opts)};
-}
-
-/// The fine-grained GALS pipeline of examples/gals_multiclock: four
-/// partitions, three pausible crossings, fully bound endpoints.
-Report LintGalsPipeline(const LintOptions& opts) {
-  Simulator sim;
-  Module top(sim, "pipe");
-  gals::Partition p0(top, "src", {.nominal_period = 1000, .seed = 1});
-  gals::Partition p1(top, "mid", {.nominal_period = 1300, .seed = 2});
-  gals::Partition p2(top, "snk", {.nominal_period = 800, .seed = 3});
-
-  gals::AsyncChannel<int> c01(top, "c01", p0.clk(), p1.clk());
-  gals::AsyncChannel<int> c12(top, "c12", p1.clk(), p2.clk());
-
-  struct Stage : Module {
-    connections::In<int> in;
-    connections::Out<int> out;
-    Stage(Module& parent, Clock& clk) : Module(parent, "stage") {
-      Thread("run", clk, [this] {
-        for (;;) out.Push(in.Pop() + 1);
-      });
-    }
-  };
-  struct Source : Module {
-    connections::Out<int> out;
-    Source(Module& parent, Clock& clk) : Module(parent, "feed") {
-      Thread("run", clk, [this] { out.Push(0); });
-    }
-  };
-  struct Sink : Module {
-    connections::In<int> in;
-    Sink(Module& parent, Clock& clk) : Module(parent, "drain") {
-      Thread("run", clk, [this] { (void)in.Pop(); });
-    }
-  };
-
-  Source feed(p0, p0.clk());
-  feed.out(c01.producer_end());
-  Stage mid(p1, p1.clk());
-  mid.in(c01.consumer_end());
-  mid.out(c12.producer_end());
-  Sink drain(p2, p2.clk());
-  drain.in(c12.consumer_end());
-
-  return {"gals_pipeline", lint::CheckDesignGraph(sim.design_graph(), opts)};
-}
-
 /// Schedules one HLS design under `c` and lints the result.
 Report LintHls(hls::DataflowGraph g, const hls::ScheduleConstraints& c,
-               const LintOptions& opts) {
+               const LintOptions& opts, std::vector<bool>* used) {
   const hls::AreaModel model;
   const hls::ScheduleResult r = hls::Schedule(g, model, c);
-  return {"hls:" + g.name(), lint::ApplyOptions(lint::CheckSchedule(g, r, c), opts)};
+  return {"hls:" + g.name(),
+          lint::ApplyOptions(lint::CheckSchedule(g, r, c), opts, used)};
+}
+
+void OrUsed(std::vector<bool>& acc, const std::vector<bool>& used) {
+  if (acc.size() < used.size()) acc.resize(used.size(), false);
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    if (used[i]) acc[i] = true;
+  }
 }
 
 }  // namespace
@@ -101,6 +59,9 @@ int main(int argc, char** argv) {
   bool json = false;
   bool quiet = false;
   std::string json_path;
+  std::string sarif_path;
+  lint::Severity fail_on = lint::Severity::kError;
+  bool fail_none = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -108,45 +69,49 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json = true;
       json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(std::strlen("--sarif="));
     } else if (arg == "--suppress" && i + 1 < argc) {
       opts.suppressions.push_back(lint::ParseSuppression(argv[++i]));
     } else if (arg.rfind("--suppress=", 0) == 0) {
       opts.suppressions.push_back(
           lint::ParseSuppression(arg.substr(std::strlen("--suppress="))));
+    } else if (arg == "--fail-on" && i + 1 < argc) {
+      if (!lint::ParseFailOn(argv[++i], &fail_on, &fail_none)) {
+        std::fprintf(stderr,
+                     "craft_lint: --fail-on wants error|warning|info|none\n");
+        return 2;
+      }
+    } else if (arg.rfind("--fail-on=", 0) == 0) {
+      if (!lint::ParseFailOn(arg.substr(std::strlen("--fail-on=")), &fail_on,
+                             &fail_none)) {
+        std::fprintf(stderr,
+                     "craft_lint: --fail-on wants error|warning|info|none\n");
+        return 2;
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
       std::fprintf(stderr,
-                   "usage: craft_lint [--json[=FILE]] [--suppress RULE[@GLOB]]... "
-                   "[--quiet]\n");
+                   "usage: craft_lint [--json[=FILE]] [--sarif=FILE] "
+                   "[--suppress RULE[@GLOB]]... [--fail-on SEV] [--quiet]\n");
       return 2;
     }
   }
 
   std::vector<Report> reports;
+  std::vector<bool> used_any(opts.suppressions.size(), false);
 
-  // The prototype SoC in its shipped configurations (paper Fig. 5).
-  {
-    soc::SocConfig cfg;  // 2x2 GALS mesh: ctrl + gm + 2 PEs
-    reports.push_back(LintSoc("soc_gals_2x2", cfg, opts));
+  // The prototype SoC configurations and the GALS pipeline (paper Fig. 5).
+  // Each design elaborates into a fresh simulator; lint never runs it.
+  for (const lint::RefDesign& d : lint::ReferenceDesigns()) {
+    Simulator sim;
+    const auto handle = d.build(sim);
+    std::vector<bool> used;
+    reports.emplace_back(d.name,
+                         lint::CheckDesignGraph(sim.design_graph(), opts, &used));
+    OrUsed(used_any, used);
   }
-  {
-    soc::SocConfig cfg;
-    cfg.gals = false;
-    reports.push_back(LintSoc("soc_sync_2x2", cfg, opts));
-  }
-  {
-    soc::SocConfig cfg;
-    cfg.with_io = true;
-    reports.push_back(LintSoc("soc_gals_io_2x2", cfg, opts));
-  }
-  {
-    soc::SocConfig cfg;
-    cfg.mesh_width = 3;
-    cfg.mesh_height = 3;
-    reports.push_back(LintSoc("soc_gals_3x3", cfg, opts));
-  }
-  reports.push_back(LintGalsPipeline(opts));
 
   // Every HLS reference design, scheduled under representative constraints.
   {
@@ -154,27 +119,40 @@ int main(int argc, char** argv) {
     hls::ScheduleConstraints shared_c;
     shared_c.max_multipliers = 2;
     shared_c.max_adders = 4;
-    reports.push_back(LintHls(hls::BuildDstLoopCrossbar(8, 32), free_c, opts));
-    reports.push_back(LintHls(hls::BuildSrcLoopCrossbar(8, 32), free_c, opts));
-    reports.push_back(LintHls(hls::BuildAdder(32), free_c, opts));
-    reports.push_back(LintHls(hls::BuildMac(16), shared_c, opts));
-    reports.push_back(LintHls(hls::BuildFir(8, 16), shared_c, opts));
-    reports.push_back(LintHls(hls::BuildDotProduct(8, 16), shared_c, opts));
-    reports.push_back(LintHls(hls::BuildAlu(32), free_c, opts));
-    reports.push_back(LintHls(hls::BuildOneHotEncoder(16), free_c, opts));
-    reports.push_back(LintHls(hls::BuildRoundRobinArbiter(8), free_c, opts));
-    reports.push_back(LintHls(hls::BuildReductionTree(16, 16), shared_c, opts));
-    reports.push_back(LintHls(hls::BuildVectorScale(8, 16), shared_c, opts));
-    reports.push_back(LintHls(hls::BuildFpMulUnit(11), free_c, opts));
+    std::vector<bool> used;
+    auto hls_one = [&](hls::DataflowGraph g, const hls::ScheduleConstraints& c) {
+      reports.push_back(LintHls(std::move(g), c, opts, &used));
+      OrUsed(used_any, used);
+    };
+    hls_one(hls::BuildDstLoopCrossbar(8, 32), free_c);
+    hls_one(hls::BuildSrcLoopCrossbar(8, 32), free_c);
+    hls_one(hls::BuildAdder(32), free_c);
+    hls_one(hls::BuildMac(16), shared_c);
+    hls_one(hls::BuildFir(8, 16), shared_c);
+    hls_one(hls::BuildDotProduct(8, 16), shared_c);
+    hls_one(hls::BuildAlu(32), free_c);
+    hls_one(hls::BuildOneHotEncoder(16), free_c);
+    hls_one(hls::BuildRoundRobinArbiter(8), free_c);
+    hls_one(hls::BuildReductionTree(16, 16), shared_c);
+    hls_one(hls::BuildVectorScale(8, 16), shared_c);
+    hls_one(hls::BuildFpMulUnit(11), free_c);
   }
+
+  // A suppression that matched nothing in ANY design is stale or a typo;
+  // surface it as a warning report of its own rather than silently honoring.
+  const std::vector<Finding> unused =
+      lint::UnusedSuppressionFindings(opts.suppressions, used_any);
+  if (!unused.empty()) reports.emplace_back("suppressions", unused);
 
   // With --json to stdout, the JSON document must be the only thing there;
   // the human-readable report moves to stderr.
   std::FILE* text_out = (json && json_path.empty()) ? stderr : stdout;
   int errors = 0;
   int warnings = 0;
+  int gating = 0;
   for (const auto& [design, findings] : reports) {
     errors += lint::ErrorCount(findings);
+    if (!fail_none) gating += lint::CountAtOrAbove(findings, fail_on);
     for (const Finding& f : findings) {
       if (f.severity == lint::Severity::kWarning) ++warnings;
     }
@@ -198,5 +176,13 @@ int main(int argc, char** argv) {
       out << doc;
     }
   }
-  return errors > 0 ? 1 : 0;
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::fprintf(stderr, "craft_lint: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+    out << lint::FormatSarif("craft-lint", "1.0.0", reports);
+  }
+  return gating > 0 ? 1 : 0;
 }

@@ -1,0 +1,138 @@
+#include "lint/graph_utils.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace craft::lint {
+
+std::unordered_map<std::string, ChannelUse> GroupByChannel(
+    const std::vector<DesignGraph::PortNode>& ports) {
+  std::unordered_map<std::string, ChannelUse> use;
+  for (const auto& p : ports) {
+    if (p.channel.empty()) continue;
+    ChannelUse& u = use[p.channel];
+    (p.is_input ? u.consumers : u.drivers).push_back(&p);
+  }
+  return use;
+}
+
+void AddEdge(NameGraph& g, const std::string& a, const std::string& b) {
+  g[a].push_back(b);
+  g[b];  // ensure the target node exists
+}
+
+std::vector<std::vector<std::string>> CyclicSccs(const NameGraph& g) {
+  struct NodeState {
+    int index = -1, lowlink = -1;
+    bool on_stack = false;
+  };
+  std::unordered_map<std::string, NodeState> state;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> sccs;
+  int next_index = 0;
+  static const std::vector<std::string> kNoEdges;
+
+  auto strongconnect = [&](const std::string& v) {
+    struct Frame {
+      std::string node;
+      std::size_t child = 0;
+    };
+    std::vector<Frame> frames{{v, 0}};
+    state[v].index = state[v].lowlink = next_index++;
+    state[v].on_stack = true;
+    stack.push_back(v);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto eit = g.find(f.node);
+      const auto& edges = (eit != g.end()) ? eit->second : kNoEdges;
+      if (f.child < edges.size()) {
+        const std::string& w = edges[f.child++];
+        NodeState& ws = state[w];
+        if (ws.index < 0) {
+          ws.index = ws.lowlink = next_index++;
+          ws.on_stack = true;
+          stack.push_back(w);
+          frames.push_back(Frame{w, 0});
+        } else if (ws.on_stack) {
+          state[f.node].lowlink = std::min(state[f.node].lowlink, ws.index);
+        }
+      } else {
+        if (state[f.node].lowlink == state[f.node].index) {
+          std::vector<std::string> scc;
+          for (;;) {
+            std::string w = stack.back();
+            stack.pop_back();
+            state[w].on_stack = false;
+            scc.push_back(std::move(w));
+            if (scc.back() == f.node) break;
+          }
+          // Keep only components lying on a cycle: >= 2 nodes, or a
+          // single node with a self-loop.
+          bool cyclic = scc.size() > 1;
+          if (!cyclic) {
+            const auto sit = g.find(scc.front());
+            cyclic = sit != g.end() &&
+                     std::find(sit->second.begin(), sit->second.end(),
+                               scc.front()) != sit->second.end();
+          }
+          if (cyclic) sccs.push_back(std::move(scc));
+        }
+        const std::string done = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          state[frames.back().node].lowlink =
+              std::min(state[frames.back().node].lowlink, state[done].lowlink);
+        }
+      }
+    }
+  };
+  for (const auto& [node, edges] : g) {
+    if (state[node].index < 0) strongconnect(node);
+  }
+  return sccs;
+}
+
+std::vector<std::string> FindCycleInScc(const NameGraph& g,
+                                        const std::vector<std::string>& scc,
+                                        const std::string& seed) {
+  if (scc.empty()) return {};
+  const std::unordered_set<std::string> members(scc.begin(), scc.end());
+  const std::string start =
+      members.count(seed) != 0 ? seed : scc.front();
+
+  // DFS within the SCC; the first back-edge to a node on the current path
+  // closes a cycle. An SCC from CyclicSccs always contains one.
+  std::vector<std::string> path{start};
+  std::unordered_map<std::string, std::size_t> on_path{{start, 0}};
+  std::unordered_map<std::string, std::size_t> next_child;
+  static const std::vector<std::string> kNoEdges;
+  while (!path.empty()) {
+    const std::string& cur = path.back();
+    const auto eit = g.find(cur);
+    const auto& edges = (eit != g.end()) ? eit->second : kNoEdges;
+    std::size_t& child = next_child[cur];
+    bool advanced = false;
+    while (child < edges.size()) {
+      const std::string& w = edges[child++];
+      if (members.count(w) == 0) continue;
+      const auto pit = on_path.find(w);
+      if (pit != on_path.end()) {
+        // Cycle found: path[pit->second ..].
+        return std::vector<std::string>(path.begin() +
+                                            static_cast<std::ptrdiff_t>(pit->second),
+                                        path.end());
+      }
+      on_path.emplace(w, path.size());
+      path.push_back(w);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      on_path.erase(path.back());
+      path.pop_back();
+    }
+  }
+  return scc;  // unreachable for a genuine SCC; degrade to the member list
+}
+
+}  // namespace craft::lint

@@ -1,0 +1,50 @@
+// Shared design-graph extraction utilities, hoisted out of craft-lint's
+// checks so craft-prove (src/analyze) can reuse the same channel-binding
+// model and SCC machinery instead of re-deriving it.
+//
+// The common structure both consumers build is the *channel graph*: a
+// directed graph over hierarchical names with two node flavors — modules
+// (port owners) and channels — and edges owner --Out--> channel and
+// channel --In--> owner. Lint runs SCCs over the zero-storage subgraph
+// (comb-cycle rule); prove runs them over the full graph with quantitative
+// edge weights (deadlock feasibility, cycle-ratio bounds).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/design_graph.hpp"
+
+namespace craft::lint {
+
+/// Per-channel binding summary built from the ports table. The pointers
+/// reference the PortNode vector handed to GroupByChannel — keep it alive.
+struct ChannelUse {
+  std::vector<const DesignGraph::PortNode*> drivers;    // Out ports
+  std::vector<const DesignGraph::PortNode*> consumers;  // In ports
+};
+
+std::unordered_map<std::string, ChannelUse> GroupByChannel(
+    const std::vector<DesignGraph::PortNode>& ports);
+
+/// Adjacency list over hierarchical names. Every node mentioned as a source
+/// or target is guaranteed a (possibly empty) entry.
+using NameGraph = std::unordered_map<std::string, std::vector<std::string>>;
+
+/// Adds edge a -> b, materializing both nodes.
+void AddEdge(NameGraph& g, const std::string& a, const std::string& b);
+
+/// Strongly connected components of `g` (iterative Tarjan). Only components
+/// with >= 2 nodes or a self-loop are returned — i.e. exactly the nodes that
+/// lie on at least one directed cycle. Deterministic given insertion order.
+std::vector<std::vector<std::string>> CyclicSccs(const NameGraph& g);
+
+/// Some directed cycle inside one SCC of `g`, found by DFS restricted to the
+/// SCC's nodes; starts from `seed` if it lies in the SCC. Returns the node
+/// sequence without repeating the first node. Used to print witness cycles.
+std::vector<std::string> FindCycleInScc(const NameGraph& g,
+                                        const std::vector<std::string>& scc,
+                                        const std::string& seed = "");
+
+}  // namespace craft::lint

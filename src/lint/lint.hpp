@@ -78,21 +78,41 @@ std::vector<Finding> CheckCdc(const DesignGraph& g);
 std::vector<Finding> CheckPacketizers(const DesignGraph& g);
 
 /// Runs every design-graph rule, then applies suppressions and severity
-/// overrides. Findings are sorted by (rule, path) for determinism.
+/// overrides. Findings are sorted by (rule, path) for determinism. If
+/// `used_suppressions` is non-null it is resized to opts.suppressions.size()
+/// and marks which suppressions matched at least one finding (callers OR the
+/// flags across designs to warn about globally-unused suppressions).
 std::vector<Finding> CheckDesignGraph(const DesignGraph& g,
-                                      const LintOptions& opts = {});
+                                      const LintOptions& opts = {},
+                                      std::vector<bool>* used_suppressions = nullptr);
 
 /// HLS IR / schedule legality for one scheduled design.
 std::vector<Finding> CheckSchedule(const hls::DataflowGraph& g,
                                    const hls::ScheduleResult& r,
                                    const hls::ScheduleConstraints& c);
 
-/// Applies suppressions + severity overrides and sorts.
+/// Applies suppressions + severity overrides and sorts. See CheckDesignGraph
+/// for the `used_suppressions` contract.
 std::vector<Finding> ApplyOptions(std::vector<Finding> findings,
-                                  const LintOptions& opts);
+                                  const LintOptions& opts,
+                                  std::vector<bool>* used_suppressions = nullptr);
+
+/// One kWarning finding (rule "unused-suppression") per suppression whose
+/// `used` flag is false — a suppression that matched nothing is either stale
+/// or a glob typo, and silently honoring it hides real findings.
+std::vector<Finding> UnusedSuppressionFindings(
+    const std::vector<Suppression>& suppressions, const std::vector<bool>& used);
 
 /// Number of error-severity findings.
 int ErrorCount(const std::vector<Finding>& findings);
+
+/// Number of findings at severity `s` or worse.
+int CountAtOrAbove(const std::vector<Finding>& findings, Severity s);
+
+/// Parses a --fail-on value: "error", "warning", "info" or "none". Returns
+/// false (leaving `out` untouched) on anything else. "none" maps through
+/// `*fail_none = true` since no Severity encodes it.
+bool ParseFailOn(const std::string& text, Severity* out, bool* fail_none);
 
 // ---- reporting ----
 
@@ -103,6 +123,15 @@ std::string FormatText(const std::string& design,
 /// Machine-readable JSON: {"designs": [{"name": ..., "findings": [...]}],
 /// "errors": N, "warnings": N}.
 std::string FormatJson(
+    const std::vector<std::pair<std::string, std::vector<Finding>>>& reports);
+
+/// SARIF 2.1.0 log for CI code-scanning upload (github/codeql-action/
+/// upload-sarif). One run; rules are collected from the findings; each
+/// result carries the design and hierarchical path as logical locations
+/// (elaborated designs have no source file/line to anchor a region on, so a
+/// stable pseudo-artifact URI per design is used instead).
+std::string FormatSarif(
+    const std::string& tool_name, const std::string& tool_version,
     const std::vector<std::pair<std::string, std::vector<Finding>>>& reports);
 
 }  // namespace craft::lint

@@ -1,0 +1,100 @@
+#include "lint/ref_designs.hpp"
+
+#include "gals/gals.hpp"
+#include "kernel/kernel.hpp"
+#include "soc/soc.hpp"
+
+namespace craft::lint {
+
+namespace {
+
+/// The fine-grained GALS pipeline of examples/gals_multiclock: three
+/// partitions, two pausible crossings, fully bound endpoints.
+struct GalsPipeline {
+  struct Stage : Module {
+    connections::In<int> in;
+    connections::Out<int> out;
+    Stage(Module& parent, Clock& clk) : Module(parent, "stage") {
+      Thread("run", clk, [this] {
+        for (;;) out.Push(in.Pop() + 1);
+      });
+    }
+  };
+  struct Source : Module {
+    connections::Out<int> out;
+    Source(Module& parent, Clock& clk) : Module(parent, "feed") {
+      Thread("run", clk, [this] {
+        for (int i = 0;; ++i) out.Push(i);
+      });
+    }
+  };
+  struct Sink : Module {
+    connections::In<int> in;
+    Sink(Module& parent, Clock& clk) : Module(parent, "drain") {
+      Thread("run", clk, [this] {
+        for (;;) (void)in.Pop();
+      });
+    }
+  };
+
+  explicit GalsPipeline(Simulator& sim)
+      : top(sim, "pipe"),
+        p0(top, "src", {.nominal_period = 1000, .seed = 1}),
+        p1(top, "mid", {.nominal_period = 1300, .seed = 2}),
+        p2(top, "snk", {.nominal_period = 800, .seed = 3}),
+        c01(top, "c01", p0.clk(), p1.clk()),
+        c12(top, "c12", p1.clk(), p2.clk()),
+        feed(p0, p0.clk()),
+        mid(p1, p1.clk()),
+        drain(p2, p2.clk()) {
+    feed.out(c01.producer_end());
+    mid.in(c01.consumer_end());
+    mid.out(c12.producer_end());
+    drain.in(c12.consumer_end());
+  }
+
+  Module top;
+  gals::Partition p0, p1, p2;
+  gals::AsyncChannel<int> c01, c12;
+  Source feed;
+  Stage mid;
+  Sink drain;
+};
+
+RefDesign MakeSoc(std::string name, soc::SocConfig cfg) {
+  return RefDesign{std::move(name), [cfg](Simulator& sim) -> std::shared_ptr<void> {
+                     return std::make_shared<soc::SocTop>(sim, cfg);
+                   }};
+}
+
+}  // namespace
+
+std::vector<RefDesign> ReferenceDesigns() {
+  std::vector<RefDesign> out;
+  {
+    soc::SocConfig cfg;  // 2x2 GALS mesh: ctrl + gm + 2 PEs
+    out.push_back(MakeSoc("soc_gals_2x2", cfg));
+  }
+  {
+    soc::SocConfig cfg;
+    cfg.gals = false;
+    out.push_back(MakeSoc("soc_sync_2x2", cfg));
+  }
+  {
+    soc::SocConfig cfg;
+    cfg.with_io = true;
+    out.push_back(MakeSoc("soc_gals_io_2x2", cfg));
+  }
+  {
+    soc::SocConfig cfg;
+    cfg.mesh_width = 3;
+    cfg.mesh_height = 3;
+    out.push_back(MakeSoc("soc_gals_3x3", cfg));
+  }
+  out.push_back(RefDesign{"gals_pipeline", [](Simulator& sim) -> std::shared_ptr<void> {
+                            return std::make_shared<GalsPipeline>(sim);
+                          }});
+  return out;
+}
+
+}  // namespace craft::lint

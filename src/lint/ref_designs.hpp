@@ -1,0 +1,32 @@
+// The repo's reference designs as elaborate-into-a-Simulator closures, shared
+// by the elaboration-time tools: craft_lint (design-rule checks) and
+// craft_prove (static throughput / deadlock analysis). Each entry elaborates
+// one configuration of the prototype SoC (paper Fig. 5) or the fine-grained
+// GALS pipeline of examples/gals_multiclock; the returned handle owns the
+// module tree and must outlive every use of the simulator's DesignGraph.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace craft {
+class Simulator;
+}  // namespace craft
+
+namespace craft::lint {
+
+struct RefDesign {
+  std::string name;
+  /// Elaborates the design into `sim`; the handle keeps it alive. The
+  /// simulator is never Run() by the static tools.
+  std::function<std::shared_ptr<void>(Simulator&)> build;
+};
+
+/// Every shipped reference design: the four SocTop configurations
+/// (soc_gals_2x2, soc_sync_2x2, soc_gals_io_2x2, soc_gals_3x3) plus the
+/// four-partition GALS pipeline.
+std::vector<RefDesign> ReferenceDesigns();
+
+}  // namespace craft::lint

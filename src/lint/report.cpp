@@ -58,6 +58,35 @@ int ErrorCount(const std::vector<Finding>& findings) {
   return CountAt(findings, Severity::kError);
 }
 
+int CountAtOrAbove(const std::vector<Finding>& findings, Severity s) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity >= s) ++n;
+  }
+  return n;
+}
+
+bool ParseFailOn(const std::string& text, Severity* out, bool* fail_none) {
+  *fail_none = false;
+  if (text == "none") {
+    *fail_none = true;
+    return true;
+  }
+  if (text == "error") {
+    *out = Severity::kError;
+    return true;
+  }
+  if (text == "warning") {
+    *out = Severity::kWarning;
+    return true;
+  }
+  if (text == "info") {
+    *out = Severity::kInfo;
+    return true;
+  }
+  return false;
+}
+
 std::string FormatText(const std::string& design,
                        const std::vector<Finding>& findings) {
   std::ostringstream os;

@@ -440,6 +440,104 @@ TEST(LintOptionsTest, SeverityOverrideDowngradesRule) {
   EXPECT_EQ(ErrorCount(findings), 0);
 }
 
+TEST(LintOptionsTest, DoubleStarGlobBehavesLikeStarAcrossHierarchy) {
+  // '*' already crosses hierarchy separators, so a gitignore-style '**'
+  // (which users reach for out of habit) must behave identically rather
+  // than silently matching nothing.
+  const char* texts[] = {"soc.pe3.dp", "soc", "soc.pe3", "top.blk", ""};
+  for (const char* t : texts) {
+    EXPECT_EQ(GlobMatch("soc.**", t), GlobMatch("soc.*", t)) << t;
+    EXPECT_EQ(GlobMatch("**", t), GlobMatch("*", t)) << t;
+    EXPECT_EQ(GlobMatch("**.dp", t), GlobMatch("*.dp", t)) << t;
+  }
+  EXPECT_TRUE(GlobMatch("**.dp", "soc.pe3.dp"));
+  EXPECT_TRUE(GlobMatch("soc.**", "soc.pe3.dp"));
+  EXPECT_FALSE(GlobMatch("soc.**.dp", "top.blk"));
+}
+
+TEST(LintOptionsTest, DoubleStarSuppressionSpecParsesAndApplies) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk);
+  HalfWired blk(top, "blk");
+  blk.in(ch);
+
+  LintOptions opts;
+  opts.suppressions.push_back(ParseSuppression("unbound-port@**.blk"));
+  std::vector<bool> used;
+  EXPECT_TRUE(CheckDesignGraph(sim.design_graph(), opts, &used).empty());
+  ASSERT_EQ(used.size(), 1u);
+  EXPECT_TRUE(used[0]);
+}
+
+TEST(LintOptionsTest, SuppressionMatchingNothingIsReportedUnused) {
+  Simulator sim;
+  Clock clk(sim, "clk", 1000);
+  Module top(sim, "top");
+  Buffer<int> ch(top, "ch", clk);
+  HalfWired blk(top, "blk");
+  blk.in(ch);
+
+  LintOptions opts;
+  opts.suppressions.push_back(ParseSuppression("unbound-port@top.blk"));  // used
+  opts.suppressions.push_back(ParseSuppression("comb-cycle@nowhere.*"));  // stale
+  std::vector<bool> used;
+  const auto findings = CheckDesignGraph(sim.design_graph(), opts, &used);
+  EXPECT_TRUE(findings.empty());
+  ASSERT_EQ(used.size(), 2u);
+  EXPECT_TRUE(used[0]);
+  EXPECT_FALSE(used[1]);
+
+  const auto unused = UnusedSuppressionFindings(opts.suppressions, used);
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0].rule, "unused-suppression");
+  EXPECT_EQ(unused[0].severity, Severity::kWarning);
+  EXPECT_EQ(unused[0].path, "comb-cycle@nowhere.*");
+}
+
+TEST(LintReport, CountAtOrAboveAndParseFailOn) {
+  const std::vector<Finding> findings = {
+      {"a", Severity::kError, "p1", "m"},
+      {"b", Severity::kWarning, "p2", "m"},
+      {"c", Severity::kInfo, "p3", "m"},
+  };
+  EXPECT_EQ(CountAtOrAbove(findings, Severity::kError), 1);
+  EXPECT_EQ(CountAtOrAbove(findings, Severity::kWarning), 2);
+  EXPECT_EQ(CountAtOrAbove(findings, Severity::kInfo), 3);
+
+  Severity s = Severity::kError;
+  bool none = false;
+  EXPECT_TRUE(ParseFailOn("warning", &s, &none));
+  EXPECT_EQ(s, Severity::kWarning);
+  EXPECT_FALSE(none);
+  EXPECT_TRUE(ParseFailOn("none", &s, &none));
+  EXPECT_TRUE(none);
+  EXPECT_FALSE(ParseFailOn("fatal", &s, &none));
+}
+
+TEST(LintReport, SarifDocumentShape) {
+  const std::vector<Finding> findings = {
+      {"multi-driver", Severity::kError, "top.ch", "two \"drivers\""},
+      {"multi-consumer", Severity::kWarning, "top.ch", "two consumers"},
+  };
+  const std::string sarif =
+      FormatSarif("craft-lint", "1.0.0", {{"demo", findings}, {"clean", {}}});
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"craft-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"multi-driver\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("designs/demo"), std::string::npos);
+  EXPECT_NE(sarif.find("\"fullyQualifiedName\": \"top.ch\""), std::string::npos);
+  EXPECT_NE(sarif.find("partialFingerprints"), std::string::npos);
+  EXPECT_NE(sarif.find("two \\\"drivers\\\""), std::string::npos);  // escaping
+  // Distinct rules each get one reportingDescriptor with a stable index.
+  EXPECT_NE(sarif.find("{\"id\": \"multi-driver\""), std::string::npos);
+  EXPECT_NE(sarif.find("{\"id\": \"multi-consumer\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleIndex\": 1"), std::string::npos);
+}
+
 TEST(LintReport, TextAndJsonShapes) {
   const std::vector<Finding> findings = {
       {"multi-driver", Severity::kError, "top.ch", "two \"drivers\""},

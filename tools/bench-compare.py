@@ -44,11 +44,21 @@ GATED = {
 GBENCH_FILE = "kernel_microbench.json"
 
 
+class CompareError(Exception):
+    """A baseline/current file problem the user can fix — reported as a
+    one-line error, never a traceback."""
+
+
 def load_craft(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise CompareError(f"{path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        raise CompareError(f"{path}: malformed JSON ({e})")
     if doc.get("schema") != "craft-bench-v1":
-        raise ValueError(f"{path}: not a craft-bench-v1 document")
+        raise CompareError(f"{path}: not a craft-bench-v1 document")
     return doc
 
 
@@ -136,31 +146,46 @@ def main():
     failures = []
     compared = 0
 
-    for fname in sorted(os.listdir(args.baseline_dir)):
+    try:
+        baseline_files = sorted(os.listdir(args.baseline_dir))
+    except OSError as e:
+        print(f"error: cannot read baseline dir {args.baseline_dir}: "
+              f"{e.strerror or e}", file=sys.stderr)
+        return 2
+
+    for fname in baseline_files:
         if not (fname.startswith("BENCH_") and fname.endswith(".json")):
             continue
         bpath = os.path.join(args.baseline_dir, fname)
         cpath = os.path.join(args.current_dir, fname)
-        base = load_craft(bpath)
-        name = base["bench"]
-        if not os.path.exists(cpath):
-            print(f"warning: no current result for baseline {fname}, skipping",
-                  file=sys.stderr)
-            rows.append((name, "(whole bench)", "present", "(missing)", "-",
-                         "MISSING"))
-            continue
-        failures += compare_craft(name, base, load_craft(cpath),
-                                  args.threshold, rows)
+        try:
+            base = load_craft(bpath)
+            name = base["bench"]
+            if not os.path.exists(cpath):
+                print(f"warning: no current result for baseline {fname}, "
+                      "skipping", file=sys.stderr)
+                rows.append((name, "(whole bench)", "present", "(missing)",
+                             "-", "MISSING"))
+                continue
+            failures += compare_craft(name, base, load_craft(cpath),
+                                      args.threshold, rows)
+        except (CompareError, KeyError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
         compared += 1
 
     gb_base = os.path.join(args.baseline_dir, GBENCH_FILE)
     gb_cur = os.path.join(args.current_dir, GBENCH_FILE)
     if os.path.exists(gb_base):
         if os.path.exists(gb_cur):
-            with open(gb_base) as f:
-                base = json.load(f)
-            with open(gb_cur) as f:
-                cur = json.load(f)
+            try:
+                with open(gb_base) as f:
+                    base = json.load(f)
+                with open(gb_cur) as f:
+                    cur = json.load(f)
+            except (OSError, json.JSONDecodeError) as e:
+                print(f"error: {GBENCH_FILE}: {e}", file=sys.stderr)
+                return 2
             failures += compare_gbench(base, cur, args.threshold, rows)
             compared += 1
         else:
