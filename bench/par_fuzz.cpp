@@ -1,9 +1,10 @@
 // craft-par randomized stall-injection fuzz (the nightly CI campaign).
 //
-// Reuses the §2.3 stall-injection machinery (bench/stall_coverage.cpp): each
-// seed is a distinct timing universe for the GALS prototype SoC running
-// vecmul. Every universe is simulated twice — n=1 and n=4 workers — and the
-// two runs must agree exactly (golden check, controller cycles, channel
+// Each seed arms a craft-chaos latency-only FaultPlan (channel stalls, GALS
+// pause storms, deferred wakeups — DESIGN.md §11) making a distinct timing
+// universe for the GALS prototype SoC running vecmul. Every universe is
+// simulated twice — n=1 and n=4 workers — and the two runs must agree
+// exactly (golden check, controller cycles, channel
 // transfers). Any disagreement is a determinism bug in the parallel engine;
 // the failing seed is printed for replay, together with the craft-trace
 // backpressure blame chains of the parallel run to localize where the two
@@ -35,6 +36,21 @@ Outcome RunUniverse(unsigned parallelism, double stall_prob, std::uint64_t seed,
                     Simulator* sim_out_owner) {
   Simulator& sim = *sim_out_owner;
   sim.trace_events().Enable();  // for blame chains on mismatch
+  if (stall_prob > 0.0) {
+    // Each seed is one timing universe, drawn by craft-chaos (which
+    // generalized this benchmark's original ad-hoc stall injector): channel
+    // stalls as before, plus GALS pause storms and deferred wakeups — fault
+    // classes ApplyStallToAll never reached. Armed before elaboration so
+    // every site snapshots its fault point.
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.channel_valid_stall_prob = stall_prob;
+    plan.channel_ready_stall_prob = stall_prob / 2;
+    plan.crossing_pause_prob = stall_prob / 2;
+    plan.crossing_pause_max_cycles = 4;
+    plan.wakeup_delay_prob = stall_prob / 8;
+    sim.chaos().Enable(plan);
+  }
   SocConfig cfg;
   cfg.mesh_width = 2;
   cfg.mesh_height = 2;
@@ -43,11 +59,6 @@ Outcome RunUniverse(unsigned parallelism, double stall_prob, std::uint64_t seed,
   SocTop soc(sim, cfg);
   const Workload w = SixSocTests()[0];  // vecmul exercises DMA + compute
   w.setup(soc);
-  if (stall_prob > 0.0) {
-    connections::ChannelControl::ApplyStallToAll(
-        {.valid_stall_prob = stall_prob, .ready_stall_prob = stall_prob / 2,
-         .seed = seed});
-  }
   Outcome o;
   o.cycles = soc.RunCommands(w.commands(soc), 500_ms);
   o.ok = w.check(soc, &o.error);

@@ -1,0 +1,100 @@
+// craft_chaos: deterministic fault-injection campaigns over the LI pipeline
+// harness and the shipped reference designs (DESIGN.md §11) — the dynamic
+// counterpart to craft_lint/craft_prove's static checks. Latency-only
+// campaigns must leave outputs bit-identical (LI-invariance); corruption
+// campaigns must be detected, never silent.
+//
+// Usage:
+//   craft_chaos [--seed N] [--quick|--full] [--trials N] [--messages N]
+//               [--workload NAME]... [--json[=FILE]] [--quiet]
+//
+//   --seed N          campaign seed (default 1); same seed => same report
+//   --quick           smoke scale (CI): pipeline + one SoC workload
+//   --full            nightly scale: more trials, designs and workloads
+//   --trials N        corruption trial count override
+//   --messages N      pipeline harness traffic per run (default 64)
+//   --workload NAME   SoC workload(s) to campaign over (default vecmul, +dot
+//                     and dma_copy at --full)
+//   --json            print the craft-chaos-v1 report to stdout
+//   --json=FILE       ... or write it to FILE
+//   --quiet           suppress the human-readable report
+//
+// Exits 1 on any oracle failure (LI-invariance break, nondeterminism,
+// undetected corruption), 2 on usage errors — a plain ctest invocation
+// doubles as the fault-injection regression suite.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "chaos/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using craft::chaos::CampaignConfig;
+  CampaignConfig config;
+  bool json = false;
+  bool quiet = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      config.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = std::strtoull(arg.c_str() + std::strlen("--seed="), nullptr, 0);
+    } else if (arg == "--trials" && i + 1 < argc) {
+      config.trials = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg == "--messages" && i + 1 < argc) {
+      config.messages = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg == "--workload" && i + 1 < argc) {
+      config.workloads.emplace_back(argv[++i]);
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      config.workloads.push_back(arg.substr(std::strlen("--workload=")));
+    } else if (arg == "--quick") {
+      config.scale = CampaignConfig::Scale::kQuick;
+    } else if (arg == "--full") {
+      config.scale = CampaignConfig::Scale::kFull;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: craft_chaos [--seed N] [--quick|--full] [--trials N] "
+                   "[--messages N] [--workload NAME]... [--json[=FILE]] [--quiet]\n");
+      return 2;
+    }
+  }
+
+  const auto results = craft::chaos::RunCampaigns(config);
+  const unsigned failures = craft::chaos::FailureCount(results);
+
+  // With --json to stdout, the JSON document must be the only thing there.
+  std::FILE* text_out = (json && json_path.empty()) ? stderr : stdout;
+  if (!quiet) {
+    const std::string text = craft::chaos::FormatText(config, results);
+    std::fputs(text.c_str(), text_out);
+  } else if (failures > 0) {
+    for (const auto& c : results)
+      for (const auto& f : c.failures)
+        std::fprintf(text_out, "craft_chaos: %s/%s: %s\n", c.design.c_str(),
+                     c.mode.c_str(), f.c_str());
+  }
+
+  if (json) {
+    const std::string doc = craft::chaos::FormatJson(config, results);
+    if (json_path.empty()) {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "craft_chaos: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      out << doc;
+    }
+  }
+  return failures > 0 ? 1 : 0;
+}

@@ -48,6 +48,7 @@
 #include <utility>
 
 #include "connections/channel_control.hpp"
+#include "kernel/chaos.hpp"
 #include "kernel/clock.hpp"
 #include "kernel/design_graph.hpp"
 #include "kernel/event.hpp"
@@ -108,6 +109,10 @@ class Channel : public Module, public ChannelControl {
     // (and one never-taken branch per operation) unless enabled.
     trace_ = sim().trace_events().RegisterTrack(full_name(), ToString(kind),
                                                 clk_.name());
+    // And for craft-chaos: nullptr unless a fault plan schedules stalls or
+    // corruption for this channel. ChaosFlip<T> gates which channels may
+    // host bit-flips (only types with a payload to flip, e.g. Flit).
+    chaos_ = sim().chaos().RegisterChannel(full_name(), ChaosFlip<T>::kSupported);
     if (sim().mode() == SimMode::kSignalAccurate) {
       BuildSignalAccurate();
     } else {
@@ -241,7 +246,12 @@ class Channel : public Module, public ChannelControl {
   }
 
   /// Edge hook: commits the producer's staged token into the queue, exactly
-  /// as RTL registers the transfer at the clock edge.
+  /// as RTL registers the transfer at the clock edge. This commit is the
+  /// craft-chaos corruption point: a bit-flip mutates the token in the
+  /// register, a drop loses it (the producer believes it was accepted), and
+  /// a duplicate commits a copy while leaving the staged token to commit
+  /// again at the next edge — the three failure modes of a physically
+  /// marginal link.
   void CommitEdge() {
     if (kind_ == ChannelKind::kCombinational) {
       // No storage: an unconsumed offer simply persists (producer holds
@@ -249,8 +259,30 @@ class Channel : public Module, public ChannelControl {
       return;
     }
     if (staged_.has_value() && q_.size() < capacity_) {
-      q_.push_back(std::move(*staged_));
-      staged_.reset();
+      bool keep_staged = false;
+      if (chaos_ != nullptr) {
+        unsigned bit = 0;
+        switch (chaos_->OnCommit(&bit)) {
+          case ChaosChannelPoint::Commit::kNone:
+            break;
+          case ChaosChannelPoint::Commit::kBitFlip:
+            ChaosFlip<T>::Flip(*staged_, bit);
+            break;
+          case ChaosChannelPoint::Commit::kDrop:
+            staged_.reset();
+            space_event_.Notify();
+            return;
+          case ChaosChannelPoint::Commit::kDuplicate:
+            keep_staged = true;
+            break;
+        }
+      }
+      if (keep_staged) {
+        q_.push_back(*staged_);
+      } else {
+        q_.push_back(std::move(*staged_));
+        staged_.reset();
+      }
       data_event_.Notify();
       space_event_.Notify();
     }
@@ -282,6 +314,7 @@ class Channel : public Module, public ChannelControl {
     const std::uint64_t c = clk_.cycle();
     if (last_push_cycle_ == c) return false;  // at most one token per cycle
     if (ReadyStalledThisCycle()) return false;
+    if (chaos_ != nullptr && chaos_->ReadyStalled(c)) return false;
     switch (kind_) {
       case ChannelKind::kCombinational:
         if (staged_.has_value()) return false;  // previous offer not yet taken
@@ -345,6 +378,7 @@ class Channel : public Module, public ChannelControl {
     const std::uint64_t c = clk_.cycle();
     if (last_pop_cycle_ == c) return false;  // one token per cycle
     if (ValidStalledThisCycle()) return false;
+    if (chaos_ != nullptr && chaos_->ValidStalled(c)) return false;
     switch (kind_) {
       case ChannelKind::kCombinational:
         if (!staged_.has_value()) return false;
@@ -644,6 +678,12 @@ class Channel : public Module, public ChannelControl {
   // craft-trace: nullptr unless enabled before elaboration. The track owns
   // the per-token span queue (same FIFO-alignment argument as enq_times_).
   TraceTrack* trace_ = nullptr;
+
+  // craft-chaos: nullptr unless a fault plan targets this channel. A dropped
+  // or duplicated commit intentionally misaligns enq_times_/trace spans with
+  // the surviving tokens; both consumers tolerate that (guards / defensive
+  // dequeues), and the skew is itself evidence for detection.
+  ChaosChannelPoint* chaos_ = nullptr;
 
   std::unique_ptr<Signals> sig_;  // signal-accurate mode only
 };

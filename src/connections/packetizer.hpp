@@ -51,6 +51,18 @@ struct Marshal<connections::Flit> {
   }
 };
 
+/// craft-chaos corruption support: flits are the unit a marginal physical
+/// link corrupts, so flit channels may host bit-flips. Only payload bits are
+/// flipped — framing/routing upsets are modeled by drop/duplicate faults
+/// (losing or repeating the whole flit), not by forging first/last/dest.
+template <>
+struct ChaosFlip<connections::Flit> {
+  static constexpr bool kSupported = true;
+  static void Flip(connections::Flit& f, unsigned bit) {
+    f.payload ^= 1ull << (bit % 64);
+  }
+};
+
 }  // namespace craft
 
 namespace craft::connections {
@@ -131,7 +143,12 @@ class DePacketizer : public Module {
         full_name(), DemangleTypeName(typeid(T).name()), Marshal<T>::kWidth,
         kFlitBits, /*is_packetizer=*/false});
     if (sim().trace_events().enabled()) trace_sink_ = &sim().trace_events();
+    if (sim().chaos().enabled()) chaos_ = &sim().chaos();
     Thread("run", clk, [this] { Run(); });
+  }
+
+  static constexpr unsigned FlitsPerMessage() {
+    return DivCeil(Marshal<T>::kWidth, kFlitBits);
   }
 
  private:
@@ -140,14 +157,45 @@ class DePacketizer : public Module {
     std::uint64_t parent = 0;
     for (;;) {
       const Flit f = in.Pop();
+      // craft-chaos framing checks: the fixed flits-per-message framing is
+      // this reassembler's checksum. A dropped or duplicated flit anywhere
+      // upstream desynchronizes first/last against the accumulator, which is
+      // the detection the corruption oracle requires (a flip is caught by
+      // the payload oracle downstream instead).
+      if (chaos_ != nullptr) {
+        if (f.first && !flits.empty()) {
+          chaos_->ReportDetection(full_name(), "framing-head",
+                                  "head flit arrived mid-assembly (" +
+                                      std::to_string(flits.size()) + " of " +
+                                      std::to_string(FlitsPerMessage()) +
+                                      " flits buffered)");
+        } else if (!f.first && flits.empty()) {
+          chaos_->ReportDetection(full_name(), "framing-orphan",
+                                  "mid-packet flit with no packet open");
+        }
+      }
+      if (f.first) flits.clear();
       if (trace_sink_ != nullptr && f.first) {
         // The popped head flit left its child span in the thread context;
         // resume the original message span for the reassembled push.
         parent = trace_sink_->ParentOf(trace_sink_->PeekContext());
       }
-      if (f.first) flits.clear();
       flits.push_back(f.payload);
       if (f.last) {
+        if (flits.size() != FlitsPerMessage()) {
+          // Malformed packet: discard instead of unmarshalling (a short
+          // packet would underflow the bit stream). The missing message is
+          // then caught by the end-to-end oracle (shortfall or hang).
+          if (chaos_ != nullptr) {
+            chaos_->ReportDetection(full_name(), "framing-count",
+                                    "packet closed with " +
+                                        std::to_string(flits.size()) +
+                                        " flits, expected " +
+                                        std::to_string(FlitsPerMessage()));
+          }
+          flits.clear();
+          continue;
+        }
         BitStream bits = BitStream::FromFlits(flits, kFlitBits);
         if (trace_sink_ != nullptr) trace_sink_->SetContext(parent);
         out.Push(Marshal<T>::Read(bits));
@@ -157,6 +205,7 @@ class DePacketizer : public Module {
   }
 
   TraceEventSink* trace_sink_ = nullptr;  // craft-trace; nullptr unless enabled
+  ChaosEngine* chaos_ = nullptr;          // craft-chaos; nullptr unless enabled
 };
 
 }  // namespace craft::connections

@@ -26,18 +26,31 @@ class Retimer : public Module {
   Out<T> out;
 
   Retimer(Module& parent, const std::string& name, Clock& clk)
-      : Module(parent, name), clk_(clk) {
+      : Module(parent, name), clk_(clk), arrival_(sim()) {
+    // craft-chaos: nullptr unless a retimer-delay fault is armed. Extra
+    // cycles lengthen the slice chain for individual tokens — legal at an LI
+    // interface, never reordering (egress drains in FIFO order, so a token
+    // behind a delayed one simply waits its turn).
+    chaos_ = sim().chaos().RegisterRetimer(full_name());
     // Ingress and egress run as separate processes so tokens pipeline: the
     // chain holds up to kStages tokens in flight.
     Thread("ingress", clk, [this] {
       for (;;) {
         const T v = in.Pop();
-        pipe_.push_back(Slot{v, clk_.cycle() + kStages});
+        const unsigned extra = chaos_ != nullptr ? chaos_->ExtraDelayCycles() : 0;
+        pipe_.push_back(Slot{v, clk_.cycle() + kStages + extra});
+        arrival_.Notify();
       }
     });
+    // Egress is event-driven on ingress arrival: an idle retimer sleeps on
+    // arrival_ instead of charging one dispatch per cycle to its craft-par
+    // shard. Once a token is in flight it falls back to per-cycle waits to
+    // hit ready_cycle exactly. No wakeup is ever lost: ingress only runs
+    // while egress is suspended, and egress re-checks pipe_ before waiting.
     Thread("egress", clk, [this] {
       for (;;) {
-        while (pipe_.empty() || clk_.cycle() < pipe_.front().ready_cycle) wait();
+        while (pipe_.empty()) wait(arrival_);
+        while (clk_.cycle() < pipe_.front().ready_cycle) wait();
         const T v = pipe_.front().value;
         pipe_.pop_front();
         ++tokens_;
@@ -55,8 +68,10 @@ class Retimer : public Module {
     std::uint64_t ready_cycle;
   };
   Clock& clk_;
+  Event arrival_;
   std::deque<Slot> pipe_;
   std::uint64_t tokens_ = 0;
+  ChaosRetimerPoint* chaos_ = nullptr;  // craft-chaos; nullptr unless armed
 };
 
 }  // namespace craft::connections

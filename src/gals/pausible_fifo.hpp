@@ -65,6 +65,11 @@ class PausibleBisyncFifo : public Module {
                                             cclk_.period());
     trace_ = sim().trace_events().RegisterTrack(
         full_name(), "crossing", pclk_.name() + "->" + cclk_.name());
+    // craft-chaos pause storms: nullptr unless armed. Each side may hold a
+    // freshly acquired slot for extra local cycles, modeling arbitration
+    // that keeps the domain's clock paused longer than the synchronizer
+    // minimum — more pessimistic, never unsafe (the slot stays owned).
+    chaos_ = sim().chaos().RegisterCrossing(full_name());
     Thread("enq", pclk_, [this] { RunEnqueue(); });
     Thread("deq", cclk_, [this] { RunDequeue(); });
   }
@@ -128,6 +133,12 @@ class PausibleBisyncFifo : public Module {
         if (trace_) trace_->PushStall();
         wait();
       }
+      if (chaos_ != nullptr) {
+        // The slot is free and stays free (only this side fills it), so
+        // holding extra cycles here is indistinguishable from a longer
+        // arbitration pause: purely a latency fault.
+        for (unsigned h = chaos_->EnqHoldCycles(); h > 0; --h) wait();
+      }
       Slot& s = ring_[tail % kDepth];
       if (stats_ && last_failed_poll != kTimeNever &&
           last_failed_poll >= s.freed.load(std::memory_order_relaxed))
@@ -165,6 +176,11 @@ class PausibleBisyncFifo : public Module {
         if (trace_) trace_->PopStall();
         wait();
       }
+      if (chaos_ != nullptr) {
+        // Symmetric consumer-side storm; the slot stays full until freed
+        // below, so the hold only delays when the token crosses.
+        for (unsigned h = chaos_->DeqHoldCycles(); h > 0; --h) wait();
+      }
       Slot& s = ring_[head % kDepth];
       const T v = s.value;
       const Time latency = sim().now() - s.published.load(std::memory_order_relaxed);
@@ -191,8 +207,9 @@ class PausibleBisyncFifo : public Module {
   std::array<Slot, kDepth> ring_;
   std::uint64_t transfers_ = 0;
   Time total_latency_ = 0;
-  CrossingStats* stats_ = nullptr;  // craft-stats; nullptr unless enabled
-  TraceTrack* trace_ = nullptr;     // craft-trace; nullptr unless enabled
+  CrossingStats* stats_ = nullptr;    // craft-stats; nullptr unless enabled
+  TraceTrack* trace_ = nullptr;       // craft-trace; nullptr unless enabled
+  ChaosCrossingPoint* chaos_ = nullptr;  // craft-chaos; nullptr unless armed
 };
 
 }  // namespace craft::gals

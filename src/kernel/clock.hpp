@@ -82,6 +82,9 @@ class Clock {
 
   std::vector<ProcessBase*> waiters_;
   std::vector<ProcessBase*> methods_;
+
+  // craft-chaos: nullptr unless a wakeup-delay fault is armed for this clock.
+  ChaosClockPoint* chaos_ = nullptr;
 };
 
 }  // namespace craft

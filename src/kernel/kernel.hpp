@@ -2,6 +2,7 @@
 #pragma once
 
 #include "kernel/bits.hpp"
+#include "kernel/chaos.hpp"
 #include "kernel/clock.hpp"
 #include "kernel/event.hpp"
 #include "kernel/fiber.hpp"

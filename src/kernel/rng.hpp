@@ -56,9 +56,14 @@ class Rng {
     return static_cast<std::uint64_t>(m >> 64);
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. The full 64-bit domain is legal:
+  /// `hi - lo + 1` would overflow to 0 there (and NextBelow(0)'s Lemire
+  /// reduction degenerates to always returning 0, i.e. the call would always
+  /// yield `lo`), so that case maps straight to a raw draw.
   std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {
-    return lo + NextBelow(hi - lo + 1);
+    const std::uint64_t span = hi - lo;
+    if (span == ~0ull) return Next();
+    return lo + NextBelow(span + 1);
   }
 
   /// Uniform double in [0, 1).

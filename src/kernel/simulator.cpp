@@ -21,6 +21,7 @@ Simulator::Simulator() : design_graph_(std::make_shared<DesignGraph>()) {
   CRAFT_ASSERT(g_current == nullptr, "only one Simulator may exist at a time");
   g_current = this;
   trace_events_.sim_ = this;
+  chaos_.sim_ = this;
   // CRAFT_PARALLELISM=<n> selects the domain-sharded engine without code
   // changes (used by the TSan CI job to force n=4 under the existing test
   // suites). An explicit SetParallelism() call overrides it.

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "kernel/chaos.hpp"
 #include "kernel/report.hpp"
 #include "kernel/rng.hpp"
 #include "kernel/stats.hpp"
@@ -139,6 +140,12 @@ class Simulator {
   /// to record message spans and backpressure blame samples.
   TraceEventSink& trace_events() { return trace_events_; }
   const TraceEventSink& trace_events() const { return trace_events_; }
+
+  /// The craft-chaos fault-injection engine (kernel/chaos.hpp). Disabled by
+  /// default; call chaos().Enable(plan) before elaboration to arm seeded
+  /// latency and corruption faults at the registered injection points.
+  ChaosEngine& chaos() { return chaos_; }
+  const ChaosEngine& chaos() const { return chaos_; }
 
   Time now() const {
     const SchedShard* s = tl_sched_shard;
@@ -298,6 +305,7 @@ class Simulator {
   std::shared_ptr<DesignGraph> design_graph_;
   StatsRegistry stats_;
   TraceEventSink trace_events_;
+  ChaosEngine chaos_;
 
   SchedShard main_shard_;
   std::vector<SchedShard*> group_shards_;  // group id -> owning shard

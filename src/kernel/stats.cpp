@@ -116,7 +116,8 @@ std::string FormatTable(const Simulator& sim) {
        << " | " << c.push_rejects << "/" << c.pop_rejects << " | "
        << c.occupancy_high_water << " | " << std::fixed << std::setprecision(2)
        << c.latency.mean();
-    if (c.latency.count > 0) os << " [" << c.latency.min << "," << c.latency.max << "]";
+    if (c.latency.count > 0)
+      os << " [" << c.latency.min_cycles() << "," << c.latency.max_cycles() << "]";
     os << "\n";
   }
 
@@ -159,8 +160,8 @@ std::string FormatJson(const Simulator& sim) {
        << ", \"push_rejects\": " << c.push_rejects << ", \"pop_rejects\": " << c.pop_rejects
        << ", \"occupancy_high_water\": " << c.occupancy_high_water
        << ", \"latency\": {\"count\": " << c.latency.count << ", \"mean_cycles\": "
-       << c.latency.mean() << ", \"min\": " << (c.latency.count ? c.latency.min : 0)
-       << ", \"max\": " << c.latency.max << ", \"log2_buckets\": [";
+       << c.latency.mean() << ", \"min\": " << c.latency.min_cycles()
+       << ", \"max\": " << c.latency.max_cycles() << ", \"log2_buckets\": [";
     for (unsigned b = 0; b < LatencyHistogram::kBuckets; ++b) {
       os << (b ? ", " : "") << c.latency.buckets[b];
     }

@@ -55,6 +55,13 @@ struct LatencyHistogram {
   double mean() const {
     return count == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(count);
   }
+
+  /// Reporting accessors: `min` is tracked as the ~0ull sentinel until the
+  /// first Record, so reporters must never read it raw — a channel with zero
+  /// transfers would print 18446744073709551615. Both collapse to 0 while
+  /// count == 0.
+  std::uint64_t min_cycles() const { return count == 0 ? 0 : min; }
+  std::uint64_t max_cycles() const { return count == 0 ? 0 : max; }
 };
 
 /// Per-channel handshake counters (both Connections channel models).

@@ -62,9 +62,11 @@ struct GalsPipeline {
 };
 
 RefDesign MakeSoc(std::string name, soc::SocConfig cfg) {
-  return RefDesign{std::move(name), [cfg](Simulator& sim) -> std::shared_ptr<void> {
+  return RefDesign{std::move(name),
+                   [cfg](Simulator& sim) -> std::shared_ptr<void> {
                      return std::make_shared<soc::SocTop>(sim, cfg);
-                   }};
+                   },
+                   cfg};
 }
 
 }  // namespace
@@ -91,9 +93,11 @@ std::vector<RefDesign> ReferenceDesigns() {
     cfg.mesh_height = 3;
     out.push_back(MakeSoc("soc_gals_3x3", cfg));
   }
-  out.push_back(RefDesign{"gals_pipeline", [](Simulator& sim) -> std::shared_ptr<void> {
+  out.push_back(RefDesign{"gals_pipeline",
+                          [](Simulator& sim) -> std::shared_ptr<void> {
                             return std::make_shared<GalsPipeline>(sim);
-                          }});
+                          },
+                          std::nullopt});
   return out;
 }
 

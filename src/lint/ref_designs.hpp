@@ -8,8 +8,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "soc/soc.hpp"
 
 namespace craft {
 class Simulator;
@@ -22,6 +25,11 @@ struct RefDesign {
   /// Elaborates the design into `sim`; the handle keeps it alive. The
   /// simulator is never Run() by the static tools.
   std::function<std::shared_ptr<void>(Simulator&)> build;
+  /// For SocTop-based entries, the configuration used — dynamic tools
+  /// (craft-chaos campaigns) rebuild from it so they can also run the SoC
+  /// workloads, which `build`'s type-erased handle cannot offer. Empty for
+  /// non-SoC designs (the GALS pipeline).
+  std::optional<soc::SocConfig> soc_cfg;
 };
 
 /// Every shipped reference design: the four SocTop configurations

@@ -480,6 +480,46 @@ TEST(Rng, NextBelowStaysInRangeForHugeBounds) {
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(r.NextBelow(1), 0u);
 }
 
+TEST(Rng, NextInRangeCoversTheFullDomain) {
+  // Regression: NextInRange(0, ~0ull) computed hi - lo + 1 == 0 and handed
+  // NextBelow a zero bound (undefined: the old code asserted or spun). The
+  // full-domain span must map straight to Next() — every draw valid, and
+  // both halves of the 64-bit space reachable.
+  Rng r(19);
+  bool low_half = false, high_half = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = r.NextInRange(0, ~0ull);
+    (v < (1ull << 63) ? low_half : high_half) = true;
+  }
+  EXPECT_TRUE(low_half);
+  EXPECT_TRUE(high_half);
+  // Near-full spans with a nonzero lo exercise the same overflow edge.
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = r.NextInRange(~0ull - 3, ~0ull);
+    EXPECT_GE(v, ~0ull - 3);
+  }
+  EXPECT_EQ(r.NextInRange(42, 42), 42u);
+}
+
+TEST(Rng, NextInRangeIsUniform) {
+  // Same chi-square-style bound as NextBelowIsUnbiased, applied through the
+  // [lo, hi] interface so the span+offset arithmetic is covered too.
+  Rng r(23);
+  constexpr std::uint64_t kLo = 10, kHi = 16;  // 7 bins, non-power-of-two
+  constexpr int kDraws = 350000;
+  std::array<int, kHi - kLo + 1> bins{};
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = r.NextInRange(kLo, kHi);
+    ASSERT_GE(v, kLo);
+    ASSERT_LE(v, kHi);
+    ++bins[v - kLo];
+  }
+  const double expect = static_cast<double>(kDraws) / bins.size();
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    EXPECT_NEAR(bins[b], expect, 5 * std::sqrt(expect)) << "bin " << b;
+  }
+}
+
 TEST(Tracer, DestructionDeregistersHooks) {
   // Regression: ~Tracer left lambdas capturing the dead tracer installed in
   // the signals' trace hooks; the next write was a use-after-free (caught by

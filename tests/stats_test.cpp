@@ -267,6 +267,41 @@ TEST(Stats, JsonReportHasSchemaAndSections) {
   }
 }
 
+TEST(Stats, IdleChannelReportsZeroLatencyBounds) {
+  // Regression: a zero-transfer channel's LatencyHistogram still holds the
+  // min = ~0ull "nothing yet" sentinel, and the JSON reporter printed it as
+  // 18446744073709551615. Idle channels must report [0, 0] in both formats.
+  Simulator sim;
+  sim.stats().Enable();
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Channel<int> idle(top, "idle", clk, ChannelKind::kBuffer, 2);
+  Channel<int> busy(top, "busy", clk, ChannelKind::kBuffer, 2);
+  // `idle` is bound but never carries traffic (a disabled feature path).
+  Producer idle_prod(top, "idle_prod", clk, 0);
+  Consumer idle_cons(top, "idle_cons", clk, 0);
+  idle_prod.out(idle);
+  idle_cons.in(idle);
+  Producer prod(top, "prod", clk, 10);
+  Consumer cons(top, "cons", clk, 10);
+  prod.out(busy);
+  cons.in(busy);
+  sim.Run(1000_ns);
+
+  const ChannelStats& s = FindChannel(sim, "top.idle");
+  EXPECT_EQ(s.latency.count, 0u);
+  EXPECT_EQ(s.latency.min_cycles(), 0u);
+  EXPECT_EQ(s.latency.max_cycles(), 0u);
+  const ChannelStats& b = FindChannel(sim, "top.busy");
+  EXPECT_GE(b.latency.min_cycles(), 1u);
+  EXPECT_GE(b.latency.max_cycles(), b.latency.min_cycles());
+
+  const std::string json = stats::FormatJson(sim);
+  EXPECT_EQ(json.find("18446744073709551615"), std::string::npos);
+  const std::string table = stats::FormatTable(sim);
+  EXPECT_EQ(table.find("18446744073709551615"), std::string::npos);
+}
+
 // ---------- SoC-level metrics ----------
 
 TEST(Stats, SocWorkloadEmitsPerPeAndNocMetrics) {
