@@ -158,6 +158,27 @@ bool RunQuiescent(Simulator& sim, const std::function<bool()>& done,
   return done();
 }
 
+/// Hooks craft-pulse into a campaign simulator (pre-elaboration): heartbeat
+/// line per window, and — when the progress watchdog is armed — craft-trace
+/// events so a firing can dump the backpressure blame chain.
+void EnableCampaignPulse(Simulator& sim, const CampaignPulse* pulse,
+                         const std::string& label) {
+  if (pulse == nullptr || pulse->period_ps == 0) return;
+  PulseConfig cfg;
+  cfg.period_ps = pulse->period_ps;
+  cfg.progress_windows = pulse->progress_windows;
+  cfg.throughput_windows = 0;  // campaigns stall on purpose; rate alerts off
+  cfg.heartbeat = pulse->heartbeat;
+  cfg.heartbeat_label = label;
+  sim.pulse().Enable(cfg);
+  if (pulse->progress_windows > 0) {
+    sim.trace_events().Enable();
+    sim.pulse().set_blame_provider([](Simulator& s) {
+      return trace::FormatTable(trace::AttributeBackpressure(s, 5));
+    });
+  }
+}
+
 }  // namespace
 
 FaultPlan PipelineLatencyPlan(std::uint64_t seed) {
@@ -190,11 +211,13 @@ FaultPlan SocLatencyPlan(std::uint64_t seed) {
 }
 
 RunRecord RunLiPipeline(const FaultPlan* plan, unsigned parallelism,
-                        unsigned messages, const std::string& label) {
+                        unsigned messages, const std::string& label,
+                        const CampaignPulse* pulse) {
   RunRecord rec;
   rec.label = label;
   Simulator sim;
   sim.stats().Enable();
+  EnableCampaignPulse(sim, pulse, "li_pipeline/" + label);
   const bool corrupting = plan != nullptr && !plan->latency_only();
   if (corrupting) sim.trace_events().Enable();
   if (plan != nullptr) sim.chaos().Enable(*plan);
@@ -225,11 +248,12 @@ RunRecord RunLiPipeline(const FaultPlan* plan, unsigned parallelism,
 
 RunRecord RunSocWorkload(const soc::SocConfig& cfg0, const std::string& workload,
                          const FaultPlan* plan, unsigned parallelism,
-                         const std::string& label) {
+                         const std::string& label, const CampaignPulse* pulse) {
   RunRecord rec;
   rec.label = label;
   Simulator sim;
   sim.stats().Enable();
+  EnableCampaignPulse(sim, pulse, workload + "/" + label);
   const bool corrupting = plan != nullptr && !plan->latency_only();
   if (corrupting) sim.trace_events().Enable();
   if (plan != nullptr) sim.chaos().Enable(*plan);
@@ -271,11 +295,13 @@ namespace {
 /// window edge. Usable for determinism / n-invariance oracles only — a
 /// latency fault legitimately changes in-window throughput.
 RunRecord RunRefWindow(const lint::RefDesign& design, const FaultPlan* plan,
-                       unsigned parallelism, const std::string& label) {
+                       unsigned parallelism, const std::string& label,
+                       const CampaignPulse* pulse = nullptr) {
   RunRecord rec;
   rec.label = label;
   Simulator sim;
   sim.stats().Enable();
+  EnableCampaignPulse(sim, pulse, design.name + "/" + label);
   if (plan != nullptr) sim.chaos().Enable(*plan);
   if (parallelism >= 1) sim.SetParallelism(parallelism);
   const auto handle = design.build(sim);
@@ -318,14 +344,16 @@ std::vector<CampaignResult> RunCampaigns(const CampaignConfig& config) {
   const unsigned msgs = std::max(16u, config.messages);
   const bool quick = config.scale == CampaignConfig::Scale::kQuick;
   const bool full = config.scale == CampaignConfig::Scale::kFull;
+  const CampaignPulse* hb =
+      config.pulse.period_ps > 0 ? &config.pulse : nullptr;
 
   {
     CampaignResult c{"li_pipeline", "latency"};
     const FaultPlan plan = PipelineLatencyPlan(config.seed);
-    c.runs.push_back(RunLiPipeline(nullptr, 1, msgs, "golden-n1"));
-    c.runs.push_back(RunLiPipeline(&plan, 1, msgs, "latency-n1"));
-    c.runs.push_back(RunLiPipeline(&plan, 1, msgs, "latency-n1-repeat"));
-    c.runs.push_back(RunLiPipeline(&plan, 4, msgs, "latency-n4"));
+    c.runs.push_back(RunLiPipeline(nullptr, 1, msgs, "golden-n1", hb));
+    c.runs.push_back(RunLiPipeline(&plan, 1, msgs, "latency-n1", hb));
+    c.runs.push_back(RunLiPipeline(&plan, 1, msgs, "latency-n1-repeat", hb));
+    c.runs.push_back(RunLiPipeline(&plan, 4, msgs, "latency-n4", hb));
     JudgeLatency(&c, &c.runs[0], c.runs[1], c.runs[2], &c.runs[3],
                  /*compare_transfers=*/true);
     out.push_back(std::move(c));
@@ -354,7 +382,7 @@ std::vector<CampaignResult> RunCampaigns(const CampaignConfig& config) {
       plan.corruptions = {f};
       const std::string label =
           "trial-" + std::to_string(k) + "-" + ToString(f.kind);
-      RunRecord rec = RunLiPipeline(&plan, 1, msgs, label);
+      RunRecord rec = RunLiPipeline(&plan, 1, msgs, label, hb);
       if (rec.injections.empty())
         Fail(&c, label + ": scheduled corruption was never applied");
       if (rec.detections.empty())
@@ -393,12 +421,15 @@ std::vector<CampaignResult> RunCampaigns(const CampaignConfig& config) {
     CampaignResult c{dname + ":" + wname, "latency"};
     const FaultPlan plan = SocLatencyPlan(config.seed);
     const bool gals = d->soc_cfg->gals;
-    c.runs.push_back(RunSocWorkload(*d->soc_cfg, wname, nullptr, 1, "golden-n1"));
-    c.runs.push_back(RunSocWorkload(*d->soc_cfg, wname, &plan, 1, "latency-n1"));
     c.runs.push_back(
-        RunSocWorkload(*d->soc_cfg, wname, &plan, 1, "latency-n1-repeat"));
+        RunSocWorkload(*d->soc_cfg, wname, nullptr, 1, "golden-n1", hb));
+    c.runs.push_back(
+        RunSocWorkload(*d->soc_cfg, wname, &plan, 1, "latency-n1", hb));
+    c.runs.push_back(
+        RunSocWorkload(*d->soc_cfg, wname, &plan, 1, "latency-n1-repeat", hb));
     if (gals)
-      c.runs.push_back(RunSocWorkload(*d->soc_cfg, wname, &plan, 4, "latency-n4"));
+      c.runs.push_back(
+          RunSocWorkload(*d->soc_cfg, wname, &plan, 4, "latency-n4", hb));
     JudgeLatency(&c, &c.runs[0], c.runs[1], c.runs[2],
                  gals ? &c.runs[3] : nullptr, /*compare_transfers=*/false);
     out.push_back(std::move(c));
@@ -409,9 +440,9 @@ std::vector<CampaignResult> RunCampaigns(const CampaignConfig& config) {
       // Endless stream, fixed window: determinism + n-invariance only.
       CampaignResult c{"gals_pipeline", "latency"};
       const FaultPlan plan = SocLatencyPlan(config.seed);
-      c.runs.push_back(RunRefWindow(*d, &plan, 1, "latency-n1"));
-      c.runs.push_back(RunRefWindow(*d, &plan, 1, "latency-n1-repeat"));
-      c.runs.push_back(RunRefWindow(*d, &plan, 4, "latency-n4"));
+      c.runs.push_back(RunRefWindow(*d, &plan, 1, "latency-n1", hb));
+      c.runs.push_back(RunRefWindow(*d, &plan, 1, "latency-n1-repeat", hb));
+      c.runs.push_back(RunRefWindow(*d, &plan, 4, "latency-n4", hb));
       JudgeLatency(&c, nullptr, c.runs[0], c.runs[1], &c.runs[2],
                    /*compare_transfers=*/false);
       out.push_back(std::move(c));

@@ -16,14 +16,28 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "kernel/chaos.hpp"
+#include "kernel/time.hpp"
 #include "soc/soc.hpp"
 
 namespace craft::chaos {
+
+/// Optional craft-pulse hookup for campaign runs (the nightly heartbeat):
+/// with period_ps > 0 every campaign simulator samples pulse windows at that
+/// period, prints one heartbeat line per window to `heartbeat` (labelled by
+/// run), and — when progress_windows > 0 — arms the progress watchdog with a
+/// craft-trace backpressure blame provider, so a livelocked campaign faults
+/// with a blame chain instead of idling out.
+struct CampaignPulse {
+  Time period_ps = 0;  ///< 0 disables the hookup entirely
+  unsigned progress_windows = 0;
+  std::FILE* heartbeat = nullptr;
+};
 
 /// What a run *is*, for equality purposes. Latency faults may legally change
 /// `cycles`, so the LI-invariance oracle compares only `ok` + `digest` (+
@@ -66,6 +80,7 @@ struct CampaignConfig {
   unsigned messages = 64;   ///< pipeline harness traffic per run
   unsigned trials = 0;      ///< corruption trials; 0 = scale default
   std::vector<std::string> workloads;  ///< SoC workload filter; empty = scale default
+  CampaignPulse pulse;      ///< live telemetry / watchdog hookup (off by default)
 };
 
 /// The latency-only plan a campaign arms for the LI pipeline harness
@@ -76,15 +91,18 @@ FaultPlan SocLatencyPlan(std::uint64_t seed);
 
 /// Runs the LI pipeline harness (source -> retimer -> packetizer -> flit
 /// link -> depacketizer -> pausible crossing -> checking sink) once.
-/// `plan == nullptr` is the fault-free golden run.
+/// `plan == nullptr` is the fault-free golden run; `pulse == nullptr` (or a
+/// zero period) runs without live telemetry.
 RunRecord RunLiPipeline(const FaultPlan* plan, unsigned parallelism,
-                        unsigned messages, const std::string& label);
+                        unsigned messages, const std::string& label,
+                        const CampaignPulse* pulse = nullptr);
 
 /// Runs one SoC workload under `cfg` with the fault plan armed. The digest
 /// covers the full global-memory image after the golden check.
 RunRecord RunSocWorkload(const soc::SocConfig& cfg, const std::string& workload,
                          const FaultPlan* plan, unsigned parallelism,
-                         const std::string& label);
+                         const std::string& label,
+                         const CampaignPulse* pulse = nullptr);
 
 /// Runs every campaign selected by `config`. Deterministic per
 /// (seed, scale, messages, trials, workloads).

@@ -6,7 +6,8 @@
 //
 // Usage:
 //   craft_chaos [--seed N] [--quick|--full] [--trials N] [--messages N]
-//               [--workload NAME]... [--json[=FILE]] [--quiet]
+//               [--workload NAME]... [--json[=FILE]] [--heartbeat[=FILE]]
+//               [--pulse-period PS] [--progress-windows N] [--quiet]
 //
 //   --seed N          campaign seed (default 1); same seed => same report
 //   --quick           smoke scale (CI): pipeline + one SoC workload
@@ -17,6 +18,13 @@
 //                     and dma_copy at --full)
 //   --json            print the craft-chaos-v1 report to stdout
 //   --json=FILE       ... or write it to FILE
+//   --heartbeat       craft-pulse liveness line per sampled window, to stderr
+//   --heartbeat=FILE  ... or appended to FILE (the nightly campaign log)
+//   --pulse-period PS heartbeat sampling period (default 10000000 = 10 us)
+//   --progress-windows N
+//                     arm the progress watchdog: a run with no channel
+//                     commits but growing stall counts for N consecutive
+//                     windows faults with a craft-trace blame chain
 //   --quiet           suppress the human-readable report
 //
 // Exits 1 on any oracle failure (LI-invariance break, nondeterminism,
@@ -34,10 +42,28 @@ int main(int argc, char** argv) {
   CampaignConfig config;
   bool json = false;
   bool quiet = false;
+  bool heartbeat = false;
   std::string json_path;
+  std::string heartbeat_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
+    if (arg == "--heartbeat") {
+      heartbeat = true;
+    } else if (arg.rfind("--heartbeat=", 0) == 0) {
+      heartbeat = true;
+      heartbeat_path = arg.substr(std::strlen("--heartbeat="));
+    } else if (arg == "--pulse-period" && i + 1 < argc) {
+      config.pulse.period_ps = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg.rfind("--pulse-period=", 0) == 0) {
+      config.pulse.period_ps =
+          std::strtoull(arg.c_str() + std::strlen("--pulse-period="), nullptr, 0);
+    } else if (arg == "--progress-windows" && i + 1 < argc) {
+      config.pulse.progress_windows =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg.rfind("--progress-windows=", 0) == 0) {
+      config.pulse.progress_windows = static_cast<unsigned>(std::strtoul(
+          arg.c_str() + std::strlen("--progress-windows="), nullptr, 0));
+    } else if (arg == "--json") {
       json = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json = true;
@@ -63,9 +89,30 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: craft_chaos [--seed N] [--quick|--full] [--trials N] "
-                   "[--messages N] [--workload NAME]... [--json[=FILE]] [--quiet]\n");
+                   "[--messages N] [--workload NAME]... [--json[=FILE]] "
+                   "[--heartbeat[=FILE]] [--pulse-period PS] "
+                   "[--progress-windows N] [--quiet]\n");
       return 2;
     }
+  }
+
+  std::FILE* hb_file = nullptr;
+  if (heartbeat) {
+    if (config.pulse.period_ps == 0) config.pulse.period_ps = 10'000'000;
+    if (heartbeat_path.empty()) {
+      config.pulse.heartbeat = stderr;
+    } else {
+      hb_file = std::fopen(heartbeat_path.c_str(), "a");
+      if (hb_file == nullptr) {
+        std::fprintf(stderr, "craft_chaos: cannot write heartbeat file %s\n",
+                     heartbeat_path.c_str());
+        return 2;
+      }
+      config.pulse.heartbeat = hb_file;
+    }
+  } else if (config.pulse.period_ps > 0 || config.pulse.progress_windows > 0) {
+    // Watchdogs without a log: sample windows but stay quiet.
+    if (config.pulse.period_ps == 0) config.pulse.period_ps = 10'000'000;
   }
 
   const auto results = craft::chaos::RunCampaigns(config);
@@ -96,5 +143,6 @@ int main(int argc, char** argv) {
       out << doc;
     }
   }
+  if (hb_file != nullptr) std::fclose(hb_file);
   return failures > 0 ? 1 : 0;
 }

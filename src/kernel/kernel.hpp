@@ -8,6 +8,7 @@
 #include "kernel/fiber.hpp"
 #include "kernel/module.hpp"
 #include "kernel/process.hpp"
+#include "kernel/pulse.hpp"
 #include "kernel/report.hpp"
 #include "kernel/rng.hpp"
 #include "kernel/signal.hpp"

@@ -1,6 +1,7 @@
 #include "kernel/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "kernel/clock.hpp"
@@ -8,6 +9,15 @@
 #include "kernel/process.hpp"
 
 namespace craft::par {
+
+namespace {
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 namespace {
 
@@ -37,6 +47,7 @@ class Dsu {
 }  // namespace
 
 Engine::Engine(Simulator& sim, unsigned requested) : sim_(sim) {
+  measure_windows_ = sim.pulse().enabled();
   Partition(requested);
   if (workers_.size() > 1) StartThreads();
 }
@@ -280,6 +291,7 @@ Time Engine::NextEventTime(const SchedShard& s) {
 
 void Engine::RunWindow(Worker& w) {
   SchedShard& s = w.shard;
+  const std::uint64_t t0 = measure_windows_ ? NowNs() : 0;
   tl_sched_shard = &s;
   TraceEventSink::set_worker_slot(static_cast<int>(w.index));
   try {
@@ -293,6 +305,7 @@ void Engine::RunWindow(Worker& w) {
   }
   TraceEventSink::set_worker_slot(-1);
   tl_sched_shard = nullptr;
+  if (measure_windows_) w.busy_ns += NowNs() - t0;
 }
 
 void Engine::WorkerLoop(Worker& w) {
@@ -320,6 +333,10 @@ void Engine::RunUntil(Time t) {
     Time m = kTimeNever;
     for (const auto& w : workers_) m = std::min(m, NextEventTime(w->shard));
     if (m == kTimeNever || m > t) break;
+    // craft-pulse: every shard has fired everything below m, so boundaries
+    // strictly before m are complete — sample them here, at a point where
+    // the previous window's barrier ordered all counter writes.
+    sim_.pulse().SampleBefore(m);
     // Conservative window [m, h]: nothing published at >= m can be observed
     // before m + lookahead, so every event at <= h is safe to fire without
     // cross-worker synchronization. No crossings at all means the groups
@@ -329,6 +346,12 @@ void Engine::RunUntil(Time t) {
     horizon_ = (lookahead_ == kTimeNever || lookahead_ - 1 >= t - m)
                    ? t
                    : m + lookahead_ - 1;
+    // ... clamped to the next pulse boundary B (>= m after the sample
+    // above): windows never straddle a boundary, so at the barrier after
+    // this window exactly the events at <= B have fired — the same sample
+    // semantics as the single-threaded scheduler, for any worker count.
+    horizon_ = std::min(horizon_, sim_.pulse().next_boundary());
+    const std::uint64_t w0 = measure_windows_ ? NowNs() : 0;
     if (!threaded) {
       RunWindow(*workers_[0]);
     } else {
@@ -340,6 +363,10 @@ void Engine::RunUntil(Time t) {
         a = arrived_.load(std::memory_order_acquire);
       }
       arrived_.store(0, std::memory_order_relaxed);
+    }
+    if (measure_windows_) {
+      window_wall_ns_ += NowNs() - w0;
+      ++windows_run_;
     }
     for (auto& w : workers_) {
       if (w->error != nullptr) {
@@ -355,6 +382,10 @@ void Engine::RunUntil(Time t) {
     for (auto& w : workers_) {
       if (w->shard.now < t) w->shard.now = t;
     }
+    // Boundaries in (last event, t] complete when the run reaches t —
+    // mirror of the single-threaded end-of-run sample (Stop() carve-out
+    // documented in DESIGN.md §12).
+    sim_.pulse().SampleBefore(t + 1);
   }
   Time max_now = sim_.main_shard_.now;
   for (const auto& w : workers_) max_now = std::max(max_now, w->shard.now);

@@ -62,11 +62,28 @@ class Engine {
   std::uint64_t TotalDispatchCount() const;
   std::uint64_t TotalTimedFired() const;
 
+  // ---- craft-pulse engine telemetry (collected only while the pulse
+  // registry is enabled; reads are coordinator-thread-only, ordered by the
+  // epoch barrier). Wall-clock by definition, so n-variant (DESIGN.md §12).
+
+  /// Cumulative busy wall-clock of worker `w`'s window bodies, in ns.
+  std::uint64_t WorkerBusyNs(unsigned w) const { return workers_[w]->busy_ns; }
+
+  /// Cumulative coordinator wall-clock spent dispatching windows and waiting
+  /// on the epoch barrier, in ns.
+  std::uint64_t window_wall_ns() const { return window_wall_ns_; }
+
+  /// Number of conservative epoch windows run so far.
+  std::uint64_t windows_run() const { return windows_run_; }
+
  private:
   struct Worker {
     SchedShard shard;
     std::vector<unsigned> groups;  // group ids this worker owns
     unsigned index = 0;
+    /// Busy wall-clock inside RunWindow, ns. Written by the owning worker
+    /// mid-window, read by the coordinator at barriers only.
+    std::uint64_t busy_ns = 0;
     std::exception_ptr error;
     std::thread thread;
   };
@@ -88,6 +105,11 @@ class Engine {
   unsigned num_groups_ = 1;
   Time lookahead_ = kTimeNever;
   bool single_group_forced_ = false;
+  /// Pulse-enabled at engine start: gates the per-window steady_clock reads
+  /// so runs without the sampler never pay for wall-clock syscalls.
+  bool measure_windows_ = false;
+  std::uint64_t window_wall_ns_ = 0;
+  std::uint64_t windows_run_ = 0;
 
   // Epoch barrier. The coordinator publishes horizon_ with the release
   // increment of epoch_; workers acquire epoch_, run the window, and

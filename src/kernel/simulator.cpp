@@ -22,6 +22,7 @@ Simulator::Simulator() : design_graph_(std::make_shared<DesignGraph>()) {
   g_current = this;
   trace_events_.sim_ = this;
   chaos_.sim_ = this;
+  pulse_.sim_ = this;
   // CRAFT_PARALLELISM=<n> selects the domain-sharded engine without code
   // changes (used by the TSan CI job to force n=4 under the existing test
   // suites). An explicit SetParallelism() call overrides it.
@@ -188,10 +189,21 @@ void Simulator::RunUntil(Time t) {
   SettleDeltas(main_shard_);
   while (!stopped() && !main_shard_.timed.empty() &&
          main_shard_.timed.top().t <= t) {
+    // craft-pulse boundary semantics: a boundary B is sampled once every
+    // event at <= B has fired and before anything later does — i.e. right
+    // before firing the first timestep past B. One never-taken compare
+    // while the sampler is disabled.
+    pulse_.SampleBefore(main_shard_.timed.top().t);
     FireTimestep(main_shard_);
     SettleDeltas(main_shard_);
   }
-  if (!stopped() && main_shard_.now < t) main_shard_.now = t;
+  if (!stopped()) {
+    if (main_shard_.now < t) main_shard_.now = t;
+    // Boundaries in (last event, t] complete when the run reaches t. A
+    // Stop() skips this (DESIGN.md §12: the final partial window is
+    // engine-dependent, so fingerprints use fixed horizons without Stop).
+    pulse_.SampleBefore(t + 1);
+  }
 }
 
 void Simulator::Run(Time duration) { RunUntil(now() + duration); }

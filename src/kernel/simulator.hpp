@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "kernel/chaos.hpp"
+#include "kernel/pulse.hpp"
 #include "kernel/report.hpp"
 #include "kernel/rng.hpp"
 #include "kernel/stats.hpp"
@@ -146,6 +147,12 @@ class Simulator {
   /// latency and corruption faults at the registered injection points.
   ChaosEngine& chaos() { return chaos_; }
   const ChaosEngine& chaos() const { return chaos_; }
+
+  /// The craft-pulse time-series sampler + watchdog registry
+  /// (kernel/pulse.hpp). Disabled by default; call pulse().Enable(cfg)
+  /// before elaboration to sample every stats counter at period boundaries.
+  PulseRegistry& pulse() { return pulse_; }
+  const PulseRegistry& pulse() const { return pulse_; }
 
   Time now() const {
     const SchedShard* s = tl_sched_shard;
@@ -282,6 +289,7 @@ class Simulator {
 
  private:
   friend class par::Engine;
+  friend class PulseRegistry;
 
   /// Shard the calling context schedules into: the worker's shard inside an
   /// engine window, the main shard otherwise (elaboration, between runs).
@@ -306,6 +314,7 @@ class Simulator {
   StatsRegistry stats_;
   TraceEventSink trace_events_;
   ChaosEngine chaos_;
+  PulseRegistry pulse_;
 
   SchedShard main_shard_;
   std::vector<SchedShard*> group_shards_;  // group id -> owning shard

@@ -52,6 +52,35 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+std::string OpenMetricsEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string SanitizeSite(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::map<std::string, MeasuredRate> MeasuredChannelRates(const Simulator& sim) {
   std::map<std::string, MeasuredRate> out;
   const Time elapsed = sim.now();
@@ -101,7 +130,7 @@ std::string FormatTable(const Simulator& sim) {
   std::size_t shown = 0;
   for (const ProcessBase* p : procs) {
     if (shown++ >= 10) break;
-    os << "  " << std::left << std::setw(40) << p->name() << " dispatches "
+    os << "  " << std::left << std::setw(40) << SanitizeSite(p->name()) << " dispatches "
        << std::right << std::setw(10) << p->stat_dispatches << "  wall "
        << std::setw(10) << p->stat_wall_ns << " ns\n";
   }
@@ -111,7 +140,7 @@ std::string FormatTable(const Simulator& sim) {
         "latency mean [min,max]\n";
   for (const auto& [name, c] : reg.channels()) {
     if (Idle(c)) continue;
-    os << "  " << name << " | " << c.kind << " " << c.capacity << " | " << c.enqueues
+    os << "  " << SanitizeSite(name) << " | " << c.kind << " " << c.capacity << " | " << c.enqueues
        << " " << c.dequeues << " | " << c.full_stall_cycles << "/" << c.empty_stall_cycles
        << " | " << c.push_rejects << "/" << c.pop_rejects << " | "
        << c.occupancy_high_water << " | " << std::fixed << std::setprecision(2)
@@ -124,7 +153,8 @@ std::string FormatTable(const Simulator& sim) {
   Rule(os, "gals crossings");
   for (const auto& [name, c] : reg.crossings()) {
     if (Idle(c)) continue;
-    os << "  " << name << " (" << c.producer_clock << " -> " << c.consumer_clock
+    os << "  " << SanitizeSite(name) << " (" << SanitizeSite(c.producer_clock)
+       << " -> " << SanitizeSite(c.consumer_clock)
        << ") | transfers " << c.transfers << " | sync wait " << c.enq_sync_wait_cycles
        << "/" << c.deq_sync_wait_cycles << " | pauses " << c.enq_pause_events << "/"
        << c.deq_pause_events << " | mean latency " << std::fixed << std::setprecision(2)
@@ -134,7 +164,7 @@ std::string FormatTable(const Simulator& sim) {
   Rule(os, "fifos");
   for (const auto& [name, f] : reg.fifos()) {
     if (Idle(f)) continue;
-    os << "  " << name << " | cap " << f.capacity << " | push " << f.pushes << " | pop "
+    os << "  " << SanitizeSite(name) << " | cap " << f.capacity << " | push " << f.pushes << " | pop "
        << f.pops << " | hiwater " << f.high_water << "\n";
   }
   return os.str();
@@ -205,6 +235,111 @@ std::string FormatJson(const Simulator& sim) {
     first = false;
   }
   os << (first ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+namespace {
+
+/// One OpenMetrics family: TYPE line + one sample per site. Counter sample
+/// names carry the mandatory _total suffix; gauges use the bare name.
+struct OmWriter {
+  std::ostringstream& os;
+
+  void Family(const char* name, const char* type, const char* help) {
+    os << "# TYPE " << name << " " << type << "\n";
+    os << "# HELP " << name << " " << help << "\n";
+  }
+  template <typename V>
+  void Sample(const char* family, bool counter, const char* label_key,
+              const std::string& label_value, V value) {
+    os << family << (counter ? "_total" : "") << "{" << label_key << "=\""
+       << OpenMetricsEscape(label_value) << "\"} " << value << "\n";
+  }
+};
+
+}  // namespace
+
+std::string FormatOpenMetrics(const Simulator& sim) {
+  const StatsRegistry& reg = sim.stats();
+  std::ostringstream os;
+  OmWriter om{os};
+
+  om.Family("craft_sim_now_ps", "gauge", "Simulated time in picoseconds");
+  os << "craft_sim_now_ps " << sim.now() << "\n";
+  om.Family("craft_sim_delta_cycles", "counter", "Delta cycles settled");
+  os << "craft_sim_delta_cycles_total " << sim.delta_count() << "\n";
+  om.Family("craft_sim_timed_events", "counter", "Timed event callbacks fired");
+  os << "craft_sim_timed_events_total " << sim.timed_fired() << "\n";
+  om.Family("craft_sim_dispatches", "counter", "Evaluate-phase process dispatches");
+  os << "craft_sim_dispatches_total " << sim.dispatch_count() << "\n";
+
+  struct ChanFamily {
+    const char* name;
+    const char* help;
+    std::uint64_t ChannelStats::*field;
+  };
+  static constexpr ChanFamily kChanFamilies[] = {
+      {"craft_channel_enqueues", "Messages accepted by the channel",
+       &ChannelStats::enqueues},
+      {"craft_channel_dequeues", "Messages delivered by the channel",
+       &ChannelStats::dequeues},
+      {"craft_channel_full_stall_cycles",
+       "Cycles a blocking Push waited on space", &ChannelStats::full_stall_cycles},
+      {"craft_channel_empty_stall_cycles",
+       "Cycles a blocking Pop waited on data", &ChannelStats::empty_stall_cycles},
+      {"craft_channel_push_rejects", "Failed PushNB attempts",
+       &ChannelStats::push_rejects},
+      {"craft_channel_pop_rejects", "Failed PopNB attempts",
+       &ChannelStats::pop_rejects},
+  };
+  for (const ChanFamily& f : kChanFamilies) {
+    om.Family(f.name, "counter", f.help);
+    for (const auto& [name, c] : reg.channels())
+      om.Sample(f.name, true, "channel", name, c.*(f.field));
+  }
+  om.Family("craft_channel_occupancy_high_water", "gauge",
+            "Peak buffered messages observed");
+  for (const auto& [name, c] : reg.channels())
+    om.Sample("craft_channel_occupancy_high_water", false, "channel", name,
+              c.occupancy_high_water);
+
+  om.Family("craft_crossing_transfers", "counter",
+            "Tokens through the pausible GALS crossing");
+  for (const auto& [name, c] : reg.crossings())
+    om.Sample("craft_crossing_transfers", true, "crossing", name, c.transfers);
+  om.Family("craft_crossing_sync_wait_cycles", "counter",
+            "Cycles either endpoint waited inside the synchronizer grace window");
+  for (const auto& [name, c] : reg.crossings())
+    om.Sample("craft_crossing_sync_wait_cycles", true, "crossing", name,
+              c.enq_sync_wait_cycles + c.deq_sync_wait_cycles);
+  om.Family("craft_crossing_pause_events", "counter",
+            "Distinct pause events on either side of the crossing");
+  for (const auto& [name, c] : reg.crossings())
+    om.Sample("craft_crossing_pause_events", true, "crossing", name,
+              c.enq_pause_events + c.deq_pause_events);
+
+  om.Family("craft_fifo_pushes", "counter", "Pushes into the untimed FIFO");
+  for (const auto& [name, f] : reg.fifos())
+    om.Sample("craft_fifo_pushes", true, "fifo", name, f.pushes);
+  om.Family("craft_fifo_pops", "counter", "Pops out of the untimed FIFO");
+  for (const auto& [name, f] : reg.fifos())
+    om.Sample("craft_fifo_pops", true, "fifo", name, f.pops);
+  om.Family("craft_fifo_high_water", "gauge", "Peak FIFO occupancy observed");
+  for (const auto& [name, f] : reg.fifos())
+    om.Sample("craft_fifo_high_water", false, "fifo", name, f.high_water);
+
+  om.Family("craft_process_dispatches", "counter",
+            "Evaluate-phase dispatches of the process");
+  for (const auto& p : sim.processes())
+    om.Sample("craft_process_dispatches", true, "process", p->name(),
+              p->stat_dispatches);
+  om.Family("craft_process_wall_ns", "counter",
+            "Host wall-clock spent inside the process, ns");
+  for (const auto& p : sim.processes())
+    om.Sample("craft_process_wall_ns", true, "process", p->name(),
+              p->stat_wall_ns);
+
+  os << "# EOF\n";
   return os.str();
 }
 

@@ -196,8 +196,23 @@ std::string FormatTable(const Simulator& sim);
 /// Machine-readable report, schema "craft-stats-v1" (DESIGN.md §7).
 std::string FormatJson(const Simulator& sim);
 
+/// OpenMetrics text exposition of the end-of-run aggregates (counters end
+/// in _total, label values escaped, terminated by "# EOF"). The craft-pulse
+/// timeline exporter shares the same metric families for the windowed view.
+std::string FormatOpenMetrics(const Simulator& sim);
+
 /// Escapes a string for embedding in a JSON document (shared helper).
 std::string JsonEscape(const std::string& s);
+
+/// Escapes a string for an OpenMetrics label value: backslash, double-quote
+/// and newline get backslash escapes (the exposition-format rules).
+std::string OpenMetricsEscape(const std::string& s);
+
+/// Renders a site name safe for single-line table output: control
+/// characters (newlines, tabs, ...) become \xNN escapes so a hostile or
+/// buggy hierarchical name cannot forge table rows. Printable text is
+/// returned unchanged.
+std::string SanitizeSite(const std::string& s);
 
 }  // namespace stats
 

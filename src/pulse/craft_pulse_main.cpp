@@ -1,0 +1,492 @@
+// craft_pulse: live time-series telemetry over the reference designs. Runs
+// one design with the craft-pulse sampler enabled, arms the throughput
+// watchdog with craft-prove's static channel bounds, and emits the sampled
+// timeline as craft-pulse-v1 JSON and/or OpenMetrics text — the dynamic
+// counterpart to craft_prove's static report and craft_stats' end-of-run
+// aggregates.
+//
+// Usage:
+//   craft_pulse [--design NAME] [--workload NAME] [--period PS] [--windows N]
+//               [--capacity N] [--parallelism N] [--progress-windows N]
+//               [--chaos] [--seed S] [--json[=FILE]] [--openmetrics[=FILE]]
+//               [--heartbeat[=FILE]] [--list] [--quiet]
+//
+//   --design NAME       noc_chain (default), gals_pipeline, or any SoC
+//                       reference design (soc_gals_2x2, ...)
+//   --workload NAME     SoC designs only: drive the named SoC workload
+//                       (default: first of the six) instead of idling
+//   --period PS         sampling period in picoseconds (default 1000000)
+//   --windows N         run for N whole windows (default 50); the horizon is
+//                       boundary-aligned so the final window closes exactly
+//   --capacity N        series ring capacity (default 512)
+//   --parallelism N     run under craft-par with N workers (0 = legacy)
+//   --progress-windows N arm the progress watchdog (default: off)
+//   --chaos             inject a seeded latency stall storm (craft-chaos);
+//                       the run then MUST trip the throughput watchdog
+//   --seed S            chaos seed (default 1)
+//   --json[=FILE]       emit the craft-pulse-v1 timeline
+//   --openmetrics[=FILE] emit the OpenMetrics exposition
+//   --heartbeat[=FILE]  one liveness line per sampled window (default stderr)
+//   --list              list available designs and exit
+//   --quiet             suppress the human-readable summary
+//
+// Exits non-zero when the built-in cross-check fails: windowed series must
+// reconcile exactly with the craft-stats end-of-run aggregates (base +
+// deltas == aggregate at a boundary-aligned horizon; mean windowed rate
+// within 1% of the aggregate rate), saturating fault-free runs must keep
+// every watchdog silent, and --chaos runs must fire the throughput watchdog.
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "connections/packetizer.hpp"
+#include "kernel/kernel.hpp"
+#include "lint/ref_designs.hpp"
+#include "matchlib/routers.hpp"
+#include "pulse/report.hpp"
+#include "soc/workloads.hpp"
+
+namespace {
+
+using namespace craft;
+using namespace craft::literals;
+
+/// A saturating 4-hop wormhole NoC chain (the bench/noc_routers topology
+/// with endless traffic): source floods 8-flit packets, sink drains, every
+/// link runs near its structural 1-flit-per-cycle bound. The workload the
+/// acceptance cross-check (windowed rates vs aggregates) runs on.
+struct NocChain {
+  static constexpr unsigned kHops = 4;
+  static constexpr unsigned kFlitsPerPacket = 8;
+  using Router = matchlib::WHVCRouter<2, 1>;
+
+  struct Tb : Module {
+    Tb(Module& parent, Clock& clk, connections::Buffer<connections::Flit>& inj,
+       connections::Buffer<connections::Flit>& ej)
+        : Module(parent, "tb") {
+      Thread("src", clk, [&inj] {
+        for (std::uint64_t pkt = 0;; ++pkt) {
+          for (unsigned i = 0; i < kFlitsPerPacket; ++i) {
+            connections::Flit f;
+            f.payload = (pkt << 8) | i;
+            f.first = (i == 0);
+            f.last = (i + 1 == kFlitsPerPacket);
+            f.dest = 0;
+            inj.Push(f);
+          }
+        }
+      });
+      Thread("dst", clk, [&ej] {
+        for (;;) (void)ej.Pop();
+      });
+    }
+  };
+
+  explicit NocChain(Simulator& sim)
+      : clk(sim, "clk", 1_ns),
+        top(sim, "top"),
+        inj(top, "inj", clk, 4),
+        ej(top, "ej", clk, 4) {
+    for (unsigned h = 0; h < kHops; ++h) {
+      const bool last = (h + 1 == kHops);
+      routers.push_back(std::make_unique<Router>(
+          top, "r" + std::to_string(h), clk,
+          [last](std::uint8_t) { return last ? 0u : 1u; }));
+    }
+    routers[0]->in[0][0](inj);
+    for (unsigned h = 0; h + 1 < kHops; ++h) {
+      links.push_back(std::make_unique<connections::Buffer<connections::Flit>>(
+          top, "l" + std::to_string(h), clk, 2));
+      routers[h]->out[1][0](*links.back());
+      routers[h + 1]->in[1][0](*links.back());
+    }
+    routers[kHops - 1]->out[0][0](ej);
+    tb = std::make_unique<Tb>(top, clk, inj, ej);
+  }
+
+  Clock clk;
+  Module top;
+  connections::Buffer<connections::Flit> inj, ej;
+  std::vector<std::unique_ptr<Router>> routers;
+  std::vector<std::unique_ptr<connections::Buffer<connections::Flit>>> links;
+  std::unique_ptr<Tb> tb;
+};
+
+struct Options {
+  std::string design = "noc_chain";
+  std::string workload;
+  Time period_ps = 1'000'000;  // 1 us
+  std::uint64_t windows = 50;
+  std::size_t capacity = 512;
+  unsigned parallelism = 0;
+  bool parallelism_set = false;
+  unsigned progress_windows = 0;
+  bool chaos = false;
+  std::uint64_t seed = 1;
+  bool json = false;
+  std::string json_path;
+  bool openmetrics = false;
+  std::string om_path;
+  bool heartbeat = false;
+  std::string heartbeat_path;
+  bool quiet = false;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: craft_pulse [--design NAME] [--workload NAME] [--period PS]\n"
+      "                   [--windows N] [--capacity N] [--parallelism N]\n"
+      "                   [--progress-windows N] [--chaos] [--seed S]\n"
+      "                   [--json[=FILE]] [--openmetrics[=FILE]]\n"
+      "                   [--heartbeat[=FILE]] [--list] [--quiet]\n");
+  return 2;
+}
+
+bool WriteDoc(const std::string& doc, const std::string& path,
+              const char* what) {
+  if (path.empty()) {
+    std::fputs(doc.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "craft_pulse: cannot write %s file %s\n", what,
+                 path.c_str());
+    return false;
+  }
+  out << doc;
+  return true;
+}
+
+/// Static throughput bounds for the watchdog: one tokens/ps bound per
+/// channel, plus the text naming the limiting structure in alerts — the
+/// slowest positive-rate cycle when the graph has one, else the tightest
+/// channel bound (straight pipelines have no cycles to blame).
+std::string ArmFromAnalysis(Simulator& sim, const analyze::Analysis& a) {
+  std::map<std::string, double> bounds;
+  for (const analyze::ChannelBound& cb : a.channels) {
+    if (cb.tokens_per_ps > 0.0) bounds[cb.channel] = cb.tokens_per_ps;
+  }
+  std::string critical;
+  const analyze::CycleBound* worst = nullptr;
+  for (const analyze::CycleBound& c : a.cycles) {
+    if (c.tokens_per_ps <= 0.0) continue;
+    if (worst == nullptr || c.tokens_per_ps < worst->tokens_per_ps) worst = &c;
+  }
+  if (worst != nullptr) {
+    for (std::size_t i = 0; i < worst->nodes.size(); ++i) {
+      critical += (i ? " -> " : "") + worst->nodes[i];
+    }
+  } else {
+    const analyze::ChannelBound* tight = nullptr;
+    for (const analyze::ChannelBound& cb : a.channels) {
+      if (cb.tokens_per_ps <= 0.0) continue;
+      if (tight == nullptr || cb.tokens_per_ps < tight->tokens_per_ps)
+        tight = &cb;
+    }
+    if (tight != nullptr) {
+      critical = tight->channel + " (" + tight->limited_by + ")";
+    }
+  }
+  sim.pulse().ArmThroughput(bounds, critical);
+  return critical;
+}
+
+/// Reconciles the sampled series against the end-of-run aggregates. At a
+/// boundary-aligned horizon with no Stop() the newest cumulative sample IS
+/// the aggregate (exact_expected); a workload run that Stop()s mid-window
+/// may leave unsampled tail events, so only <= and the mean-rate tolerance
+/// are enforced there.
+bool CrossCheck(const Simulator& sim, bool exact_expected, bool quiet,
+                double* max_rel_err) {
+  const PulseRegistry& reg = sim.pulse();
+  const double elapsed = static_cast<double>(sim.now());
+  const double span = static_cast<double>(reg.windows_total()) *
+                      static_cast<double>(reg.config().period_ps);
+  *max_rel_err = 0.0;
+  bool ok = true;
+  for (const auto& [name, s] : reg.channels()) {
+    const ChannelStats& agg = sim.stats().channels().at(name);
+    const std::uint64_t sampled = s.dequeues.last();
+    if (sampled > agg.dequeues || (exact_expected && sampled != agg.dequeues)) {
+      std::fprintf(stderr,
+                   "craft_pulse: channel %s: sampled dequeues %" PRIu64
+                   " disagree with aggregate %" PRIu64 "\n",
+                   name.c_str(), sampled, agg.dequeues);
+      ok = false;
+    }
+    // Mean windowed rate (base + all in-window deltas over the sampled span)
+    // vs the aggregate end-of-run rate. Only meaningful when the run ended on
+    // a boundary: a Stop() mid-window leaves a tail the sampler never saw.
+    if (!exact_expected || agg.dequeues == 0 || elapsed <= 0.0 || span <= 0.0)
+      continue;
+    const double windowed = static_cast<double>(sampled) / span;
+    const double aggregate = static_cast<double>(agg.dequeues) / elapsed;
+    const double rel = std::abs(windowed - aggregate) / aggregate;
+    if (rel > *max_rel_err) *max_rel_err = rel;
+    if (rel > 0.01) {
+      std::fprintf(stderr,
+                   "craft_pulse: channel %s: mean windowed rate %.6g deviates "
+                   "%.2f%% from aggregate rate %.6g\n",
+                   name.c_str(), windowed, rel * 100.0, aggregate);
+      ok = false;
+    }
+  }
+  if (!quiet && ok) {
+    std::fprintf(stderr,
+                 "craft_pulse: cross-check ok: %zu channel series reconcile "
+                 "with aggregates (max rate deviation %.4f%%)\n",
+                 reg.channels().size(), *max_rel_err * 100.0);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) {
+      return arg.substr(std::strlen(flag));
+    };
+    if (arg == "--list") {
+      std::printf("noc_chain\n");
+      for (const auto& d : lint::ReferenceDesigns()) {
+        std::printf("%s\n", d.name.c_str());
+      }
+      return 0;
+    } else if (arg.rfind("--design=", 0) == 0) {
+      opt.design = value("--design=");
+    } else if (arg == "--design" && i + 1 < argc) {
+      opt.design = argv[++i];
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      opt.workload = value("--workload=");
+    } else if (arg == "--workload" && i + 1 < argc) {
+      opt.workload = argv[++i];
+    } else if (arg.rfind("--period=", 0) == 0) {
+      opt.period_ps = std::strtoull(value("--period=").c_str(), nullptr, 10);
+    } else if (arg == "--period" && i + 1 < argc) {
+      opt.period_ps = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--windows=", 0) == 0) {
+      opt.windows = std::strtoull(value("--windows=").c_str(), nullptr, 10);
+    } else if (arg == "--windows" && i + 1 < argc) {
+      opt.windows = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--capacity=", 0) == 0) {
+      opt.capacity = std::strtoull(value("--capacity=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--parallelism=", 0) == 0) {
+      opt.parallelism =
+          static_cast<unsigned>(std::strtoul(value("--parallelism=").c_str(),
+                                             nullptr, 10));
+      opt.parallelism_set = true;
+    } else if (arg == "--parallelism" && i + 1 < argc) {
+      opt.parallelism = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      opt.parallelism_set = true;
+    } else if (arg.rfind("--progress-windows=", 0) == 0) {
+      opt.progress_windows = static_cast<unsigned>(
+          std::strtoul(value("--progress-windows=").c_str(), nullptr, 10));
+    } else if (arg == "--chaos") {
+      opt.chaos = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json = true;
+      opt.json_path = value("--json=");
+    } else if (arg == "--openmetrics") {
+      opt.openmetrics = true;
+    } else if (arg.rfind("--openmetrics=", 0) == 0) {
+      opt.openmetrics = true;
+      opt.om_path = value("--openmetrics=");
+    } else if (arg == "--heartbeat") {
+      opt.heartbeat = true;
+    } else if (arg.rfind("--heartbeat=", 0) == 0) {
+      opt.heartbeat = true;
+      opt.heartbeat_path = value("--heartbeat=");
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (opt.period_ps == 0 || opt.windows == 0 || opt.capacity == 0) {
+    std::fprintf(stderr, "craft_pulse: --period/--windows/--capacity must be positive\n");
+    return 2;
+  }
+
+  // Resolve the design. SoC reference designs rebuild from their SocConfig
+  // so the workload driver can run them; noc_chain and gals_pipeline idle
+  // at saturation until the boundary-aligned horizon.
+  const lint::RefDesign* ref = nullptr;
+  std::vector<lint::RefDesign> designs = lint::ReferenceDesigns();
+  if (opt.design != "noc_chain") {
+    for (const auto& d : designs) {
+      if (d.name == opt.design) ref = &d;
+    }
+    if (ref == nullptr) {
+      std::fprintf(stderr,
+                   "craft_pulse: unknown design '%s' (see --list)\n",
+                   opt.design.c_str());
+      return 2;
+    }
+  }
+  const bool soc_run = ref != nullptr && ref->soc_cfg.has_value();
+  if (!opt.workload.empty() && !soc_run) {
+    std::fprintf(stderr, "craft_pulse: --workload requires a SoC design\n");
+    return 2;
+  }
+
+  std::FILE* hb_file = nullptr;
+  if (opt.heartbeat) {
+    if (opt.heartbeat_path.empty()) {
+      hb_file = stderr;
+    } else {
+      hb_file = std::fopen(opt.heartbeat_path.c_str(), "w");
+      if (hb_file == nullptr) {
+        std::fprintf(stderr, "craft_pulse: cannot write heartbeat file %s\n",
+                     opt.heartbeat_path.c_str());
+        return 2;
+      }
+    }
+  }
+
+  Simulator sim;
+  if (opt.chaos) {
+    // Latency-only stall storm: LI-safe (no corruption), but aggressive
+    // enough to collapse every saturating channel far below half its static
+    // bound, so the throughput watchdog MUST fire.
+    FaultPlan plan;
+    plan.seed = opt.seed;
+    plan.channel_valid_stall_prob = 0.45;
+    plan.channel_ready_stall_prob = 0.45;
+    plan.crossing_pause_prob = 0.60;
+    plan.crossing_pause_max_cycles = 12;
+    plan.retimer_delay_prob = 0.20;
+    plan.retimer_delay_max_cycles = 4;
+    sim.chaos().Enable(plan);
+  }
+  PulseConfig pcfg;
+  pcfg.period_ps = opt.period_ps;
+  pcfg.capacity = opt.capacity;
+  pcfg.progress_windows = opt.progress_windows;
+  pcfg.heartbeat = hb_file;
+  pcfg.heartbeat_label = opt.design;
+  sim.pulse().Enable(pcfg);
+
+  std::shared_ptr<void> handle;
+  std::unique_ptr<NocChain> chain;
+  std::unique_ptr<soc::SocTop> soc_top;
+  if (ref == nullptr) {
+    chain = std::make_unique<NocChain>(sim);
+  } else if (soc_run) {
+    soc_top = std::make_unique<soc::SocTop>(sim, *ref->soc_cfg);
+  } else {
+    handle = ref->build(sim);
+  }
+
+  const analyze::Analysis analysis = analyze::Analyze(sim.design_graph());
+  // SoC workloads are request/response traffic with idle phases — nowhere
+  // near channel saturation, so the rate watchdog only makes sense on the
+  // saturating designs. Arm it there; elsewhere leave the bounds unarmed.
+  std::string critical;
+  const bool saturating = !soc_run;
+  if (saturating) critical = ArmFromAnalysis(sim, analysis);
+
+  if (opt.parallelism_set) sim.SetParallelism(opt.parallelism);
+
+  const Time horizon = opt.period_ps * opt.windows;
+  std::string workload_note;
+  bool workload_ok = true;
+  if (soc_run) {
+    const std::vector<soc::Workload> all = soc::SixSocTests();
+    const soc::Workload* w = &all[0];
+    if (!opt.workload.empty()) {
+      const soc::Workload* found = nullptr;
+      for (const auto& cand : all) {
+        if (cand.name == opt.workload) found = &cand;
+      }
+      if (found == nullptr) {
+        std::fprintf(stderr, "craft_pulse: unknown workload '%s'\n",
+                     opt.workload.c_str());
+        return 2;
+      }
+      w = found;
+    }
+    const soc::WorkloadRun run = soc::RunWorkload(*soc_top, *w, horizon);
+    workload_ok = run.ok;
+    workload_note = run.name + (run.ok ? " ok" : " FAILED: " + run.error);
+  } else {
+    sim.RunUntil(horizon);
+  }
+
+  const PulseRegistry& reg = sim.pulse();
+  double max_rel = 0.0;
+  // A SoC workload Stop()s mid-window, so only the saturating designs
+  // promise exact base+deltas == aggregate reconciliation.
+  bool ok = CrossCheck(sim, /*exact_expected=*/!soc_run, opt.quiet, &max_rel);
+  if (!workload_ok) {
+    std::fprintf(stderr, "craft_pulse: workload failed: %s\n",
+                 workload_note.c_str());
+    ok = false;
+  }
+
+  std::size_t throughput_alerts = 0;
+  for (const PulseAlert& a : reg.alerts()) {
+    if (a.watchdog == "throughput") ++throughput_alerts;
+  }
+  if (opt.chaos && saturating && throughput_alerts == 0) {
+    std::fprintf(stderr,
+                 "craft_pulse: chaos stall storm did not trip the throughput "
+                 "watchdog (expected a collapse below the static bound)\n");
+    ok = false;
+  }
+  if (!opt.chaos && !reg.alerts().empty()) {
+    std::fprintf(stderr,
+                 "craft_pulse: %zu watchdog alert(s) on a fault-free run:\n",
+                 reg.alerts().size());
+    for (const PulseAlert& a : reg.alerts()) {
+      std::fprintf(stderr, "  %s\n", a.message.c_str());
+    }
+    ok = false;
+  }
+
+  if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "craft_pulse: design=%s%s%s windows=%" PRIu64 " (dropped %" PRIu64
+                 ") period=%" PRIu64 " ps parallelism=%u commits=%" PRIu64
+                 " stall_cycles=%" PRIu64 " alerts=%zu\n",
+                 opt.design.c_str(), workload_note.empty() ? "" : " workload=",
+                 workload_note.c_str(), reg.windows_total(),
+                 reg.windows_dropped_idle(), static_cast<std::uint64_t>(opt.period_ps),
+                 sim.parallelism(), reg.kernel().commits.last(),
+                 reg.kernel().stall_cycles.last(), reg.alerts().size());
+    if (saturating && !critical.empty()) {
+      std::fprintf(stderr, "craft_pulse: throughput watchdog armed; critical: %s\n",
+                   critical.c_str());
+    }
+    for (const PulseAlert& a : reg.alerts()) {
+      std::fprintf(stderr, "craft_pulse: ALERT %s\n", a.message.c_str());
+    }
+  }
+
+  if (opt.json && !WriteDoc(pulse::FormatTimelineJson(sim), opt.json_path, "json")) {
+    ok = false;
+  }
+  if (opt.openmetrics &&
+      !WriteDoc(pulse::FormatOpenMetrics(sim), opt.om_path, "openmetrics")) {
+    ok = false;
+  }
+  if (hb_file != nullptr && hb_file != stderr) std::fclose(hb_file);
+  return ok ? 0 : 1;
+}

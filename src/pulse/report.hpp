@@ -1,0 +1,39 @@
+// craft-pulse reporters: the time-series registry (kernel/pulse.hpp) as a
+// machine-readable timeline and as OpenMetrics text, plus the n-invariant
+// fingerprint the determinism tests and CI compare across worker counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace craft {
+
+class Simulator;
+
+namespace pulse {
+
+/// Machine-readable timeline, schema "craft-pulse-v1" (DESIGN.md §12).
+///
+/// Every series is emitted as {"base": B, "v": [cumulative...]}: the i-th
+/// in-window delta is v[i] - (i == 0 ? B : v[i-1]), and B + sum(deltas) ==
+/// v.back() exactly no matter how many windows the ring evicted. Series
+/// arrays align right-justified against the top-level "windows" array (all
+/// rings evict in lockstep; sites registered late simply have shorter
+/// arrays). n-variant families (per-process dispatches, kernel scheduler
+/// load, per-worker wall-clock) live under *_n_variant keys and are
+/// excluded from Fingerprint(), like DESIGN.md §9's delta-count carve-out.
+std::string FormatTimelineJson(const Simulator& sim);
+
+/// OpenMetrics text exposition of the sampled series: cumulative counters
+/// (as of the newest window), last-window rate gauges, and watchdog alert
+/// totals. Terminated by "# EOF".
+std::string FormatOpenMetrics(const Simulator& sim);
+
+/// FNV-1a over the n-invariant subset of the registry: the window grid,
+/// channel/crossing/fifo series, kernel commits/stalls, and watchdog
+/// alerts. Identical for every SetParallelism(n) on a fixed-horizon run
+/// (no Stop()), for fixed seeds.
+std::uint64_t Fingerprint(const Simulator& sim);
+
+}  // namespace pulse
+}  // namespace craft

@@ -4,10 +4,16 @@
 // counterpart to craft_lint's static checks.
 //
 // Usage:
-//   craft_stats [--json[=FILE]] [--workload NAME]... [--sync] [--quiet]
+//   craft_stats [--format text|json|openmetrics] [--json[=FILE]] [--out=FILE]
+//               [--workload NAME]... [--sync] [--quiet]
 //
-//   --json            print the machine-readable report to stdout
-//   --json=FILE       ... or write it to FILE
+//   --format NAME     output format: text (default, human tables), json
+//                     (craft-stats-run-v1), or openmetrics (exposition text;
+//                     runs one workload at a time). Unknown values are a
+//                     one-line error and a non-zero exit.
+//   --json            shorthand for --format json to stdout
+//   --json=FILE       ... or to FILE
+//   --out=FILE        write the formatted document to FILE instead of stdout
 //   --workload NAME   run only the named workload(s); default: all six
 //   --sync            single-clock mesh instead of the default GALS mesh
 //   --quiet           suppress the per-workload human-readable tables
@@ -31,16 +37,19 @@ namespace {
 using namespace craft;
 using namespace craft::literals;
 
+enum class Format { kText, kJson, kOpenMetrics };
+
 struct RunResult {
   soc::WorkloadRun run;
   std::string metrics_json;  // craft-soc-metrics-v1
   std::string table;
+  std::string openmetrics;   // exposition text, when --format openmetrics
 };
 
 /// Runs one workload on a fresh stats-enabled SoC. Each workload gets its
 /// own Simulator: the registry is snapshot at elaboration, and per-run
 /// isolation keeps the counters attributable to a single workload.
-RunResult RunOne(const soc::Workload& w, bool gals) {
+RunResult RunOne(const soc::Workload& w, bool gals, Format format) {
   Simulator sim;
   sim.stats().Enable();  // before elaboration: components snapshot slots
   soc::SocConfig cfg;
@@ -50,6 +59,9 @@ RunResult RunOne(const soc::Workload& w, bool gals) {
   r.run = soc::RunWorkload(soc, w, 50_ms);
   r.metrics_json = soc::SocMetricsJson(soc, r.run);
   r.table = stats::FormatTable(sim);
+  if (format == Format::kOpenMetrics) {
+    r.openmetrics = stats::FormatOpenMetrics(sim);
+  }
   return r;
 }
 
@@ -80,18 +92,42 @@ bool Validate(const RunResult& r, std::string* why) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
+  Format format = Format::kText;
   bool quiet = false;
   bool gals = true;
-  std::string json_path;
+  std::string out_path;
   std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string format_name;
+    if (arg == "--format" && i + 1 < argc) {
+      format_name = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format_name = arg.substr(std::strlen("--format="));
+    }
+    if (!format_name.empty()) {
+      if (format_name == "text") {
+        format = Format::kText;
+      } else if (format_name == "json") {
+        format = Format::kJson;
+      } else if (format_name == "openmetrics") {
+        format = Format::kOpenMetrics;
+      } else {
+        std::fprintf(stderr,
+                     "craft_stats: unknown --format value '%s' (expected "
+                     "text|json|openmetrics)\n",
+                     format_name.c_str());
+        return 2;
+      }
+      continue;
+    }
     if (arg == "--json") {
-      json = true;
+      format = Format::kJson;
     } else if (arg.rfind("--json=", 0) == 0) {
-      json = true;
-      json_path = arg.substr(std::strlen("--json="));
+      format = Format::kJson;
+      out_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
     } else if (arg == "--workload" && i + 1 < argc) {
       only.emplace_back(argv[++i]);
     } else if (arg.rfind("--workload=", 0) == 0) {
@@ -102,23 +138,43 @@ int main(int argc, char** argv) {
       quiet = true;
     } else {
       std::fprintf(stderr,
-                   "usage: craft_stats [--json[=FILE]] [--workload NAME]... [--sync] "
+                   "usage: craft_stats [--format text|json|openmetrics] "
+                   "[--json[=FILE]] [--out=FILE] [--workload NAME]... [--sync] "
                    "[--quiet]\n");
       return 2;
     }
   }
 
-  // With --json to stdout, the JSON document must be the only thing there.
-  std::FILE* text_out = (json && json_path.empty()) ? stderr : stdout;
+  std::vector<const soc::Workload*> selected;
+  const std::vector<soc::Workload> all = soc::SixSocTests();
+  for (const soc::Workload& w : all) {
+    if (only.empty() ||
+        std::find(only.begin(), only.end(), w.name) != only.end()) {
+      selected.push_back(&w);
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "craft_stats: no workload matched\n");
+    return 2;
+  }
+  // One exposition per scrape: concatenated documents would repeat metric
+  // families, which the format forbids.
+  if (format == Format::kOpenMetrics && selected.size() != 1) {
+    std::fprintf(stderr,
+                 "craft_stats: --format openmetrics runs one workload at a "
+                 "time (pass a single --workload NAME)\n");
+    return 2;
+  }
+
+  // With a document on stdout, it must be the only thing there.
+  const bool doc_to_stdout = format != Format::kText && out_path.empty();
+  std::FILE* text_out = doc_to_stdout ? stderr : stdout;
 
   std::vector<RunResult> results;
   int failures = 0;
-  for (const soc::Workload& w : soc::SixSocTests()) {
-    if (!only.empty() &&
-        std::find(only.begin(), only.end(), w.name) == only.end()) {
-      continue;
-    }
-    RunResult r = RunOne(w, gals);
+  for (const soc::Workload* wp : selected) {
+    const soc::Workload& w = *wp;
+    RunResult r = RunOne(w, gals, format);
     std::string why;
     const bool valid = Validate(r, &why);
     if (!valid) ++failures;
@@ -131,27 +187,28 @@ int main(int argc, char** argv) {
     }
     results.push_back(std::move(r));
   }
-  if (results.empty()) {
-    std::fprintf(stderr, "craft_stats: no workload matched\n");
-    return 2;
-  }
   std::fprintf(text_out, "craft_stats: %zu workloads, %d failures\n", results.size(),
                failures);
 
-  if (json) {
-    std::string doc = "{\n  \"schema\": \"craft-stats-run-v1\",\n  \"workloads\": [\n";
+  std::string doc;
+  if (format == Format::kJson) {
+    doc = "{\n  \"schema\": \"craft-stats-run-v1\",\n  \"workloads\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       doc += results[i].metrics_json;
       if (i + 1 < results.size()) doc += ",";
       doc += "\n";
     }
     doc += "  ]\n}\n";
-    if (json_path.empty()) {
+  } else if (format == Format::kOpenMetrics) {
+    doc = results[0].openmetrics;
+  }
+  if (!doc.empty()) {
+    if (out_path.empty()) {
       std::fputs(doc.c_str(), stdout);
     } else {
-      std::ofstream out(json_path);
+      std::ofstream out(out_path);
       if (!out) {
-        std::fprintf(stderr, "craft_stats: cannot write %s\n", json_path.c_str());
+        std::fprintf(stderr, "craft_stats: cannot write %s\n", out_path.c_str());
         return 2;
       }
       out << doc;

@@ -302,6 +302,57 @@ TEST(Stats, IdleChannelReportsZeroLatencyBounds) {
   EXPECT_EQ(table.find("18446744073709551615"), std::string::npos);
 }
 
+TEST(Stats, HostileSiteNamesAreEscapedInEveryReporter) {
+  // Regression: a site name carrying quotes, newlines, or backslashes (e.g.
+  // from a generated design with a pathological instance label) must not
+  // break the JSON document, corrupt the table layout, or produce an invalid
+  // OpenMetrics label value.
+  Simulator sim;
+  sim.stats().Enable();
+  const std::string hostile = "top.\"evil\"\nch\\x";
+  ChannelStats* ch = sim.stats().RegisterChannel(hostile, "Buffer", 2);
+  ASSERT_NE(ch, nullptr);
+  ch->enqueues = 3;
+  ch->dequeues = 3;
+
+  const std::string json = stats::FormatJson(sim);
+  EXPECT_NE(json.find("top.\\\"evil\\\"\\nch\\\\x"), std::string::npos)
+      << "JSON must escape quotes/newlines/backslashes in site names";
+  EXPECT_EQ(json.find(hostile), std::string::npos)
+      << "raw hostile name must not appear inside the JSON document";
+
+  const std::string table = stats::FormatTable(sim);
+  EXPECT_NE(table.find("top.\"evil\"\\x0ach\\x"), std::string::npos)
+      << "table must render control chars as \\xNN";
+  EXPECT_EQ(table.find(hostile), std::string::npos)
+      << "raw newline must not split a table row";
+
+  const std::string om = stats::FormatOpenMetrics(sim);
+  EXPECT_NE(om.find("top.\\\"evil\\\"\\nch\\\\x"), std::string::npos)
+      << "OpenMetrics label values must use \\\" \\n \\\\ escapes";
+  EXPECT_EQ(om.find(hostile), std::string::npos);
+}
+
+TEST(Stats, OpenMetricsExpositionIsWellFormed) {
+  Simulator sim;
+  sim.stats().Enable();
+  Clock clk(sim, "clk", 1_ns);
+  Module top(sim, "top");
+  Channel<int> ch(top, "ch", clk, ChannelKind::kBuffer, 2);
+  Producer prod(top, "prod", clk, 10);
+  Consumer cons(top, "cons", clk, 10);
+  prod.out(ch);
+  cons.in(ch);
+  sim.Run(1000_ns);
+  const std::string om = stats::FormatOpenMetrics(sim);
+  EXPECT_NE(om.find("# TYPE craft_channel_enqueues counter"), std::string::npos);
+  EXPECT_NE(om.find("craft_channel_enqueues_total{channel=\"top.ch\"} 10"),
+            std::string::npos);
+  ASSERT_GE(om.size(), 6u);
+  EXPECT_EQ(om.rfind("# EOF\n"), om.size() - 6)
+      << "exposition must end with the # EOF terminator";
+}
+
 // ---------- SoC-level metrics ----------
 
 TEST(Stats, SocWorkloadEmitsPerPeAndNocMetrics) {

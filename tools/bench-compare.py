@@ -23,6 +23,13 @@ Counter-like metrics (cycles, transfers, latencies in cycles) are machine
 independent and always compared; a change there is a functional delta,
 reported in the table but only *gated* for keys listed in GATED.
 
+Overhead columns (``*_pct``, e.g. the craft-pulse sampling overheads
+``pulse_1k_cycle_overhead_pct`` / ``pulse_10k_cycle_overhead_pct``) are
+already ratios, so their delta is shown in percentage points (``pp``)
+instead of a relative percentage — a relative delta of a near-zero percent
+is noise. Metrics present only in the current results (a bench grew a new
+column the committed baseline predates) are reported as NEW, never failed.
+
 Usage:
   tools/bench-compare.py --baseline-dir bench/baselines --current-dir . \
       [--threshold 0.15] [--table-out bench_delta.md]
@@ -85,7 +92,13 @@ def compare_craft(name, base, cur, threshold, rows):
             status = "OK" if b == c else "CHANGED"
             rows.append((name, key, fmt(b), fmt(c), "-", status))
             continue
-        delta = (c - b) / b if b else 0.0
+        if key.endswith("_pct"):
+            # Already a percentage: diff in percentage points.
+            delta = (c - b) / b if b else 0.0
+            delta_str = f"{c - b:+.2f}pp"
+        else:
+            delta = (c - b) / b if b else 0.0
+            delta_str = f"{delta:+.1%}"
         status = "OK"
         if key in gated:
             if not host_match:
@@ -98,7 +111,14 @@ def compare_craft(name, base, cur, threshold, rows):
                     failures.append(
                         f"{name}:{key} regressed {delta:+.1%} "
                         f"(baseline {fmt(b)}, current {fmt(c)})")
-        rows.append((name, key, fmt(b), fmt(c), f"{delta:+.1%}", status))
+        rows.append((name, key, fmt(b), fmt(c), delta_str, status))
+    # Columns the committed baseline predates (e.g. the pulse overhead pair
+    # added with craft-pulse): surface them so the artifact table carries the
+    # measured value, but never fail on them — there is nothing to regress
+    # against yet.
+    for key in cm:
+        if key not in bm:
+            rows.append((name, key, "(absent)", fmt(cm[key]), "-", "NEW"))
     return failures
 
 
