@@ -212,7 +212,7 @@ FaultPlan SocLatencyPlan(std::uint64_t seed) {
 
 RunRecord RunLiPipeline(const FaultPlan* plan, unsigned parallelism,
                         unsigned messages, const std::string& label,
-                        const CampaignPulse* pulse) {
+                        const CampaignPulse* pulse, const CampaignHooks* hooks) {
   RunRecord rec;
   rec.label = label;
   Simulator sim;
@@ -221,6 +221,7 @@ RunRecord RunLiPipeline(const FaultPlan* plan, unsigned parallelism,
   const bool corrupting = plan != nullptr && !plan->latency_only();
   if (corrupting) sim.trace_events().Enable();
   if (plan != nullptr) sim.chaos().Enable(*plan);
+  if (hooks != nullptr && hooks->pre_elaborate) hooks->pre_elaborate(sim);
   if (parallelism >= 1) sim.SetParallelism(parallelism);
   LiHarness h(sim, messages);
   try {
@@ -243,12 +244,14 @@ RunRecord RunLiPipeline(const FaultPlan* plan, unsigned parallelism,
   if (plan != nullptr) HarvestChaos(sim, &rec);
   if (corrupting)
     rec.blame = trace::FormatTable(trace::AttributeBackpressure(sim, 5));
+  if (hooks != nullptr && hooks->post_run) hooks->post_run(sim, label);
   return rec;
 }
 
 RunRecord RunSocWorkload(const soc::SocConfig& cfg0, const std::string& workload,
                          const FaultPlan* plan, unsigned parallelism,
-                         const std::string& label, const CampaignPulse* pulse) {
+                         const std::string& label, const CampaignPulse* pulse,
+                         const CampaignHooks* hooks) {
   RunRecord rec;
   rec.label = label;
   Simulator sim;
@@ -257,6 +260,7 @@ RunRecord RunSocWorkload(const soc::SocConfig& cfg0, const std::string& workload
   const bool corrupting = plan != nullptr && !plan->latency_only();
   if (corrupting) sim.trace_events().Enable();
   if (plan != nullptr) sim.chaos().Enable(*plan);
+  if (hooks != nullptr && hooks->pre_elaborate) hooks->pre_elaborate(sim);
   soc::SocConfig cfg = cfg0;
   if (parallelism >= 1) cfg.parallelism = parallelism;
   soc::SocTop soc(sim, cfg);
@@ -285,6 +289,7 @@ RunRecord RunSocWorkload(const soc::SocConfig& cfg0, const std::string& workload
   if (plan != nullptr) HarvestChaos(sim, &rec);
   if (corrupting)
     rec.blame = trace::FormatTable(trace::AttributeBackpressure(sim, 5));
+  if (hooks != nullptr && hooks->post_run) hooks->post_run(sim, label);
   return rec;
 }
 
@@ -296,19 +301,22 @@ namespace {
 /// latency fault legitimately changes in-window throughput.
 RunRecord RunRefWindow(const lint::RefDesign& design, const FaultPlan* plan,
                        unsigned parallelism, const std::string& label,
-                       const CampaignPulse* pulse = nullptr) {
+                       const CampaignPulse* pulse = nullptr,
+                       const CampaignHooks* hooks = nullptr) {
   RunRecord rec;
   rec.label = label;
   Simulator sim;
   sim.stats().Enable();
   EnableCampaignPulse(sim, pulse, design.name + "/" + label);
   if (plan != nullptr) sim.chaos().Enable(*plan);
+  if (hooks != nullptr && hooks->pre_elaborate) hooks->pre_elaborate(sim);
   if (parallelism >= 1) sim.SetParallelism(parallelism);
   const auto handle = design.build(sim);
   sim.RunUntil(300_us);
   rec.fp.ok = true;
   HarvestTransfers(sim, &rec.fp);
   if (plan != nullptr) HarvestChaos(sim, &rec);
+  if (hooks != nullptr && hooks->post_run) hooks->post_run(sim, label);
   return rec;
 }
 
@@ -347,13 +355,30 @@ std::vector<CampaignResult> RunCampaigns(const CampaignConfig& config) {
   const CampaignPulse* hb =
       config.pulse.period_ps > 0 ? &config.pulse : nullptr;
 
+  // Observer hooks, re-labelled per campaign so a post_run consumer (the
+  // craft-cover collector) sees globally unique "design/label" run names.
+  const bool hooked = static_cast<bool>(config.hooks.pre_elaborate) ||
+                      static_cast<bool>(config.hooks.post_run);
+  const auto qualify = [&config](const std::string& design) {
+    CampaignHooks h;
+    h.pre_elaborate = config.hooks.pre_elaborate;
+    if (config.hooks.post_run) {
+      h.post_run = [&config, design](Simulator& s, const std::string& label) {
+        config.hooks.post_run(s, design + "/" + label);
+      };
+    }
+    return h;
+  };
+
   {
     CampaignResult c{"li_pipeline", "latency"};
+    const CampaignHooks hk = qualify(c.design);
+    const CampaignHooks* hkp = hooked ? &hk : nullptr;
     const FaultPlan plan = PipelineLatencyPlan(config.seed);
-    c.runs.push_back(RunLiPipeline(nullptr, 1, msgs, "golden-n1", hb));
-    c.runs.push_back(RunLiPipeline(&plan, 1, msgs, "latency-n1", hb));
-    c.runs.push_back(RunLiPipeline(&plan, 1, msgs, "latency-n1-repeat", hb));
-    c.runs.push_back(RunLiPipeline(&plan, 4, msgs, "latency-n4", hb));
+    c.runs.push_back(RunLiPipeline(nullptr, 1, msgs, "golden-n1", hb, hkp));
+    c.runs.push_back(RunLiPipeline(&plan, 1, msgs, "latency-n1", hb, hkp));
+    c.runs.push_back(RunLiPipeline(&plan, 1, msgs, "latency-n1-repeat", hb, hkp));
+    c.runs.push_back(RunLiPipeline(&plan, 4, msgs, "latency-n4", hb, hkp));
     JudgeLatency(&c, &c.runs[0], c.runs[1], c.runs[2], &c.runs[3],
                  /*compare_transfers=*/true);
     out.push_back(std::move(c));
@@ -365,6 +390,8 @@ std::vector<CampaignResult> RunCampaigns(const CampaignConfig& config) {
     // applied (one injection) and something downstream caught it (at least
     // one detection) — silent propagation is the only failure.
     CampaignResult c{"li_pipeline", "corruption"};
+    const CampaignHooks hk = qualify("li_pipeline_corrupt");
+    const CampaignHooks* hkp = hooked ? &hk : nullptr;
     const unsigned trials =
         config.trials != 0 ? config.trials : (quick ? 6u : full ? 18u : 9u);
     for (unsigned k = 0; k < trials; ++k) {
@@ -382,7 +409,7 @@ std::vector<CampaignResult> RunCampaigns(const CampaignConfig& config) {
       plan.corruptions = {f};
       const std::string label =
           "trial-" + std::to_string(k) + "-" + ToString(f.kind);
-      RunRecord rec = RunLiPipeline(&plan, 1, msgs, label, hb);
+      RunRecord rec = RunLiPipeline(&plan, 1, msgs, label, hb, hkp);
       if (rec.injections.empty())
         Fail(&c, label + ": scheduled corruption was never applied");
       if (rec.detections.empty())
@@ -419,17 +446,19 @@ std::vector<CampaignResult> RunCampaigns(const CampaignConfig& config) {
     const lint::RefDesign* d = find_design(dname);
     if (d == nullptr || !d->soc_cfg.has_value()) continue;
     CampaignResult c{dname + ":" + wname, "latency"};
+    const CampaignHooks hk = qualify(c.design);
+    const CampaignHooks* hkp = hooked ? &hk : nullptr;
     const FaultPlan plan = SocLatencyPlan(config.seed);
     const bool gals = d->soc_cfg->gals;
     c.runs.push_back(
-        RunSocWorkload(*d->soc_cfg, wname, nullptr, 1, "golden-n1", hb));
+        RunSocWorkload(*d->soc_cfg, wname, nullptr, 1, "golden-n1", hb, hkp));
     c.runs.push_back(
-        RunSocWorkload(*d->soc_cfg, wname, &plan, 1, "latency-n1", hb));
+        RunSocWorkload(*d->soc_cfg, wname, &plan, 1, "latency-n1", hb, hkp));
     c.runs.push_back(
-        RunSocWorkload(*d->soc_cfg, wname, &plan, 1, "latency-n1-repeat", hb));
+        RunSocWorkload(*d->soc_cfg, wname, &plan, 1, "latency-n1-repeat", hb, hkp));
     if (gals)
       c.runs.push_back(
-          RunSocWorkload(*d->soc_cfg, wname, &plan, 4, "latency-n4", hb));
+          RunSocWorkload(*d->soc_cfg, wname, &plan, 4, "latency-n4", hb, hkp));
     JudgeLatency(&c, &c.runs[0], c.runs[1], c.runs[2],
                  gals ? &c.runs[3] : nullptr, /*compare_transfers=*/false);
     out.push_back(std::move(c));
@@ -439,10 +468,12 @@ std::vector<CampaignResult> RunCampaigns(const CampaignConfig& config) {
     if (const lint::RefDesign* d = find_design("gals_pipeline")) {
       // Endless stream, fixed window: determinism + n-invariance only.
       CampaignResult c{"gals_pipeline", "latency"};
+      const CampaignHooks hk = qualify(c.design);
+      const CampaignHooks* hkp = hooked ? &hk : nullptr;
       const FaultPlan plan = SocLatencyPlan(config.seed);
-      c.runs.push_back(RunRefWindow(*d, &plan, 1, "latency-n1", hb));
-      c.runs.push_back(RunRefWindow(*d, &plan, 1, "latency-n1-repeat", hb));
-      c.runs.push_back(RunRefWindow(*d, &plan, 4, "latency-n4", hb));
+      c.runs.push_back(RunRefWindow(*d, &plan, 1, "latency-n1", hb, hkp));
+      c.runs.push_back(RunRefWindow(*d, &plan, 1, "latency-n1-repeat", hb, hkp));
+      c.runs.push_back(RunRefWindow(*d, &plan, 4, "latency-n4", hb, hkp));
       JudgeLatency(&c, nullptr, c.runs[0], c.runs[1], &c.runs[2],
                    /*compare_transfers=*/false);
       out.push_back(std::move(c));

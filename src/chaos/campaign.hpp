@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -26,6 +27,19 @@
 #include "soc/soc.hpp"
 
 namespace craft::chaos {
+
+/// Optional per-run callbacks for observers that need their registries armed
+/// before elaboration and a snapshot after the run — the craft-cover glue,
+/// without making the chaos library depend on src/cover. `pre_elaborate`
+/// fires after the campaign's own Enable calls (stats/pulse/chaos), before
+/// any module is constructed; `post_run` fires after the run's results are
+/// harvested, while the Simulator is still alive. The label is the run's
+/// campaign-local label ("golden-n1", "corrupt-drop", ...); callers that run
+/// several designs qualify it themselves (RunCampaigns prefixes the design).
+struct CampaignHooks {
+  std::function<void(Simulator&)> pre_elaborate;
+  std::function<void(Simulator&, const std::string& label)> post_run;
+};
 
 /// Optional craft-pulse hookup for campaign runs (the nightly heartbeat):
 /// with period_ps > 0 every campaign simulator samples pulse windows at that
@@ -81,6 +95,7 @@ struct CampaignConfig {
   unsigned trials = 0;      ///< corruption trials; 0 = scale default
   std::vector<std::string> workloads;  ///< SoC workload filter; empty = scale default
   CampaignPulse pulse;      ///< live telemetry / watchdog hookup (off by default)
+  CampaignHooks hooks;      ///< per-run observer callbacks (craft-cover glue)
 };
 
 /// The latency-only plan a campaign arms for the LI pipeline harness
@@ -95,14 +110,16 @@ FaultPlan SocLatencyPlan(std::uint64_t seed);
 /// zero period) runs without live telemetry.
 RunRecord RunLiPipeline(const FaultPlan* plan, unsigned parallelism,
                         unsigned messages, const std::string& label,
-                        const CampaignPulse* pulse = nullptr);
+                        const CampaignPulse* pulse = nullptr,
+                        const CampaignHooks* hooks = nullptr);
 
 /// Runs one SoC workload under `cfg` with the fault plan armed. The digest
 /// covers the full global-memory image after the golden check.
 RunRecord RunSocWorkload(const soc::SocConfig& cfg, const std::string& workload,
                          const FaultPlan* plan, unsigned parallelism,
                          const std::string& label,
-                         const CampaignPulse* pulse = nullptr);
+                         const CampaignPulse* pulse = nullptr,
+                         const CampaignHooks* hooks = nullptr);
 
 /// Runs every campaign selected by `config`. Deterministic per
 /// (seed, scale, messages, trials, workloads).

@@ -7,7 +7,8 @@
 // Usage:
 //   craft_chaos [--seed N] [--quick|--full] [--trials N] [--messages N]
 //               [--workload NAME]... [--json[=FILE]] [--heartbeat[=FILE]]
-//               [--pulse-period PS] [--progress-windows N] [--quiet]
+//               [--cover=FILE] [--pulse-period PS] [--progress-windows N]
+//               [--quiet]
 //
 //   --seed N          campaign seed (default 1); same seed => same report
 //   --quick           smoke scale (CI): pipeline + one SoC workload
@@ -20,6 +21,9 @@
 //   --json=FILE       ... or write it to FILE
 //   --heartbeat       craft-pulse liveness line per sampled window, to stderr
 //   --heartbeat=FILE  ... or appended to FILE (the nightly campaign log)
+//   --cover=FILE      collect functional coverage (craft-cover, DESIGN.md
+//                     §13) across every campaign run and write one
+//                     craft-cover-v1 database to FILE
 //   --pulse-period PS heartbeat sampling period (default 10000000 = 10 us)
 //   --progress-windows N
 //                     arm the progress watchdog: a run with no channel
@@ -36,6 +40,8 @@
 #include <string>
 
 #include "chaos/campaign.hpp"
+#include "cover/cover.hpp"
+#include "kernel/simulator.hpp"
 
 int main(int argc, char** argv) {
   using craft::chaos::CampaignConfig;
@@ -45,6 +51,7 @@ int main(int argc, char** argv) {
   bool heartbeat = false;
   std::string json_path;
   std::string heartbeat_path;
+  std::string cover_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--heartbeat") {
@@ -63,6 +70,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--progress-windows=", 0) == 0) {
       config.pulse.progress_windows = static_cast<unsigned>(std::strtoul(
           arg.c_str() + std::strlen("--progress-windows="), nullptr, 0));
+    } else if (arg.rfind("--cover=", 0) == 0) {
+      cover_path = arg.substr(std::strlen("--cover="));
     } else if (arg == "--json") {
       json = true;
     } else if (arg.rfind("--json=", 0) == 0) {
@@ -90,7 +99,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: craft_chaos [--seed N] [--quick|--full] [--trials N] "
                    "[--messages N] [--workload NAME]... [--json[=FILE]] "
-                   "[--heartbeat[=FILE]] [--pulse-period PS] "
+                   "[--heartbeat[=FILE]] [--cover=FILE] [--pulse-period PS] "
                    "[--progress-windows N] [--quiet]\n");
       return 2;
     }
@@ -115,8 +124,42 @@ int main(int argc, char** argv) {
     if (config.pulse.period_ps == 0) config.pulse.period_ps = 10'000'000;
   }
 
+  // Coverage piggy-backs on the campaign via the observer hooks: the cover
+  // registry is armed before each run's elaboration and harvested after it,
+  // one run-id per design-qualified campaign label.
+  craft::cover::Database cover_db;
+  if (!cover_path.empty()) {
+    config.hooks.pre_elaborate = [](craft::Simulator& sim) {
+      sim.cover().Enable();
+    };
+    config.hooks.post_run = [&config, &cover_db](craft::Simulator& sim,
+                                                 const std::string& label) {
+      craft::cover::RunInfo r;
+      r.id = "chaos/s" + std::to_string(config.seed) + "/" + label;
+      r.design = label;
+      r.seed = config.seed;
+      r.chaos = "campaign";
+      r.horizon_ps = sim.now();
+      // Campaign labels encode the parallelism level ("latency-n4").
+      if (const auto pos = label.rfind("-n"); pos != std::string::npos) {
+        const unsigned long v = std::strtoul(label.c_str() + pos + 2, nullptr, 10);
+        if (v >= 1 && v <= 64) r.parallelism = static_cast<unsigned>(v);
+      }
+      craft::cover::Collect(sim, r, &cover_db);
+    };
+  }
+
   const auto results = craft::chaos::RunCampaigns(config);
   const unsigned failures = craft::chaos::FailureCount(results);
+
+  if (!cover_path.empty()) {
+    std::ofstream cov(cover_path);
+    if (!cov) {
+      std::fprintf(stderr, "craft_chaos: cannot write %s\n", cover_path.c_str());
+      return 2;
+    }
+    cov << craft::cover::FormatJson(cover_db);
+  }
 
   // With --json to stdout, the JSON document must be the only thing there.
   std::FILE* text_out = (json && json_path.empty()) ? stderr : stdout;

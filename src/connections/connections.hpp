@@ -50,6 +50,7 @@
 #include "connections/channel_control.hpp"
 #include "kernel/chaos.hpp"
 #include "kernel/clock.hpp"
+#include "kernel/cover.hpp"
 #include "kernel/design_graph.hpp"
 #include "kernel/event.hpp"
 #include "kernel/module.hpp"
@@ -113,6 +114,9 @@ class Channel : public Module, public ChannelControl {
     // corruption for this channel. ChaosFlip<T> gates which channels may
     // host bit-flips (only types with a payload to flip, e.g. Flit).
     chaos_ = sim().chaos().RegisterChannel(full_name(), ChaosFlip<T>::kSupported);
+    // And for craft-cover: occupancy-band residency bins, nullptr (one
+    // never-taken branch per successful operation) unless enabled.
+    cover_ = sim().cover().RegisterChannel(full_name(), capacity_);
     if (sim().mode() == SimMode::kSignalAccurate) {
       BuildSignalAccurate();
     } else {
@@ -307,6 +311,7 @@ class Channel : public Module, public ChannelControl {
         trace_->PushStall();
       }
     }
+    if (cover_ != nullptr && ok) cover_->OnOccupancy(occupancy());
     return ok;
   }
 
@@ -353,6 +358,7 @@ class Channel : public Module, public ChannelControl {
     }
     if (stats_) StatEnqueue();
     if (trace_) trace_->Enqueue();
+    if (cover_ != nullptr) cover_->OnOccupancy(occupancy());
     if (kind_ == ChannelKind::kCombinational) {
       // Rendezvous: hold the offer until the consumer takes it.
       while (staged_.has_value()) wait(consumed_event());
@@ -371,6 +377,7 @@ class Channel : public Module, public ChannelControl {
     // Failed polls of an empty channel are not starvation evidence (routers
     // scan all inputs every cycle), so only successful pops are traced.
     if (trace_ && ok) trace_->Dequeue();
+    if (cover_ != nullptr && ok) cover_->OnOccupancy(occupancy());
     return ok;
   }
 
@@ -432,6 +439,7 @@ class Channel : public Module, public ChannelControl {
     }
     if (stats_) StatDequeue();
     if (trace_) trace_->Dequeue();
+    if (cover_ != nullptr) cover_->OnOccupancy(occupancy());
     return out;
   }
 
@@ -540,6 +548,13 @@ class Channel : public Module, public ChannelControl {
         }
         SigSeqStats(stat_enq, stat_deq);
         SigSeqTrace(stat_enq, stat_deq);
+        if (cover_ != nullptr && stat_enq) {
+          // The rendezvous is atomic at the edge: model it as offer-then-
+          // take so the full and empty bands both register an entry, matching
+          // the sim-accurate staging sequence.
+          cover_->OnOccupancy(1);
+          cover_->OnOccupancy(0);
+        }
         return;  // no state
       case ChannelKind::kBypass: {
         const bool bypassed = out_xfer && q_.empty();
@@ -568,6 +583,7 @@ class Channel : public Module, public ChannelControl {
     }
     SigSeqStats(stat_enq, stat_deq);
     SigSeqTrace(stat_enq, stat_deq);
+    if (cover_ != nullptr && (stat_enq || stat_deq)) cover_->OnOccupancy(q_.size());
     sig_->state_change.write(sig_->state_change.read() + 1);
   }
 
@@ -684,6 +700,11 @@ class Channel : public Module, public ChannelControl {
   // the surviving tokens; both consumers tolerate that (guards / defensive
   // dequeues), and the skew is itself evidence for detection.
   ChaosChannelPoint* chaos_ = nullptr;
+
+  // craft-cover: nullptr unless enabled before elaboration. Samples the
+  // occupancy after every successful operation; band-entry counters advance
+  // only on band changes, so the bins are schedule-length independent.
+  CoverChannelPoint* cover_ = nullptr;
 
   std::unique_ptr<Signals> sig_;  // signal-accurate mode only
 };

@@ -89,6 +89,10 @@ class Packetizer : public Module {
         full_name(), DemangleTypeName(typeid(T).name()), Marshal<T>::kWidth,
         kFlitBits, /*is_packetizer=*/true});
     if (sim().trace_events().enabled()) trace_sink_ = &sim().trace_events();
+    // craft-cover flit-count bins; nullptr (never-taken branch) unless
+    // enabled before elaboration.
+    cover_ = sim().cover().RegisterPacketizer(full_name(), FlitsPerMessage(),
+                                              /*is_packetizer=*/true);
     Thread("run", clk, [this] { Run(); });
   }
 
@@ -108,6 +112,7 @@ class Packetizer : public Module {
       BitStream bits;
       Marshal<T>::Write(bits, msg);
       const auto flits = bits.ToFlits(kFlitBits);
+      if (cover_ != nullptr) cover_->OnMessage(flits.size());
       const std::uint8_t dest = route_(msg);
       for (std::size_t i = 0; i < flits.size(); ++i) {
         Flit f;
@@ -126,6 +131,7 @@ class Packetizer : public Module {
 
   std::function<std::uint8_t(const T&)> route_;
   TraceEventSink* trace_sink_ = nullptr;  // craft-trace; nullptr unless enabled
+  CoverPacketizerPoint* cover_ = nullptr;  // craft-cover; nullptr unless enabled
 };
 
 /// DePacketizer: pops flits, reassembles and pushes T messages.
@@ -144,6 +150,11 @@ class DePacketizer : public Module {
         kFlitBits, /*is_packetizer=*/false});
     if (sim().trace_events().enabled()) trace_sink_ = &sim().trace_events();
     if (sim().chaos().enabled()) chaos_ = &sim().chaos();
+    // craft-cover assembly-outcome bins. This makes the framing-check
+    // discard paths observable without a chaos plan armed (the checks
+    // themselves always run; only the detection *reporting* needs chaos).
+    cover_ = sim().cover().RegisterPacketizer(full_name(), FlitsPerMessage(),
+                                              /*is_packetizer=*/false);
     Thread("run", clk, [this] { Run(); });
   }
 
@@ -162,14 +173,18 @@ class DePacketizer : public Module {
       // upstream desynchronizes first/last against the accumulator, which is
       // the detection the corruption oracle requires (a flip is caught by
       // the payload oracle downstream instead).
-      if (chaos_ != nullptr) {
-        if (f.first && !flits.empty()) {
+      if (f.first && !flits.empty()) {
+        if (cover_ != nullptr) cover_->OnHeadResync();
+        if (chaos_ != nullptr) {
           chaos_->ReportDetection(full_name(), "framing-head",
                                   "head flit arrived mid-assembly (" +
                                       std::to_string(flits.size()) + " of " +
                                       std::to_string(FlitsPerMessage()) +
                                       " flits buffered)");
-        } else if (!f.first && flits.empty()) {
+        }
+      } else if (!f.first && flits.empty()) {
+        if (cover_ != nullptr) cover_->OnOrphan();
+        if (chaos_ != nullptr) {
           chaos_->ReportDetection(full_name(), "framing-orphan",
                                   "mid-packet flit with no packet open");
         }
@@ -186,6 +201,7 @@ class DePacketizer : public Module {
           // Malformed packet: discard instead of unmarshalling (a short
           // packet would underflow the bit stream). The missing message is
           // then caught by the end-to-end oracle (shortfall or hang).
+          if (cover_ != nullptr) cover_->OnDiscard();
           if (chaos_ != nullptr) {
             chaos_->ReportDetection(full_name(), "framing-count",
                                     "packet closed with " +
@@ -197,6 +213,7 @@ class DePacketizer : public Module {
           continue;
         }
         BitStream bits = BitStream::FromFlits(flits, kFlitBits);
+        if (cover_ != nullptr) cover_->OnAssembled();
         if (trace_sink_ != nullptr) trace_sink_->SetContext(parent);
         out.Push(Marshal<T>::Read(bits));
         flits.clear();
@@ -206,6 +223,7 @@ class DePacketizer : public Module {
 
   TraceEventSink* trace_sink_ = nullptr;  // craft-trace; nullptr unless enabled
   ChaosEngine* chaos_ = nullptr;          // craft-chaos; nullptr unless enabled
+  CoverPacketizerPoint* cover_ = nullptr;  // craft-cover; nullptr unless enabled
 };
 
 }  // namespace craft::connections

@@ -1,0 +1,308 @@
+#include "cover/cover.hpp"
+
+#include <algorithm>
+
+#include "kernel/design_graph.hpp"
+#include "kernel/report.hpp"
+#include "kernel/simulator.hpp"
+#include "kernel/stats.hpp"
+
+namespace craft::cover {
+
+namespace {
+
+/// "Seen" quantization for event classes whose raw cycle counts can drift by
+/// a Stop() drain window under craft-par (DESIGN.md §11 carve-out): whether
+/// the class fired at all is stable, the exact count is not.
+std::uint64_t Seen(std::uint64_t raw) { return raw != 0 ? 1 : 0; }
+
+Group& GetGroup(Database* db, const std::string& kind, const std::string& name) {
+  Group& g = db->groups[GroupKey(kind, name)];
+  g.name = name;
+  g.kind = kind;
+  return g;
+}
+
+/// Defines `bin` in `g` and records `count` hits for `run` (zero counts
+/// leave the bin defined-but-unhit).
+void Bin(Group& g, const std::string& bin, const std::string& run,
+         std::uint64_t count) {
+  auto& by_run = g.bins[bin];  // defines the bin even when count == 0
+  if (count != 0) by_run[run] = count;
+}
+
+/// Latency-histogram bucket grouping: the 20 log2 buckets collapse into six
+/// coarse bins so short fixed-horizon runs can still saturate the group
+/// while the interesting boundaries (same-cycle, 1-cycle, long-tail) stay
+/// distinguishable.
+struct LatBin {
+  const char* name;
+  unsigned first;  ///< first histogram bucket (inclusive)
+  unsigned last;   ///< last histogram bucket (inclusive)
+};
+constexpr LatBin kLatBins[] = {
+    {"lat_0", 0, 0},      // same-cycle
+    {"lat_1", 1, 1},      // [1, 2)
+    {"lat_2_3", 2, 2},    // [2, 4)
+    {"lat_4_15", 3, 4},   // [4, 16)
+    {"lat_16_255", 5, 8}, // [16, 256)
+    {"lat_256p", 9, LatencyHistogram::kBuckets - 1},
+};
+
+void CollectChannels(const Simulator& sim, const std::string& run,
+                     Database* db) {
+  const auto& stats = sim.stats().channels();
+  for (const auto& [name, p] : sim.cover().channel_points()) {
+    Group& g = GetGroup(db, "channel", name);
+    const auto sit = stats.find(name);
+    const ChannelStats* s = sit != stats.end() ? &sit->second : nullptr;
+
+    Bin(g, "active", run, s != nullptr ? s->dequeues : 0);
+
+    // Occupancy bands: only bands that are non-empty for this capacity are
+    // defined bins (a depth-1 channel can never sit in a "low" band).
+    Bin(g, "occ_empty", run, p.empty_entries());
+    if (p.high_threshold() >= 2) Bin(g, "occ_low", run, p.low_entries());
+    if (p.high_threshold() < p.capacity())
+      Bin(g, "occ_high", run, p.high_entries());
+    Bin(g, "occ_full", run, p.full_entries());
+
+    if (s != nullptr) {
+      Bin(g, "nb_reject_push", run, Seen(s->push_rejects));
+      Bin(g, "nb_reject_pop", run, Seen(s->pop_rejects));
+      Bin(g, "bp_stall", run, Seen(s->full_stall_cycles));
+      Bin(g, "starve_stall", run, Seen(s->empty_stall_cycles));
+      for (const LatBin& lb : kLatBins) {
+        std::uint64_t n = 0;
+        for (unsigned b = lb.first; b <= lb.last; ++b)
+          n += s->latency.buckets[b];
+        Bin(g, lb.name, run, n);
+      }
+    }
+  }
+}
+
+void CollectCrossings(const Simulator& sim, const std::string& run,
+                      Database* db) {
+  const auto& dg = sim.design_graph();
+  const auto& stats = sim.stats().crossings();
+  std::uint64_t fast_to_slow = 0, slow_to_fast = 0, matched = 0;
+  bool any_crossing = false;
+  for (const auto& node : dg.crossings()) {
+    any_crossing = true;
+    const auto sit = stats.find(node.path);
+    const CrossingStats* s = sit != stats.end() ? &sit->second : nullptr;
+    Group& g = GetGroup(db, "crossing", node.path);
+    const std::uint64_t transfers = s != nullptr ? s->transfers : 0;
+    Bin(g, "transfer", run, transfers);
+    Bin(g, "pause_enq", run, s != nullptr ? Seen(s->enq_pause_events) : 0);
+    Bin(g, "pause_deq", run, s != nullptr ? Seen(s->deq_pause_events) : 0);
+    Bin(g, "sync_wait_enq", run, s != nullptr ? Seen(s->enq_sync_wait_cycles) : 0);
+    Bin(g, "sync_wait_deq", run, s != nullptr ? Seen(s->deq_sync_wait_cycles) : 0);
+    if (node.producer_period_ps < node.consumer_period_ps) {
+      fast_to_slow += transfers;
+    } else if (node.producer_period_ps > node.consumer_period_ps) {
+      slow_to_fast += transfers;
+    } else {
+      matched += transfers;
+    }
+  }
+  if (any_crossing) {
+    // Design-global clock-ratio group: a GALS campaign should move tokens in
+    // both ratio directions (fast producer -> slow consumer and the
+    // reverse); matched-period crossings are their own class.
+    Group& g = GetGroup(db, "gals", "clock_ratio");
+    Bin(g, "fast_to_slow", run, fast_to_slow);
+    Bin(g, "slow_to_fast", run, slow_to_fast);
+    Bin(g, "matched", run, matched);
+  }
+}
+
+void CollectPacketizers(const Simulator& sim, const std::string& run,
+                        Database* db) {
+  for (const auto& [name, p] : sim.cover().packetizer_points()) {
+    Group& g = GetGroup(db, "packetizer", name);
+    if (p.is_packetizer()) {
+      Bin(g, "msg", run, p.messages());
+      if (p.flits_per_message() > 1) {
+        Bin(g, "multi_flit", run, p.multi_flit());
+      }
+      Bin(g, "max_flit", run, p.max_flit());
+    } else {
+      Bin(g, "asm_complete", run, p.assembled());
+      Bin(g, "asm_discard", run, p.discards());
+      Bin(g, "asm_orphan", run, p.orphans());
+      Bin(g, "asm_head_resync", run, p.head_resyncs());
+    }
+  }
+}
+
+void CollectChaos(const Simulator& sim, const std::string& run, Database* db) {
+  const ChaosEngine& chaos = sim.chaos();
+  if (!chaos.enabled()) return;
+  const FaultPlan& plan = chaos.plan();
+  const bool stalls_planned = plan.channel_valid_stall_prob > 0.0 ||
+                              plan.channel_ready_stall_prob > 0.0;
+  for (const auto& [site, p] : chaos.channel_points()) {
+    Group& g = GetGroup(db, "chaos", site);
+    Bin(g, "planned", run, 1);
+    if (stalls_planned) Bin(g, "stall_fired", run, Seen(p.stall_events()));
+    if (p.corruptions_planned() > 0) {
+      Bin(g, "corruption_planned", run, p.corruptions_planned());
+      Bin(g, "corruption_applied", run, p.corruptions_applied());
+    }
+  }
+  for (const auto& [site, p] : chaos.crossing_points()) {
+    Group& g = GetGroup(db, "chaos", site);
+    Bin(g, "planned", run, 1);
+    Bin(g, "pause_fired", run, Seen(p.holds()));
+  }
+  for (const auto& [site, p] : chaos.retimer_points()) {
+    Group& g = GetGroup(db, "chaos", site);
+    Bin(g, "planned", run, 1);
+    Bin(g, "delay_fired", run, Seen(p.delays()));
+  }
+  for (const auto& [site, p] : chaos.clock_points()) {
+    Group& g = GetGroup(db, "chaos", site);
+    Bin(g, "planned", run, 1);
+    Bin(g, "defer_fired", run, Seen(p.deferrals()));
+  }
+  // Detection sites (framing checkers, payload oracles, campaign drivers)
+  // appear wherever they reported; "detected" marks the site as having
+  // caught at least one fault this run.
+  std::map<std::string, std::uint64_t> detected;
+  for (const ChaosDetection& d : chaos.Detections()) ++detected[d.site];
+  for (const auto& [site, n] : detected) {
+    Group& g = GetGroup(db, "chaos", site);
+    Bin(g, "detected", run, Seen(n));
+  }
+}
+
+/// Per-run slice of a database: (group key, bin) -> count for one run id.
+/// Used to verify that two databases agree about a shared run.
+std::map<std::pair<std::string, std::string>, std::uint64_t> RunSlice(
+    const Database& db, const std::string& run) {
+  std::map<std::pair<std::string, std::string>, std::uint64_t> out;
+  for (const auto& [gkey, g] : db.groups)
+    for (const auto& [bin, by_run] : g.bins) {
+      const auto it = by_run.find(run);
+      if (it != by_run.end()) out[{gkey, bin}] = it->second;
+    }
+  return out;
+}
+
+}  // namespace
+
+std::string MakeRunId(const std::string& design, std::uint64_t seed,
+                      unsigned parallelism, const std::string& chaos) {
+  std::string id = design + "/s" + std::to_string(seed) + "/n" +
+                   std::to_string(parallelism);
+  if (!chaos.empty()) id += "/" + chaos;
+  return id;
+}
+
+void Collect(const Simulator& sim, const RunInfo& run, Database* db) {
+  CRAFT_ASSERT(sim.cover().enabled(),
+               "cover::Collect requires sim.cover().Enable() before elaboration");
+  CRAFT_ASSERT(!run.id.empty(), "cover::Collect: run id must not be empty");
+  CRAFT_ASSERT(db->runs.find(run.id) == db->runs.end(),
+               "cover::Collect: run '" << run.id << "' already collected");
+  db->runs[run.id] = run;
+  CollectChannels(sim, run.id, db);
+  CollectCrossings(sim, run.id, db);
+  CollectPacketizers(sim, run.id, db);
+  CollectChaos(sim, run.id, db);
+}
+
+std::string Merge(const Database& src, Database* dst) {
+  // Phase 1 (verify, no mutation): shared run ids must agree exactly —
+  // metadata and the full per-bin slice in BOTH directions. A mismatch means
+  // two "identical" runs produced different coverage: a determinism bug the
+  // merge must surface, not paper over.
+  for (const auto& [id, info] : src.runs) {
+    const auto it = dst->runs.find(id);
+    if (it == dst->runs.end()) continue;
+    if (!(it->second == info))
+      return "run '" + id + "': metadata differs between inputs";
+    if (RunSlice(src, id) != RunSlice(*dst, id))
+      return "run '" + id +
+             "': bin counts differ between inputs (determinism violation)";
+  }
+  for (const auto& [gkey, g] : src.groups) {
+    const auto it = dst->groups.find(gkey);
+    if (it != dst->groups.end() && it->second.kind != g.kind)
+      return "group '" + gkey + "': kind differs between inputs";
+  }
+  // Phase 2 (union): add new runs, union group/bin definitions, and copy
+  // by_run entries for runs dst did not already have.
+  for (const auto& [id, info] : src.runs) dst->runs.emplace(id, info);
+  for (const auto& [gkey, g] : src.groups) {
+    Group& d = dst->groups[gkey];
+    d.name = g.name;
+    d.kind = g.kind;
+    for (const auto& [bin, by_run] : g.bins) {
+      auto& dbin = d.bins[bin];  // union of defined bins
+      for (const auto& [run, count] : by_run) dbin.emplace(run, count);
+    }
+  }
+  return "";
+}
+
+Summary Summarize(const Database& db) {
+  Summary s;
+  s.runs = db.runs.size();
+  for (const auto& [gkey, g] : db.groups) {
+    Summary::KindTotals& k = s.by_kind[g.kind];
+    ++s.groups;
+    ++k.groups;
+    for (const auto& [bin, by_run] : g.bins) {
+      ++s.bins;
+      ++k.bins;
+      if (!by_run.empty()) {
+        ++s.bins_hit;
+        ++k.bins_hit;
+      }
+    }
+  }
+  return s;
+}
+
+std::uint64_t Fingerprint(const Database& db) {
+  const std::string j = FormatJson(db);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : j) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+DiffResult Diff(const Database& baseline, const Database& current) {
+  DiffResult out;
+  for (const auto& [gkey, g] : baseline.groups) {
+    const auto it = current.groups.find(gkey);
+    if (it == current.groups.end()) {
+      out.lost_groups.push_back(gkey);
+      continue;
+    }
+    for (const auto& [bin, by_run] : g.bins) {
+      std::uint64_t base_total = 0;
+      for (const auto& [run, n] : by_run) base_total += n;
+      if (base_total == 0) continue;
+      if (it->second.BinTotal(bin) == 0)
+        out.regressions.push_back(gkey + " " + bin);
+    }
+  }
+  for (const auto& [gkey, g] : current.groups) {
+    const auto bit = baseline.groups.find(gkey);
+    for (const auto& [bin, by_run] : g.bins) {
+      if (by_run.empty()) continue;
+      const bool was_hit =
+          bit != baseline.groups.end() && bit->second.BinTotal(bin) != 0;
+      if (!was_hit) out.improvements.push_back(gkey + " " + bin);
+    }
+  }
+  return out;
+}
+
+}  // namespace craft::cover

@@ -1,0 +1,272 @@
+// craft_cover: functional-coverage collection, merge and gating over the
+// repo's reference workloads (DESIGN.md §13).
+//
+// Usage:
+//   craft_cover run [--design NAME]... [--all] [--list] [--seed N]
+//                   [--parallelism N] [--chaos latency|corrupt]
+//                   [--messages N] [-o FILE]
+//   craft_cover merge -o FILE IN...
+//   craft_cover report [--format text|json|markdown] FILE...
+//   craft_cover diff [--markdown] BASELINE CURRENT
+//
+//   run     executes the selected workloads with the cover registry armed
+//           (default: li_pipeline + gals_pipeline + soc_gals_2x2; --all runs
+//           every reference design) and writes one craft-cover-v1 document.
+//           With several workloads the emitter self-checks merge order:
+//           forward and reverse merges must be byte-identical.
+//   merge   unions craft-cover-v1 shards. Two shards that disagree about the
+//           same run id are a determinism violation and fail the merge.
+//   report  merges its inputs in memory and renders them (default: text).
+//   diff    compares hit/unhit bins: any bin hit in BASELINE but unhit in
+//           CURRENT (or a vanished group) exits 1 — the CI coverage gate.
+//
+// Exit codes: 0 success, 1 coverage regression (diff only), 2 usage / IO /
+// merge-conflict errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cover/cover.hpp"
+#include "cover/runner.hpp"
+
+namespace {
+
+using craft::cover::Database;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: craft_cover run [--design NAME]... [--all] [--list] [--seed N]\n"
+      "                       [--parallelism N] [--chaos latency|corrupt]\n"
+      "                       [--messages N] [-o FILE]\n"
+      "       craft_cover merge -o FILE IN...\n"
+      "       craft_cover report [--format text|json|markdown] FILE...\n"
+      "       craft_cover diff [--markdown] BASELINE CURRENT\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool WriteOutput(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+/// Loads and parses one craft-cover-v1 file; returns false (with a message
+/// on stderr) on failure.
+bool Load(const std::string& path, Database* db) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "craft_cover: cannot read %s\n", path.c_str());
+    return false;
+  }
+  const std::string err = craft::cover::Parse(text, db);
+  if (!err.empty()) {
+    std::fprintf(stderr, "craft_cover: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdRun(int argc, char** argv) {
+  craft::cover::RunOptions opt;
+  std::vector<std::string> designs;
+  std::string out_path;
+  bool all = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--design" && i + 1 < argc) {
+      designs.emplace_back(argv[++i]);
+    } else if (arg.rfind("--design=", 0) == 0) {
+      designs.push_back(arg.substr(std::strlen("--design=")));
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--list") {
+      for (const auto& d : craft::cover::RunnableDesigns())
+        std::printf("%s\n", d.c_str());
+      return 0;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(arg.c_str() + std::strlen("--seed="), nullptr, 0);
+    } else if (arg == "--parallelism" && i + 1 < argc) {
+      opt.parallelism = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg.rfind("--parallelism=", 0) == 0) {
+      opt.parallelism = static_cast<unsigned>(
+          std::strtoul(arg.c_str() + std::strlen("--parallelism="), nullptr, 0));
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      opt.chaos = argv[++i];
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      opt.chaos = arg.substr(std::strlen("--chaos="));
+    } else if (arg == "--messages" && i + 1 < argc) {
+      opt.messages = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--output=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--output="));
+    } else {
+      return Usage();
+    }
+  }
+  if (designs.empty())
+    designs = all ? craft::cover::RunnableDesigns()
+                  : std::vector<std::string>{"li_pipeline", "gals_pipeline",
+                                             "soc_gals_2x2"};
+
+  // One database per workload, so the emitter can self-check that merge
+  // order cannot matter before anything is written.
+  std::vector<Database> shards;
+  for (const auto& d : designs) {
+    Database shard;
+    const std::string err = craft::cover::RunDesign(d, opt, &shard);
+    if (!err.empty()) {
+      std::fprintf(stderr, "craft_cover: %s: %s\n", d.c_str(), err.c_str());
+      return 2;
+    }
+    shards.push_back(std::move(shard));
+  }
+  Database forward, reverse;
+  for (auto it = shards.begin(); it != shards.end(); ++it)
+    if (const std::string err = craft::cover::Merge(*it, &forward); !err.empty()) {
+      std::fprintf(stderr, "craft_cover: merge: %s\n", err.c_str());
+      return 2;
+    }
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it)
+    if (const std::string err = craft::cover::Merge(*it, &reverse); !err.empty()) {
+      std::fprintf(stderr, "craft_cover: merge: %s\n", err.c_str());
+      return 2;
+    }
+  const std::string doc = craft::cover::FormatJson(forward);
+  if (doc != craft::cover::FormatJson(reverse)) {
+    std::fprintf(stderr,
+                 "craft_cover: internal error: merge order changed the report "
+                 "(commutativity self-check failed)\n");
+    return 2;
+  }
+  if (!WriteOutput(out_path, doc)) {
+    std::fprintf(stderr, "craft_cover: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fputs(craft::cover::FormatText(forward).c_str(), stderr);
+  return 0;
+}
+
+int CmdMerge(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--output=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--output="));
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (out_path.empty() || inputs.empty()) return Usage();
+  Database merged;
+  for (const auto& path : inputs) {
+    Database db;
+    if (!Load(path, &db)) return 2;
+    const std::string err = craft::cover::Merge(db, &merged);
+    if (!err.empty()) {
+      std::fprintf(stderr, "craft_cover: merging %s: %s\n", path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+  }
+  if (!WriteOutput(out_path, craft::cover::FormatJson(merged))) {
+    std::fprintf(stderr, "craft_cover: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int CmdReport(int argc, char** argv) {
+  std::string format = "text";
+  std::vector<std::string> inputs;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(std::strlen("--format="));
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage();
+  if (format != "text" && format != "json" && format != "markdown")
+    return Usage();
+  Database merged;
+  for (const auto& path : inputs) {
+    Database db;
+    if (!Load(path, &db)) return 2;
+    const std::string err = craft::cover::Merge(db, &merged);
+    if (!err.empty()) {
+      std::fprintf(stderr, "craft_cover: merging %s: %s\n", path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+  }
+  std::string out;
+  if (format == "json") out = craft::cover::FormatJson(merged);
+  else if (format == "markdown") out = craft::cover::FormatMarkdown(merged);
+  else out = craft::cover::FormatText(merged);
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+int CmdDiff(int argc, char** argv) {
+  bool markdown = false;
+  std::vector<std::string> inputs;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--markdown") {
+      markdown = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.size() != 2) return Usage();
+  Database baseline, current;
+  if (!Load(inputs[0], &baseline) || !Load(inputs[1], &current)) return 2;
+  const craft::cover::DiffResult d = craft::cover::Diff(baseline, current);
+  std::fputs(craft::cover::FormatDiff(d, markdown).c_str(), stdout);
+  return d.regressed() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "run") return CmdRun(argc - 2, argv + 2);
+  if (cmd == "merge") return CmdMerge(argc - 2, argv + 2);
+  if (cmd == "report") return CmdReport(argc - 2, argv + 2);
+  if (cmd == "diff") return CmdDiff(argc - 2, argv + 2);
+  return Usage();
+}

@@ -1,0 +1,37 @@
+// Minimal recursive-descent JSON reader for the craft-cover CLI (merge /
+// report / diff consume craft-cover-v1 documents produced by this repo).
+// Supports the full JSON grammar the emitters use; numbers keep their source
+// text so 64-bit counters round-trip without double precision loss.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace craft::cover::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  ///< string value, or the raw literal for numbers
+  std::vector<Value> items;                          ///< kArray
+  std::vector<std::pair<std::string, Value>> fields; ///< kObject, source order
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+
+  /// Number as uint64 (0 for non-numbers / negatives / overflow).
+  std::uint64_t AsU64() const;
+};
+
+/// Parses `text`; returns "" and fills `out` on success, else an error
+/// message with the byte offset of the failure.
+std::string Parse(const std::string& text, Value* out);
+
+}  // namespace craft::cover::json

@@ -1,0 +1,236 @@
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "cover/cover.hpp"
+#include "cover/json.hpp"
+#include "kernel/stats.hpp"
+
+namespace craft::cover {
+
+namespace {
+
+std::string Quoted(const std::string& s) {
+  return "\"" + stats::JsonEscape(s) + "\"";
+}
+
+std::string Pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", v);
+  return buf;
+}
+
+/// Escapes a site/bin name for a markdown table cell: sanitize first (strip
+/// control characters), then neutralize the table separator.
+std::string MdCell(const std::string& s) {
+  std::string out;
+  for (const char c : stats::SanitizeSite(s)) {
+    if (c == '|') out += "\\|";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatJson(const Database& db) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"craft-cover-v1\",\n  \"runs\": {";
+  bool first = true;
+  for (const auto& [id, r] : db.runs) {
+    os << (first ? "\n" : ",\n") << "    " << Quoted(id) << ": {\"design\": "
+       << Quoted(r.design) << ", \"seed\": " << r.seed
+       << ", \"parallelism\": " << r.parallelism
+       << ", \"chaos\": " << Quoted(r.chaos)
+       << ", \"horizon_ps\": " << r.horizon_ps << "}";
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+  os << "  \"groups\": {";
+  first = true;
+  for (const auto& [gkey, g] : db.groups) {
+    os << (first ? "\n" : ",\n") << "    " << Quoted(gkey)
+       << ": {\"kind\": " << Quoted(g.kind) << ", \"name\": " << Quoted(g.name)
+       << ", \"bins\": {";
+    bool bfirst = true;
+    for (const auto& [bin, by_run] : g.bins) {
+      os << (bfirst ? "" : ", ") << Quoted(bin) << ": {";
+      bool rfirst = true;
+      for (const auto& [run, n] : by_run) {
+        os << (rfirst ? "" : ", ") << Quoted(run) << ": " << n;
+        rfirst = false;
+      }
+      os << "}";
+      bfirst = false;
+    }
+    os << "}}";
+    first = false;
+  }
+  os << (first ? "}\n" : "\n  }\n") << "}\n";
+  return os.str();
+}
+
+std::string FormatText(const Database& db) {
+  const Summary s = Summarize(db);
+  std::ostringstream os;
+  os << "craft-cover: " << s.runs << " run" << (s.runs == 1 ? "" : "s") << ", "
+     << s.groups << " groups, " << s.bins_hit << "/" << s.bins
+     << " bins hit (" << Pct(s.pct()) << ")\n";
+  for (const auto& [kind, k] : s.by_kind) {
+    const double pct = k.bins == 0 ? 100.0
+                                   : 100.0 * static_cast<double>(k.bins_hit) /
+                                         static_cast<double>(k.bins);
+    os << "  " << kind << ": " << k.groups << " groups, " << k.bins_hit << "/"
+       << k.bins << " bins (" << Pct(pct) << ")\n";
+  }
+  bool any_unhit = false;
+  for (const auto& [gkey, g] : db.groups)
+    for (const auto& [bin, by_run] : g.bins)
+      if (by_run.empty()) {
+        if (!any_unhit) os << "unhit bins:\n";
+        any_unhit = true;
+        os << "  " << stats::SanitizeSite(gkey) << " "
+           << stats::SanitizeSite(bin) << "\n";
+      }
+  if (!any_unhit) os << "all defined bins hit\n";
+  return os.str();
+}
+
+std::string FormatMarkdown(const Database& db) {
+  const Summary s = Summarize(db);
+  std::ostringstream os;
+  os << "## craft-cover report\n\n"
+     << "**" << s.bins_hit << "/" << s.bins << " bins hit (" << Pct(s.pct())
+     << ")** across " << s.groups << " groups, " << s.runs << " run"
+     << (s.runs == 1 ? "" : "s") << ".\n\n"
+     << "| kind | groups | bins hit | coverage |\n"
+     << "|------|-------:|---------:|---------:|\n";
+  for (const auto& [kind, k] : s.by_kind) {
+    const double pct = k.bins == 0 ? 100.0
+                                   : 100.0 * static_cast<double>(k.bins_hit) /
+                                         static_cast<double>(k.bins);
+    os << "| " << MdCell(kind) << " | " << k.groups << " | " << k.bins_hit
+       << "/" << k.bins << " | " << Pct(pct) << " |\n";
+  }
+  std::vector<std::string> unhit;
+  for (const auto& [gkey, g] : db.groups)
+    for (const auto& [bin, by_run] : g.bins)
+      if (by_run.empty()) unhit.push_back(MdCell(gkey) + " `" + MdCell(bin) + "`");
+  if (unhit.empty()) {
+    os << "\nAll defined bins hit.\n";
+  } else {
+    os << "\n<details><summary>" << unhit.size()
+       << " unhit bins</summary>\n\n";
+    for (const std::string& u : unhit) os << "- " << u << "\n";
+    os << "\n</details>\n";
+  }
+  return os.str();
+}
+
+std::string Parse(const std::string& text, Database* out) {
+  json::Value root;
+  const std::string err = json::Parse(text, &root);
+  if (!err.empty()) return "JSON parse error: " + err;
+  if (root.kind != json::Value::Kind::kObject) return "document is not an object";
+  const json::Value* schema = root.Find("schema");
+  if (schema == nullptr || !schema->IsString() || schema->text != "craft-cover-v1")
+    return "missing or unsupported schema (want \"craft-cover-v1\")";
+
+  Database db;
+  const json::Value* runs = root.Find("runs");
+  if (runs == nullptr || runs->kind != json::Value::Kind::kObject)
+    return "missing \"runs\" object";
+  for (const auto& [id, rv] : runs->fields) {
+    if (rv.kind != json::Value::Kind::kObject)
+      return "run '" + id + "' is not an object";
+    RunInfo r;
+    r.id = id;
+    const json::Value* v;
+    if ((v = rv.Find("design")) != nullptr && v->IsString()) r.design = v->text;
+    if ((v = rv.Find("seed")) != nullptr) r.seed = v->AsU64();
+    if ((v = rv.Find("parallelism")) != nullptr)
+      r.parallelism = static_cast<unsigned>(v->AsU64());
+    if ((v = rv.Find("chaos")) != nullptr && v->IsString()) r.chaos = v->text;
+    if ((v = rv.Find("horizon_ps")) != nullptr) r.horizon_ps = v->AsU64();
+    if (!db.runs.emplace(id, std::move(r)).second)
+      return "duplicate run id '" + id + "'";
+  }
+
+  const json::Value* groups = root.Find("groups");
+  if (groups == nullptr || groups->kind != json::Value::Kind::kObject)
+    return "missing \"groups\" object";
+  for (const auto& [gkey, gv] : groups->fields) {
+    if (gv.kind != json::Value::Kind::kObject)
+      return "group '" + gkey + "' is not an object";
+    Group g;
+    const json::Value* v;
+    if ((v = gv.Find("kind")) != nullptr && v->IsString()) g.kind = v->text;
+    if ((v = gv.Find("name")) != nullptr && v->IsString()) g.name = v->text;
+    if (g.kind.empty() || GroupKey(g.kind, g.name) != gkey)
+      return "group '" + gkey + "': key does not match kind/name";
+    const json::Value* bins = gv.Find("bins");
+    if (bins == nullptr || bins->kind != json::Value::Kind::kObject)
+      return "group '" + gkey + "': missing \"bins\" object";
+    for (const auto& [bin, bv] : bins->fields) {
+      if (bv.kind != json::Value::Kind::kObject)
+        return "group '" + gkey + "' bin '" + bin + "' is not an object";
+      auto& by_run = g.bins[bin];
+      for (const auto& [run, nv] : bv.fields) {
+        if (!nv.IsNumber())
+          return "group '" + gkey + "' bin '" + bin + "': count is not a number";
+        if (db.runs.find(run) == db.runs.end())
+          return "group '" + gkey + "' bin '" + bin +
+                 "': references unknown run '" + run + "'";
+        const std::uint64_t n = nv.AsU64();
+        if (n == 0)
+          return "group '" + gkey + "' bin '" + bin +
+                 "': zero/invalid count for run '" + run + "'";
+        by_run[run] = n;
+      }
+    }
+    if (!db.groups.emplace(gkey, std::move(g)).second)
+      return "duplicate group '" + gkey + "'";
+  }
+  *out = std::move(db);
+  return "";
+}
+
+std::string FormatDiff(const DiffResult& d, bool markdown) {
+  std::ostringstream os;
+  if (markdown) {
+    os << "## craft-cover diff\n\n";
+    if (!d.regressed()) {
+      os << "✅ No coverage regressions";
+      if (!d.improvements.empty())
+        os << " (" << d.improvements.size() << " newly hit bins)";
+      os << ".\n";
+    } else {
+      os << "❌ **Coverage regressed.**\n";
+      if (!d.lost_groups.empty()) {
+        os << "\nLost groups:\n";
+        for (const auto& g : d.lost_groups) os << "- " << MdCell(g) << "\n";
+      }
+      if (!d.regressions.empty()) {
+        os << "\nBins hit in baseline, unhit now:\n";
+        for (const auto& r : d.regressions) os << "- " << MdCell(r) << "\n";
+      }
+    }
+    if (!d.improvements.empty()) {
+      os << "\n<details><summary>" << d.improvements.size()
+         << " newly hit bins</summary>\n\n";
+      for (const auto& i : d.improvements) os << "- " << MdCell(i) << "\n";
+      os << "\n</details>\n";
+    }
+  } else {
+    for (const auto& g : d.lost_groups)
+      os << "LOST GROUP " << stats::SanitizeSite(g) << "\n";
+    for (const auto& r : d.regressions)
+      os << "REGRESSED " << stats::SanitizeSite(r) << "\n";
+    for (const auto& i : d.improvements)
+      os << "improved " << stats::SanitizeSite(i) << "\n";
+    os << (d.regressed() ? "coverage regressed\n" : "coverage ok\n");
+  }
+  return os.str();
+}
+
+}  // namespace craft::cover

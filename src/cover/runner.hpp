@@ -1,0 +1,35 @@
+// Coverage workload runner: executes the repo's reference workloads with the
+// cover registry armed and harvests each run into a Database. This is what
+// `craft_cover run` and the CI coverage job call; tests reuse it to check
+// fingerprint determinism across parallelism levels and chaos seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cover/cover.hpp"
+
+namespace craft::cover {
+
+/// One workload execution request.
+struct RunOptions {
+  std::uint64_t seed = 1;
+  unsigned parallelism = 1;
+  /// Chaos mode: "" (fault-free), "latency" (seeded latency-only plan) or
+  /// "corrupt" (scheduled flit corruptions; li_pipeline only).
+  std::string chaos;
+  unsigned messages = 64;  ///< li_pipeline traffic per run
+};
+
+/// Designs RunDesign accepts. SoC entries also take a ":<workload>" suffix
+/// ("soc_gals_2x2:dot"); without one they run "vecmul".
+std::vector<std::string> RunnableDesigns();
+
+/// Runs `design` once under `opt` and collects its coverage into `db`.
+/// Returns "" on success, else an error description (unknown design,
+/// unsupported chaos mode, duplicate run id).
+std::string RunDesign(const std::string& design, const RunOptions& opt,
+                      Database* db);
+
+}  // namespace craft::cover

@@ -150,6 +150,7 @@ ChaosChannelPoint::Commit ChaosChannelPoint::OnCommit(unsigned* bit) {
     return Commit::kNone;
   }
   const CorruptionFault& f = faults_[next_fault_++];
+  ++corruptions_applied_;
   engine_->ReportInjection(name_, ToString(f.kind),
                            "commit #" + std::to_string(idx) +
                                (f.kind == CorruptionFault::Kind::kBitFlip

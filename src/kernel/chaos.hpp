@@ -147,6 +147,12 @@ class ChaosChannelPoint {
 
   std::uint64_t stall_events() const { return stall_events_; }
 
+  /// Corruption appointments scheduled at this site (after dropping
+  /// unsupported bit-flips) and the number actually applied so far — the
+  /// planned-vs-fired pair the craft-cover fault-site bins report.
+  std::size_t corruptions_planned() const { return faults_.size(); }
+  std::uint64_t corruptions_applied() const { return corruptions_applied_; }
+
  private:
   friend class ChaosEngine;
   void Roll(std::uint64_t cycle) {
@@ -170,6 +176,7 @@ class ChaosChannelPoint {
   std::vector<CorruptionFault> faults_;  // sorted by commit_index
   std::size_t next_fault_ = 0;
   std::uint64_t commit_seq_ = 0;
+  std::uint64_t corruptions_applied_ = 0;
 };
 
 /// Per-crossing fault point: pause storms. Each successful slot acquire may
@@ -285,6 +292,22 @@ class ChaosEngine {
   /// Plan entries that could not be applied (e.g. a bit-flip scheduled on a
   /// channel whose payload type has no ChaosFlip specialization).
   const std::vector<std::string>& config_warnings() const { return warnings_; }
+
+  /// Read-only views of the registered fault points, keyed by site name
+  /// (map keys are exactly the sites the plan scheduled something for).
+  /// Used by the craft-cover collector for planned-vs-fired fault bins.
+  const std::map<std::string, ChaosChannelPoint>& channel_points() const {
+    return channels_;
+  }
+  const std::map<std::string, ChaosCrossingPoint>& crossing_points() const {
+    return crossings_;
+  }
+  const std::map<std::string, ChaosRetimerPoint>& retimer_points() const {
+    return retimers_;
+  }
+  const std::map<std::string, ChaosClockPoint>& clock_points() const {
+    return clocks_;
+  }
 
  private:
   friend class Simulator;

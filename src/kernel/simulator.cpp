@@ -23,6 +23,7 @@ Simulator::Simulator() : design_graph_(std::make_shared<DesignGraph>()) {
   trace_events_.sim_ = this;
   chaos_.sim_ = this;
   pulse_.sim_ = this;
+  cover_.sim_ = this;
   // CRAFT_PARALLELISM=<n> selects the domain-sharded engine without code
   // changes (used by the TSan CI job to force n=4 under the existing test
   // suites). An explicit SetParallelism() call overrides it.

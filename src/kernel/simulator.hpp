@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "kernel/chaos.hpp"
+#include "kernel/cover.hpp"
 #include "kernel/pulse.hpp"
 #include "kernel/report.hpp"
 #include "kernel/rng.hpp"
@@ -153,6 +154,12 @@ class Simulator {
   /// before elaboration to sample every stats counter at period boundaries.
   PulseRegistry& pulse() { return pulse_; }
   const PulseRegistry& pulse() const { return pulse_; }
+
+  /// The craft-cover functional coverage registry (kernel/cover.hpp).
+  /// Disabled by default; call cover().Enable(cfg) before elaboration to
+  /// derive covergroups from the design and count bin hits (implies stats).
+  CoverRegistry& cover() { return cover_; }
+  const CoverRegistry& cover() const { return cover_; }
 
   Time now() const {
     const SchedShard* s = tl_sched_shard;
@@ -290,6 +297,7 @@ class Simulator {
  private:
   friend class par::Engine;
   friend class PulseRegistry;
+  friend class CoverRegistry;
 
   /// Shard the calling context schedules into: the worker's shard inside an
   /// engine window, the main shard otherwise (elaboration, between runs).
@@ -315,6 +323,7 @@ class Simulator {
   TraceEventSink trace_events_;
   ChaosEngine chaos_;
   PulseRegistry pulse_;
+  CoverRegistry cover_;
 
   SchedShard main_shard_;
   std::vector<SchedShard*> group_shards_;  // group id -> owning shard
