@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "support/json.hpp"
+
 namespace craft::bench {
 
 /// One result metric. `value` is a pre-rendered JSON value (use the Num/Str
@@ -18,28 +20,6 @@ struct Metric {
   std::string key;
   std::string value;
 };
-
-inline std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
 
 inline Metric Num(const std::string& key, double v) {
   char buf[64];
@@ -64,7 +44,7 @@ inline Metric Bool(const std::string& key, bool v) {
 }
 
 inline Metric Str(const std::string& key, const std::string& v) {
-  return Metric{key, "\"" + JsonEscape(v) + "\""};
+  return Metric{key, "\"" + json::Escape(v) + "\""};
 }
 
 /// Writes BENCH_<bench_name>.json in the current working directory and
@@ -80,9 +60,9 @@ inline bool EmitJson(const std::string& bench_name, const std::vector<Metric>& m
     return false;
   }
   out << "{\n  \"schema\": \"craft-bench-v1\",\n  \"bench\": \""
-      << JsonEscape(bench_name) << "\",\n  \"metrics\": {\n";
+      << json::Escape(bench_name) << "\",\n  \"metrics\": {\n";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
-    out << "    \"" << JsonEscape(metrics[i].key) << "\": " << metrics[i].value
+    out << "    \"" << json::Escape(metrics[i].key) << "\": " << metrics[i].value
         << (i + 1 < metrics.size() ? ",\n" : "\n");
   }
   out << "  }\n}\n";

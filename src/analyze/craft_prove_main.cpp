@@ -3,16 +3,7 @@
 // cycle-ratio throughput bounds, buffer-sizing and GALS rate-matching
 // diagnostics) over each one. Exits non-zero iff any design has a provable
 // deadlock (error-severity finding), so it can gate CI.
-//
-// Usage:
-//   craft_prove [--json[=FILE]] [--sarif=FILE] [--quiet]
-//
-//   --json            print the craft-prove-v1 JSON report to stdout
-//   --json=FILE       ... or write it to FILE
-//   --sarif=FILE      write findings as SARIF 2.1.0 for code-scanning upload
-//   --quiet           suppress per-design text blocks for clean designs
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -21,6 +12,19 @@
 #include "analyze/analyze.hpp"
 #include "kernel/kernel.hpp"
 #include "lint/ref_designs.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: craft_prove [--json[=FILE]] [--sarif=FILE] [--quiet]\n"
+    "\n"
+    "  --json            print the craft-prove-v1 JSON report to stdout\n"
+    "  --json=FILE       ... or write it to FILE\n"
+    "  --sarif=FILE      write findings as SARIF 2.1.0 for code-scanning upload\n"
+    "  --quiet           suppress per-design text blocks for clean designs\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace craft;
@@ -28,24 +32,13 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::string json_path;
   std::string sarif_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      json = true;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json = true;
-      json_path = arg.substr(std::strlen("--json="));
-    } else if (arg.rfind("--sarif=", 0) == 0) {
-      sarif_path = arg.substr(std::strlen("--sarif="));
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: craft_prove [--json[=FILE]] [--sarif=FILE] "
-                   "[--quiet]\n");
-      return 2;
-    }
-  }
+
+  cli::Parser p("craft_prove", kUsage);
+  p.OptStr("--json", &json, &json_path);
+  p.Str("--sarif", &sarif_path);
+  p.Flag("--quiet", &quiet);
+  if (auto s = p.Parse(argc, argv); s != cli::Status::kContinue)
+    return cli::ExitCode(s);
 
   std::vector<std::pair<std::string, analyze::Analysis>> reports;
   for (const lint::RefDesign& d : lint::ReferenceDesigns()) {
@@ -89,7 +82,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "craft_prove: cannot write %s\n", sarif_path.c_str());
       return 2;
     }
-    out << lint::FormatSarif("craft-prove", "1.0.0", sarif_in);
+    out << lint::FormatSarif("craft-prove", cli::kToolVersion, sarif_in);
   }
   return errors > 0 ? 1 : 0;
 }

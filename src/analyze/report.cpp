@@ -7,33 +7,11 @@
 #include <vector>
 
 #include "analyze/analyze.hpp"
+#include "support/json.hpp"
 
 namespace craft::analyze {
 
 namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::string Num(double v) {
   char buf[48];
@@ -96,23 +74,23 @@ std::string FormatJson(
   bool first_design = true;
   for (const auto& [design, a] : reports) {
     os << (first_design ? "" : ",") << "\n    {\"name\": \""
-       << JsonEscape(design) << "\",\n     \"channels\": [";
+       << json::Escape(design) << "\",\n     \"channels\": [";
     first_design = false;
     bool first = true;
     for (const auto& b : a.channels) {
-      os << (first ? "" : ",") << "\n      {\"name\": \"" << JsonEscape(b.channel)
-         << "\", \"kind\": \"" << JsonEscape(b.kind) << "\", \"capacity\": "
+      os << (first ? "" : ",") << "\n      {\"name\": \"" << json::Escape(b.channel)
+         << "\", \"kind\": \"" << json::Escape(b.kind) << "\", \"capacity\": "
          << b.capacity << ", \"tokens_per_cycle\": " << Num(b.tokens_per_cycle)
          << ", \"tokens_per_ps\": " << Num(b.tokens_per_ps)
-         << ", \"limited_by\": \"" << JsonEscape(b.limited_by) << "\"}";
+         << ", \"limited_by\": \"" << json::Escape(b.limited_by) << "\"}";
       first = false;
     }
     os << (first ? "" : "\n    ") << "],\n     \"crossings\": [";
     first = true;
     for (const auto& b : a.crossings) {
-      os << (first ? "" : ",") << "\n      {\"path\": \"" << JsonEscape(b.path)
+      os << (first ? "" : ",") << "\n      {\"path\": \"" << json::Escape(b.path)
          << "\", \"tokens_per_ps\": " << Num(b.tokens_per_ps)
-         << ", \"limited_by\": \"" << JsonEscape(b.limited_by)
+         << ", \"limited_by\": \"" << json::Escape(b.limited_by)
          << "\", \"sync_limited\": " << (b.sync_limited ? "true" : "false")
          << ", \"recommended_depth\": " << b.recommended_depth << "}";
       first = false;
@@ -123,7 +101,7 @@ std::string FormatJson(
       os << (first ? "" : ",") << "\n      {\"nodes\": [";
       bool fn = true;
       for (const auto& n : c.nodes) {
-        os << (fn ? "" : ", ") << "\"" << JsonEscape(n) << "\"";
+        os << (fn ? "" : ", ") << "\"" << json::Escape(n) << "\"";
         fn = false;
       }
       os << "], \"capacity_tokens\": " << Num(c.capacity_tokens)
@@ -138,7 +116,7 @@ std::string FormatJson(
     first = true;
     for (const auto& r : a.buffer_recs) {
       os << (first ? "" : ",") << "\n      {\"channel\": \""
-         << JsonEscape(r.channel) << "\", \"current_capacity\": "
+         << json::Escape(r.channel) << "\", \"current_capacity\": "
          << r.current_capacity << ", \"recommended_capacity\": "
          << r.recommended_capacity << ", \"cycle_bound_tokens_per_ps\": "
          << Num(r.cycle_bound_tokens_per_ps) << ", \"target_tokens_per_ps\": "
@@ -150,10 +128,10 @@ std::string FormatJson(
     for (const auto& f : a.findings) {
       if (f.severity == lint::Severity::kError) ++errors;
       if (f.severity == lint::Severity::kWarning) ++warnings;
-      os << (first ? "" : ",") << "\n      {\"rule\": \"" << JsonEscape(f.rule)
+      os << (first ? "" : ",") << "\n      {\"rule\": \"" << json::Escape(f.rule)
          << "\", \"severity\": \"" << lint::ToString(f.severity)
-         << "\", \"path\": \"" << JsonEscape(f.path) << "\", \"message\": \""
-         << JsonEscape(f.message) << "\"}";
+         << "\", \"path\": \"" << json::Escape(f.path) << "\", \"message\": \""
+         << json::Escape(f.message) << "\"}";
       first = false;
     }
     os << (first ? "" : "\n    ") << "]}";

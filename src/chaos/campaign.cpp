@@ -1,5 +1,7 @@
 #include "chaos/campaign.hpp"
 
+#include "support/json.hpp"
+
 #include <algorithm>
 #include <sstream>
 
@@ -500,28 +502,6 @@ const char* ScaleName(CampaignConfig::Scale s) {
   return "?";
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::uint64_t TransfersTotal(const Fingerprint& fp) {
   std::uint64_t t = 0;
   for (const auto& [name, n] : fp.transfers) t += n;
@@ -611,15 +591,15 @@ std::string FormatJson(const CampaignConfig& config,
   os << "  \"campaigns\": [\n";
   for (std::size_t ci = 0; ci < results.size(); ++ci) {
     const auto& c = results[ci];
-    os << "    {\"design\": \"" << JsonEscape(c.design) << "\", \"mode\": \""
+    os << "    {\"design\": \"" << json::Escape(c.design) << "\", \"mode\": \""
        << c.mode << "\", \"passed\": " << (c.passed ? "true" : "false") << ",\n";
     os << "     \"failures\": [";
     for (std::size_t i = 0; i < c.failures.size(); ++i)
-      os << (i ? ", " : "") << "\"" << JsonEscape(c.failures[i]) << "\"";
+      os << (i ? ", " : "") << "\"" << json::Escape(c.failures[i]) << "\"";
     os << "],\n     \"runs\": [\n";
     for (std::size_t ri = 0; ri < c.runs.size(); ++ri) {
       const auto& r = c.runs[ri];
-      os << "      {\"label\": \"" << JsonEscape(r.label) << "\", \"ok\": "
+      os << "      {\"label\": \"" << json::Escape(r.label) << "\", \"ok\": "
          << (r.fp.ok ? "true" : "false") << ", \"cycles\": " << r.fp.cycles
          << ", \"digest\": \"0x" << std::hex << r.fp.digest << std::dec
          << "\", \"transfers_total\": " << TransfersTotal(r.fp) << ",\n";
@@ -633,9 +613,9 @@ std::string FormatJson(const CampaignConfig& config,
         os << "       \"" << key << "\": [";
         for (std::size_t i = 0; i < events.size(); ++i) {
           os << (i ? ", " : "") << "{\"t\": " << events[i].t << ", \"site\": \""
-             << JsonEscape(events[i].site) << "\", \"kind\": \""
-             << JsonEscape(events[i].kind) << "\", \"detail\": \""
-             << JsonEscape(events[i].detail) << "\"}";
+             << json::Escape(events[i].site) << "\", \"kind\": \""
+             << json::Escape(events[i].kind) << "\", \"detail\": \""
+             << json::Escape(events[i].detail) << "\"}";
         }
         os << "]";
       };
@@ -644,10 +624,10 @@ std::string FormatJson(const CampaignConfig& config,
       emit_events("detections", r.detections);
       os << ",\n       \"warnings\": [";
       for (std::size_t i = 0; i < r.warnings.size(); ++i)
-        os << (i ? ", " : "") << "\"" << JsonEscape(r.warnings[i]) << "\"";
-      os << "], \"error\": \"" << JsonEscape(r.error) << "\"";
+        os << (i ? ", " : "") << "\"" << json::Escape(r.warnings[i]) << "\"";
+      os << "], \"error\": \"" << json::Escape(r.error) << "\"";
       if (!r.blame.empty())
-        os << ", \"blame\": \"" << JsonEscape(r.blame) << "\"";
+        os << ", \"blame\": \"" << json::Escape(r.blame) << "\"";
       os << "}" << (ri + 1 < c.runs.size() ? "," : "") << "\n";
     }
     os << "     ]}" << (ci + 1 < results.size() ? "," : "") << "\n";

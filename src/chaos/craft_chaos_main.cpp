@@ -4,44 +4,47 @@
 // campaigns must leave outputs bit-identical (LI-invariance); corruption
 // campaigns must be detected, never silent.
 //
-// Usage:
-//   craft_chaos [--seed N] [--quick|--full] [--trials N] [--messages N]
-//               [--workload NAME]... [--json[=FILE]] [--heartbeat[=FILE]]
-//               [--cover=FILE] [--pulse-period PS] [--progress-windows N]
-//               [--quiet]
-//
-//   --seed N          campaign seed (default 1); same seed => same report
-//   --quick           smoke scale (CI): pipeline + one SoC workload
-//   --full            nightly scale: more trials, designs and workloads
-//   --trials N        corruption trial count override
-//   --messages N      pipeline harness traffic per run (default 64)
-//   --workload NAME   SoC workload(s) to campaign over (default vecmul, +dot
-//                     and dma_copy at --full)
-//   --json            print the craft-chaos-v1 report to stdout
-//   --json=FILE       ... or write it to FILE
-//   --heartbeat       craft-pulse liveness line per sampled window, to stderr
-//   --heartbeat=FILE  ... or appended to FILE (the nightly campaign log)
-//   --cover=FILE      collect functional coverage (craft-cover, DESIGN.md
-//                     §13) across every campaign run and write one
-//                     craft-cover-v1 database to FILE
-//   --pulse-period PS heartbeat sampling period (default 10000000 = 10 us)
-//   --progress-windows N
-//                     arm the progress watchdog: a run with no channel
-//                     commits but growing stall counts for N consecutive
-//                     windows faults with a craft-trace blame chain
-//   --quiet           suppress the human-readable report
-//
 // Exits 1 on any oracle failure (LI-invariance break, nondeterminism,
 // undetected corruption), 2 on usage errors — a plain ctest invocation
 // doubles as the fault-injection regression suite.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 
 #include "chaos/campaign.hpp"
 #include "cover/cover.hpp"
 #include "kernel/simulator.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: craft_chaos [--seed N] [--quick|--full] [--trials N] "
+    "[--messages N] [--workload NAME]... [--json[=FILE]] "
+    "[--heartbeat[=FILE]] [--cover=FILE] [--pulse-period PS] "
+    "[--progress-windows N] [--quiet]\n"
+    "\n"
+    "  --seed N          campaign seed (default 1); same seed => same report\n"
+    "  --quick           smoke scale (CI): pipeline + one SoC workload\n"
+    "  --full            nightly scale: more trials, designs and workloads\n"
+    "  --trials N        corruption trial count override\n"
+    "  --messages N      pipeline harness traffic per run (default 64)\n"
+    "  --workload NAME   SoC workload(s) to campaign over (default vecmul,\n"
+    "                    +dot and dma_copy at --full)\n"
+    "  --json            print the craft-chaos-v1 report to stdout\n"
+    "  --json=FILE       ... or write it to FILE\n"
+    "  --heartbeat       craft-pulse liveness line per window, to stderr\n"
+    "  --heartbeat=FILE  ... or appended to FILE (the nightly campaign log)\n"
+    "  --cover=FILE      collect functional coverage across every campaign\n"
+    "                    run and write one craft-cover-v1 database to FILE\n"
+    "  --pulse-period PS heartbeat sampling period (default 10000000 = 10us)\n"
+    "  --progress-windows N\n"
+    "                    arm the progress watchdog: a run with no channel\n"
+    "                    commits but growing stall counts for N consecutive\n"
+    "                    windows faults with a craft-trace blame chain\n"
+    "  --quiet           suppress the human-readable report\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using craft::chaos::CampaignConfig;
@@ -52,58 +55,26 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string heartbeat_path;
   std::string cover_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--heartbeat") {
-      heartbeat = true;
-    } else if (arg.rfind("--heartbeat=", 0) == 0) {
-      heartbeat = true;
-      heartbeat_path = arg.substr(std::strlen("--heartbeat="));
-    } else if (arg == "--pulse-period" && i + 1 < argc) {
-      config.pulse.period_ps = std::strtoull(argv[++i], nullptr, 0);
-    } else if (arg.rfind("--pulse-period=", 0) == 0) {
-      config.pulse.period_ps =
-          std::strtoull(arg.c_str() + std::strlen("--pulse-period="), nullptr, 0);
-    } else if (arg == "--progress-windows" && i + 1 < argc) {
-      config.pulse.progress_windows =
-          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
-    } else if (arg.rfind("--progress-windows=", 0) == 0) {
-      config.pulse.progress_windows = static_cast<unsigned>(std::strtoul(
-          arg.c_str() + std::strlen("--progress-windows="), nullptr, 0));
-    } else if (arg.rfind("--cover=", 0) == 0) {
-      cover_path = arg.substr(std::strlen("--cover="));
-    } else if (arg == "--json") {
-      json = true;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json = true;
-      json_path = arg.substr(std::strlen("--json="));
-    } else if (arg == "--seed" && i + 1 < argc) {
-      config.seed = std::strtoull(argv[++i], nullptr, 0);
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      config.seed = std::strtoull(arg.c_str() + std::strlen("--seed="), nullptr, 0);
-    } else if (arg == "--trials" && i + 1 < argc) {
-      config.trials = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
-    } else if (arg == "--messages" && i + 1 < argc) {
-      config.messages = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
-    } else if (arg == "--workload" && i + 1 < argc) {
-      config.workloads.emplace_back(argv[++i]);
-    } else if (arg.rfind("--workload=", 0) == 0) {
-      config.workloads.push_back(arg.substr(std::strlen("--workload=")));
-    } else if (arg == "--quick") {
-      config.scale = CampaignConfig::Scale::kQuick;
-    } else if (arg == "--full") {
-      config.scale = CampaignConfig::Scale::kFull;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: craft_chaos [--seed N] [--quick|--full] [--trials N] "
-                   "[--messages N] [--workload NAME]... [--json[=FILE]] "
-                   "[--heartbeat[=FILE]] [--cover=FILE] [--pulse-period PS] "
-                   "[--progress-windows N] [--quiet]\n");
-      return 2;
-    }
-  }
+
+  craft::cli::Parser p("craft_chaos", kUsage);
+  bool quick = false;
+  bool full = false;
+  p.U64("--seed", &config.seed);
+  p.Flag("--quick", &quick);
+  p.Flag("--full", &full);
+  p.U32("--trials", &config.trials);
+  p.U32("--messages", &config.messages);
+  p.StrList("--workload", &config.workloads);
+  p.OptStr("--json", &json, &json_path);
+  p.OptStr("--heartbeat", &heartbeat, &heartbeat_path);
+  p.Str("--cover", &cover_path);
+  p.U64("--pulse-period", &config.pulse.period_ps);
+  p.U32("--progress-windows", &config.pulse.progress_windows);
+  p.Flag("--quiet", &quiet);
+  if (auto st = p.Parse(argc, argv); st != craft::cli::Status::kContinue)
+    return craft::cli::ExitCode(st);
+  if (quick) config.scale = CampaignConfig::Scale::kQuick;
+  if (full) config.scale = CampaignConfig::Scale::kFull;
 
   std::FILE* hb_file = nullptr;
   if (heartbeat) {

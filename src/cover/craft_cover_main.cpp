@@ -23,7 +23,6 @@
 // Exit codes: 0 success, 1 coverage regression (diff only), 2 usage / IO /
 // merge-conflict errors.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -31,22 +30,26 @@
 
 #include "cover/cover.hpp"
 #include "cover/runner.hpp"
+#include "support/cli.hpp"
 
 namespace {
 
 using craft::cover::Database;
 
+constexpr const char kUsage[] =
+    "usage: craft_cover run [--design NAME]... [--all] [--list] [--seed N]\n"
+    "                       [--parallelism N] [--chaos latency|corrupt]\n"
+    "                       [--messages N] [-o FILE]\n"
+    "       craft_cover merge -o FILE IN...\n"
+    "       craft_cover report [--format text|json|markdown] FILE...\n"
+    "       craft_cover diff [--markdown] BASELINE CURRENT\n";
+
 int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: craft_cover run [--design NAME]... [--all] [--list] [--seed N]\n"
-      "                       [--parallelism N] [--chaos latency|corrupt]\n"
-      "                       [--messages N] [-o FILE]\n"
-      "       craft_cover merge -o FILE IN...\n"
-      "       craft_cover report [--format text|json|markdown] FILE...\n"
-      "       craft_cover diff [--markdown] BASELINE CURRENT\n");
+  std::fputs(kUsage, stderr);
   return 2;
 }
+
+craft::cli::Parser MakeParser() { return craft::cli::Parser("craft_cover", kUsage); }
 
 bool ReadFile(const std::string& path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
@@ -89,41 +92,22 @@ int CmdRun(int argc, char** argv) {
   std::vector<std::string> designs;
   std::string out_path;
   bool all = false;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--design" && i + 1 < argc) {
-      designs.emplace_back(argv[++i]);
-    } else if (arg.rfind("--design=", 0) == 0) {
-      designs.push_back(arg.substr(std::strlen("--design=")));
-    } else if (arg == "--all") {
-      all = true;
-    } else if (arg == "--list") {
-      for (const auto& d : craft::cover::RunnableDesigns())
-        std::printf("%s\n", d.c_str());
-      return 0;
-    } else if (arg == "--seed" && i + 1 < argc) {
-      opt.seed = std::strtoull(argv[++i], nullptr, 0);
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      opt.seed = std::strtoull(arg.c_str() + std::strlen("--seed="), nullptr, 0);
-    } else if (arg == "--parallelism" && i + 1 < argc) {
-      opt.parallelism = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
-    } else if (arg.rfind("--parallelism=", 0) == 0) {
-      opt.parallelism = static_cast<unsigned>(
-          std::strtoul(arg.c_str() + std::strlen("--parallelism="), nullptr, 0));
-    } else if (arg == "--chaos" && i + 1 < argc) {
-      opt.chaos = argv[++i];
-    } else if (arg.rfind("--chaos=", 0) == 0) {
-      opt.chaos = arg.substr(std::strlen("--chaos="));
-    } else if (arg == "--messages" && i + 1 < argc) {
-      opt.messages = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
-    } else if (arg == "-o" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg.rfind("--output=", 0) == 0) {
-      out_path = arg.substr(std::strlen("--output="));
-    } else {
-      return Usage();
-    }
-  }
+
+  craft::cli::Parser p = MakeParser();
+  p.StrList("--design", &designs);
+  p.Flag("--all", &all);
+  p.Action("--list", [] {
+    for (const auto& d : craft::cover::RunnableDesigns())
+      std::printf("%s\n", d.c_str());
+  });
+  p.U64("--seed", &opt.seed);
+  p.U32("--parallelism", &opt.parallelism);
+  p.Choice("--chaos", &opt.chaos, {"latency", "corrupt"});
+  p.U32("--messages", &opt.messages);
+  p.Str("--output", &out_path);
+  p.Alias("-o", "--output");
+  if (auto st = p.Parse(argc, argv); st != craft::cli::Status::kContinue)
+    return craft::cli::ExitCode(st);
   if (designs.empty())
     designs = all ? craft::cover::RunnableDesigns()
                   : std::vector<std::string>{"li_pipeline", "gals_pipeline",
@@ -170,18 +154,13 @@ int CmdRun(int argc, char** argv) {
 int CmdMerge(int argc, char** argv) {
   std::string out_path;
   std::vector<std::string> inputs;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "-o" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg.rfind("--output=", 0) == 0) {
-      out_path = arg.substr(std::strlen("--output="));
-    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-      return Usage();
-    } else {
-      inputs.push_back(arg);
-    }
-  }
+
+  craft::cli::Parser p = MakeParser();
+  p.Str("--output", &out_path);
+  p.Alias("-o", "--output");
+  p.Positionals(&inputs);
+  if (auto st = p.Parse(argc, argv); st != craft::cli::Status::kContinue)
+    return craft::cli::ExitCode(st);
   if (out_path.empty() || inputs.empty()) return Usage();
   Database merged;
   for (const auto& path : inputs) {
@@ -204,21 +183,13 @@ int CmdMerge(int argc, char** argv) {
 int CmdReport(int argc, char** argv) {
   std::string format = "text";
   std::vector<std::string> inputs;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--format" && i + 1 < argc) {
-      format = argv[++i];
-    } else if (arg.rfind("--format=", 0) == 0) {
-      format = arg.substr(std::strlen("--format="));
-    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-      return Usage();
-    } else {
-      inputs.push_back(arg);
-    }
-  }
+
+  craft::cli::Parser p = MakeParser();
+  p.Choice("--format", &format, {"text", "json", "markdown"});
+  p.Positionals(&inputs);
+  if (auto st = p.Parse(argc, argv); st != craft::cli::Status::kContinue)
+    return craft::cli::ExitCode(st);
   if (inputs.empty()) return Usage();
-  if (format != "text" && format != "json" && format != "markdown")
-    return Usage();
   Database merged;
   for (const auto& path : inputs) {
     Database db;
@@ -241,16 +212,12 @@ int CmdReport(int argc, char** argv) {
 int CmdDiff(int argc, char** argv) {
   bool markdown = false;
   std::vector<std::string> inputs;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--markdown") {
-      markdown = true;
-    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-      return Usage();
-    } else {
-      inputs.push_back(arg);
-    }
-  }
+
+  craft::cli::Parser p = MakeParser();
+  p.Flag("--markdown", &markdown);
+  p.Positionals(&inputs);
+  if (auto st = p.Parse(argc, argv); st != craft::cli::Status::kContinue)
+    return craft::cli::ExitCode(st);
   if (inputs.size() != 2) return Usage();
   Database baseline, current;
   if (!Load(inputs[0], &baseline) || !Load(inputs[1], &current)) return 2;
@@ -264,9 +231,18 @@ int CmdDiff(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
-  if (cmd == "run") return CmdRun(argc - 2, argv + 2);
-  if (cmd == "merge") return CmdMerge(argc - 2, argv + 2);
-  if (cmd == "report") return CmdReport(argc - 2, argv + 2);
-  if (cmd == "diff") return CmdDiff(argc - 2, argv + 2);
+  // Each subcommand gets argv[1] as its argv[0]; the shared parser skips it.
+  if (cmd == "run") return CmdRun(argc - 1, argv + 1);
+  if (cmd == "merge") return CmdMerge(argc - 1, argv + 1);
+  if (cmd == "report") return CmdReport(argc - 1, argv + 1);
+  if (cmd == "diff") return CmdDiff(argc - 1, argv + 1);
+  if (cmd == "--help" || cmd == "-h") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (cmd == "--version") {
+    std::printf("craft_cover %s\n", craft::cli::kToolVersion);
+    return 0;
+  }
   return Usage();
 }

@@ -3,15 +3,15 @@
 #include <sstream>
 
 #include "cover/cover.hpp"
-#include "cover/json.hpp"
 #include "kernel/stats.hpp"
+#include "support/json.hpp"
 
 namespace craft::cover {
 
 namespace {
 
 std::string Quoted(const std::string& s) {
-  return "\"" + stats::JsonEscape(s) + "\"";
+  return json::Quote(s);
 }
 
 std::string Pct(double v) {

@@ -7,8 +7,11 @@
 
 #include "kernel/process.hpp"
 #include "kernel/simulator.hpp"
+#include "support/json.hpp"
 
 namespace craft::stats {
+
+using json::Escape;
 
 namespace {
 
@@ -29,28 +32,6 @@ void Rule(std::ostringstream& os, const char* title) {
 }
 
 }  // namespace
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::string OpenMetricsEscape(const std::string& s) {
   std::string out;
@@ -182,8 +163,8 @@ std::string FormatJson(const Simulator& sim) {
   os << "  \"channels\": [";
   bool first = true;
   for (const auto& [name, c] : reg.channels()) {
-    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(name)
-       << "\", \"kind\": \"" << JsonEscape(c.kind) << "\", \"capacity\": " << c.capacity
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << Escape(name)
+       << "\", \"kind\": \"" << Escape(c.kind) << "\", \"capacity\": " << c.capacity
        << ", \"enqueues\": " << c.enqueues << ", \"dequeues\": " << c.dequeues
        << ", \"full_stall_cycles\": " << c.full_stall_cycles
        << ", \"empty_stall_cycles\": " << c.empty_stall_cycles
@@ -203,9 +184,9 @@ std::string FormatJson(const Simulator& sim) {
   os << "  \"crossings\": [";
   first = true;
   for (const auto& [name, c] : reg.crossings()) {
-    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(name)
-       << "\", \"producer_clock\": \"" << JsonEscape(c.producer_clock)
-       << "\", \"consumer_clock\": \"" << JsonEscape(c.consumer_clock)
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << Escape(name)
+       << "\", \"producer_clock\": \"" << Escape(c.producer_clock)
+       << "\", \"consumer_clock\": \"" << Escape(c.consumer_clock)
        << "\", \"transfers\": " << c.transfers
        << ", \"enq_sync_wait_cycles\": " << c.enq_sync_wait_cycles
        << ", \"deq_sync_wait_cycles\": " << c.deq_sync_wait_cycles
@@ -219,7 +200,7 @@ std::string FormatJson(const Simulator& sim) {
   os << "  \"fifos\": [";
   first = true;
   for (const auto& [name, f] : reg.fifos()) {
-    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(name)
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << Escape(name)
        << "\", \"capacity\": " << f.capacity << ", \"pushes\": " << f.pushes
        << ", \"pops\": " << f.pops << ", \"high_water\": " << f.high_water << "}";
     first = false;
@@ -229,7 +210,7 @@ std::string FormatJson(const Simulator& sim) {
   os << "  \"processes\": [";
   first = true;
   for (const auto& p : sim.processes()) {
-    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(p->name())
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << Escape(p->name())
        << "\", \"dispatches\": " << p->stat_dispatches
        << ", \"wall_ns\": " << p->stat_wall_ns << "}";
     first = false;

@@ -201,9 +201,6 @@ std::string FormatJson(const Simulator& sim);
 /// timeline exporter shares the same metric families for the windowed view.
 std::string FormatOpenMetrics(const Simulator& sim);
 
-/// Escapes a string for embedding in a JSON document (shared helper).
-std::string JsonEscape(const std::string& s);
-
 /// Escapes a string for an OpenMetrics label value: backslash, double-quote
 /// and newline get backslash escapes (the exposition-format rules).
 std::string OpenMetricsEscape(const std::string& s);

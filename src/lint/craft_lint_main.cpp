@@ -4,19 +4,7 @@
 // at or above the --fail-on threshold (default: error), so it can gate CI
 // while still publishing warnings.
 //
-// Usage:
-//   craft_lint [--json[=FILE]] [--sarif=FILE] [--suppress RULE[@PATH-GLOB]]...
-//              [--fail-on SEVERITY] [--quiet]
-//
-//   --json            print the machine-readable report to stdout
-//   --json=FILE       ... or write it to FILE
-//   --sarif=FILE      write findings as SARIF 2.1.0 for code-scanning upload
-//   --suppress SPEC   drop findings matching "rule@path-glob" (glob: * ?)
-//   --fail-on SEV     exit non-zero on findings at SEV or worse:
-//                     error (default), warning, info, or none
-//   --quiet           suppress per-design text blocks for clean designs
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -27,10 +15,23 @@
 #include "kernel/kernel.hpp"
 #include "lint/lint.hpp"
 #include "lint/ref_designs.hpp"
+#include "support/cli.hpp"
 
 namespace {
 
 using namespace craft;
+
+constexpr const char kUsage[] =
+    "usage: craft_lint [--json[=FILE]] [--sarif=FILE] "
+    "[--suppress RULE[@GLOB]]... [--fail-on SEV] [--quiet]\n"
+    "\n"
+    "  --json            print the machine-readable report to stdout\n"
+    "  --json=FILE       ... or write it to FILE\n"
+    "  --sarif=FILE      write findings as SARIF 2.1.0 for code-scanning upload\n"
+    "  --suppress SPEC   drop findings matching \"rule@path-glob\" (glob: * ?)\n"
+    "  --fail-on SEV     exit non-zero on findings at SEV or worse:\n"
+    "                    error (default), warning, info, or none\n"
+    "  --quiet           suppress per-design text blocks for clean designs\n";
 using lint::Finding;
 using lint::LintOptions;
 
@@ -62,42 +63,23 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   lint::Severity fail_on = lint::Severity::kError;
   bool fail_none = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      json = true;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json = true;
-      json_path = arg.substr(std::strlen("--json="));
-    } else if (arg.rfind("--sarif=", 0) == 0) {
-      sarif_path = arg.substr(std::strlen("--sarif="));
-    } else if (arg == "--suppress" && i + 1 < argc) {
-      opts.suppressions.push_back(lint::ParseSuppression(argv[++i]));
-    } else if (arg.rfind("--suppress=", 0) == 0) {
-      opts.suppressions.push_back(
-          lint::ParseSuppression(arg.substr(std::strlen("--suppress="))));
-    } else if (arg == "--fail-on" && i + 1 < argc) {
-      if (!lint::ParseFailOn(argv[++i], &fail_on, &fail_none)) {
-        std::fprintf(stderr,
-                     "craft_lint: --fail-on wants error|warning|info|none\n");
-        return 2;
-      }
-    } else if (arg.rfind("--fail-on=", 0) == 0) {
-      if (!lint::ParseFailOn(arg.substr(std::strlen("--fail-on=")), &fail_on,
-                             &fail_none)) {
-        std::fprintf(stderr,
-                     "craft_lint: --fail-on wants error|warning|info|none\n");
-        return 2;
-      }
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: craft_lint [--json[=FILE]] [--sarif=FILE] "
-                   "[--suppress RULE[@GLOB]]... [--fail-on SEV] [--quiet]\n");
-      return 2;
-    }
-  }
+  std::vector<std::string> suppress_specs;
+  std::string fail_on_text;
+
+  cli::Parser p("craft_lint", kUsage);
+  p.OptStr("--json", &json, &json_path);
+  p.Str("--sarif", &sarif_path);
+  p.StrList("--suppress", &suppress_specs);
+  p.Str("--fail-on", &fail_on_text);
+  p.Flag("--quiet", &quiet);
+  if (auto s = p.Parse(argc, argv); s != cli::Status::kContinue)
+    return cli::ExitCode(s);
+  for (const std::string& spec : suppress_specs)
+    opts.suppressions.push_back(lint::ParseSuppression(spec));
+  if (!fail_on_text.empty() &&
+      !lint::ParseFailOn(fail_on_text, &fail_on, &fail_none))
+    return cli::ExitCode(
+        p.UsageError("--fail-on wants error|warning|info|none"));
 
   std::vector<Report> reports;
   std::vector<bool> used_any(opts.suppressions.size(), false);
@@ -182,7 +164,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "craft_lint: cannot write %s\n", sarif_path.c_str());
       return 2;
     }
-    out << lint::FormatSarif("craft-lint", "1.0.0", reports);
+    out << lint::FormatSarif("craft-lint", cli::kToolVersion, reports);
   }
   return gating > 0 ? 1 : 0;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lint/lint.hpp"
+#include "support/json.hpp"
 
 namespace craft::lint {
 
@@ -27,29 +28,6 @@ int CountAt(const std::vector<Finding>& fs, Severity s) {
     if (f.severity == s) ++n;
   }
   return n;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -118,14 +96,14 @@ std::string FormatJson(
     errors += CountAt(findings, Severity::kError);
     warnings += CountAt(findings, Severity::kWarning);
     os << (first_design ? "" : ",") << "\n    {\"name\": \""
-       << JsonEscape(design) << "\", \"findings\": [";
+       << json::Escape(design) << "\", \"findings\": [";
     first_design = false;
     bool first_finding = true;
     for (const Finding& f : findings) {
       os << (first_finding ? "" : ",") << "\n      {\"rule\": \""
-         << JsonEscape(f.rule) << "\", \"severity\": \"" << ToString(f.severity)
-         << "\", \"path\": \"" << JsonEscape(f.path) << "\", \"message\": \""
-         << JsonEscape(f.message) << "\"}";
+         << json::Escape(f.rule) << "\", \"severity\": \"" << ToString(f.severity)
+         << "\", \"path\": \"" << json::Escape(f.path) << "\", \"message\": \""
+         << json::Escape(f.message) << "\"}";
       first_finding = false;
     }
     os << (first_finding ? "" : "\n    ") << "]}";

@@ -14,33 +14,11 @@
 #include <vector>
 
 #include "lint/lint.hpp"
+#include "support/json.hpp"
 
 namespace craft::lint {
 
 namespace {
-
-std::string Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 const char* SarifLevel(Severity s) {
   switch (s) {
@@ -77,14 +55,14 @@ std::string FormatSarif(
      << "    {\n"
      << "      \"tool\": {\n"
      << "        \"driver\": {\n"
-     << "          \"name\": \"" << Escape(tool_name) << "\",\n"
-     << "          \"version\": \"" << Escape(tool_version) << "\",\n"
+     << "          \"name\": \"" << json::Escape(tool_name) << "\",\n"
+     << "          \"version\": \"" << json::Escape(tool_version) << "\",\n"
      << "          \"informationUri\": \"https://example.invalid/craft-flow\",\n"
      << "          \"rules\": [";
   for (std::size_t i = 0; i < rule_ids.size(); ++i) {
-    os << (i == 0 ? "" : ",") << "\n            {\"id\": \"" << Escape(rule_ids[i])
-       << "\", \"name\": \"" << Escape(rule_ids[i])
-       << "\", \"shortDescription\": {\"text\": \"" << Escape(rule_ids[i])
+    os << (i == 0 ? "" : ",") << "\n            {\"id\": \"" << json::Escape(rule_ids[i])
+       << "\", \"name\": \"" << json::Escape(rule_ids[i])
+       << "\", \"shortDescription\": {\"text\": \"" << json::Escape(rule_ids[i])
        << "\"}}";
   }
   os << (rule_ids.empty() ? "" : "\n          ") << "]\n"
@@ -95,26 +73,26 @@ std::string FormatSarif(
   for (const auto& [design, findings] : reports) {
     for (const Finding& f : findings) {
       os << (first ? "" : ",") << "\n        {\n"
-         << "          \"ruleId\": \"" << Escape(f.rule) << "\",\n"
+         << "          \"ruleId\": \"" << json::Escape(f.rule) << "\",\n"
          << "          \"ruleIndex\": " << rule_index[f.rule] << ",\n"
          << "          \"level\": \"" << SarifLevel(f.severity) << "\",\n"
-         << "          \"message\": {\"text\": \"[" << Escape(design) << "] "
-         << Escape(f.path) << ": " << Escape(f.message) << "\"},\n"
+         << "          \"message\": {\"text\": \"[" << json::Escape(design) << "] "
+         << json::Escape(f.path) << ": " << json::Escape(f.message) << "\"},\n"
          << "          \"locations\": [\n"
          << "            {\n"
          << "              \"physicalLocation\": {\n"
          << "                \"artifactLocation\": {\"uri\": \"designs/"
-         << Escape(design) << "\"},\n"
+         << json::Escape(design) << "\"},\n"
          << "                \"region\": {\"startLine\": 1, \"startColumn\": 1}\n"
          << "              },\n"
          << "              \"logicalLocations\": [\n"
-         << "                {\"fullyQualifiedName\": \"" << Escape(f.path)
+         << "                {\"fullyQualifiedName\": \"" << json::Escape(f.path)
          << "\", \"kind\": \"module\"}\n"
          << "              ]\n"
          << "            }\n"
          << "          ],\n"
          << "          \"partialFingerprints\": {\"craftFinding/v1\": \""
-         << Escape(design) << "|" << Escape(f.rule) << "|" << Escape(f.path)
+         << json::Escape(design) << "|" << json::Escape(f.rule) << "|" << json::Escape(f.path)
          << "\"}\n"
          << "        }";
       first = false;

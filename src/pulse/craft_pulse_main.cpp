@@ -5,31 +5,6 @@
 // counterpart to craft_prove's static report and craft_stats' end-of-run
 // aggregates.
 //
-// Usage:
-//   craft_pulse [--design NAME] [--workload NAME] [--period PS] [--windows N]
-//               [--capacity N] [--parallelism N] [--progress-windows N]
-//               [--chaos] [--seed S] [--json[=FILE]] [--openmetrics[=FILE]]
-//               [--heartbeat[=FILE]] [--list] [--quiet]
-//
-//   --design NAME       noc_chain (default), gals_pipeline, or any SoC
-//                       reference design (soc_gals_2x2, ...)
-//   --workload NAME     SoC designs only: drive the named SoC workload
-//                       (default: first of the six) instead of idling
-//   --period PS         sampling period in picoseconds (default 1000000)
-//   --windows N         run for N whole windows (default 50); the horizon is
-//                       boundary-aligned so the final window closes exactly
-//   --capacity N        series ring capacity (default 512)
-//   --parallelism N     run under craft-par with N workers (0 = legacy)
-//   --progress-windows N arm the progress watchdog (default: off)
-//   --chaos             inject a seeded latency stall storm (craft-chaos);
-//                       the run then MUST trip the throughput watchdog
-//   --seed S            chaos seed (default 1)
-//   --json[=FILE]       emit the craft-pulse-v1 timeline
-//   --openmetrics[=FILE] emit the OpenMetrics exposition
-//   --heartbeat[=FILE]  one liveness line per sampled window (default stderr)
-//   --list              list available designs and exit
-//   --quiet             suppress the human-readable summary
-//
 // Exits non-zero when the built-in cross-check fails: windowed series must
 // reconcile exactly with the craft-stats end-of-run aggregates (base +
 // deltas == aggregate at a boundary-aligned horizon; mean windowed rate
@@ -38,7 +13,6 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -51,6 +25,7 @@
 #include "lint/ref_designs.hpp"
 #include "matchlib/routers.hpp"
 #include "pulse/report.hpp"
+#include "support/cli.hpp"
 #include "soc/workloads.hpp"
 
 namespace {
@@ -139,16 +114,30 @@ struct Options {
   bool quiet = false;
 };
 
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: craft_pulse [--design NAME] [--workload NAME] [--period PS]\n"
-      "                   [--windows N] [--capacity N] [--parallelism N]\n"
-      "                   [--progress-windows N] [--chaos] [--seed S]\n"
-      "                   [--json[=FILE]] [--openmetrics[=FILE]]\n"
-      "                   [--heartbeat[=FILE]] [--list] [--quiet]\n");
-  return 2;
-}
+constexpr const char kUsage[] =
+    "usage: craft_pulse [--design NAME] [--workload NAME] [--period PS]\n"
+    "                   [--windows N] [--capacity N] [--parallelism N]\n"
+    "                   [--progress-windows N] [--chaos] [--seed S]\n"
+    "                   [--json[=FILE]] [--openmetrics[=FILE]]\n"
+    "                   [--heartbeat[=FILE]] [--list] [--quiet]\n"
+    "\n"
+    "  --design NAME       noc_chain (default), gals_pipeline, or any SoC\n"
+    "                      reference design (soc_gals_2x2, ...)\n"
+    "  --workload NAME     SoC designs only: drive the named SoC workload\n"
+    "                      (default: first of the six) instead of idling\n"
+    "  --period PS         sampling period in picoseconds (default 1000000)\n"
+    "  --windows N         run for N whole windows (default 50)\n"
+    "  --capacity N        series ring capacity (default 512)\n"
+    "  --parallelism N     run under craft-par with N workers (0 = legacy)\n"
+    "  --progress-windows N arm the progress watchdog (default: off)\n"
+    "  --chaos             inject a seeded latency stall storm; the run\n"
+    "                      then MUST trip the throughput watchdog\n"
+    "  --seed S            chaos seed (default 1)\n"
+    "  --json[=FILE]       emit the craft-pulse-v1 timeline\n"
+    "  --openmetrics[=FILE] emit the OpenMetrics exposition\n"
+    "  --heartbeat[=FILE]  one liveness line per window (default stderr)\n"
+    "  --list              list available designs and exit\n"
+    "  --quiet             suppress the human-readable summary\n";
 
 bool WriteDoc(const std::string& doc, const std::string& path,
               const char* what) {
@@ -253,73 +242,32 @@ bool CrossCheck(const Simulator& sim, bool exact_expected, bool quiet,
 
 int main(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&](const char* flag) {
-      return arg.substr(std::strlen(flag));
-    };
-    if (arg == "--list") {
-      std::printf("noc_chain\n");
-      for (const auto& d : lint::ReferenceDesigns()) {
-        std::printf("%s\n", d.name.c_str());
-      }
-      return 0;
-    } else if (arg.rfind("--design=", 0) == 0) {
-      opt.design = value("--design=");
-    } else if (arg == "--design" && i + 1 < argc) {
-      opt.design = argv[++i];
-    } else if (arg.rfind("--workload=", 0) == 0) {
-      opt.workload = value("--workload=");
-    } else if (arg == "--workload" && i + 1 < argc) {
-      opt.workload = argv[++i];
-    } else if (arg.rfind("--period=", 0) == 0) {
-      opt.period_ps = std::strtoull(value("--period=").c_str(), nullptr, 10);
-    } else if (arg == "--period" && i + 1 < argc) {
-      opt.period_ps = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg.rfind("--windows=", 0) == 0) {
-      opt.windows = std::strtoull(value("--windows=").c_str(), nullptr, 10);
-    } else if (arg == "--windows" && i + 1 < argc) {
-      opt.windows = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg.rfind("--capacity=", 0) == 0) {
-      opt.capacity = std::strtoull(value("--capacity=").c_str(), nullptr, 10);
-    } else if (arg.rfind("--parallelism=", 0) == 0) {
-      opt.parallelism =
-          static_cast<unsigned>(std::strtoul(value("--parallelism=").c_str(),
-                                             nullptr, 10));
-      opt.parallelism_set = true;
-    } else if (arg == "--parallelism" && i + 1 < argc) {
-      opt.parallelism = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-      opt.parallelism_set = true;
-    } else if (arg.rfind("--progress-windows=", 0) == 0) {
-      opt.progress_windows = static_cast<unsigned>(
-          std::strtoul(value("--progress-windows=").c_str(), nullptr, 10));
-    } else if (arg == "--chaos") {
-      opt.chaos = true;
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      opt.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
-    } else if (arg == "--seed" && i + 1 < argc) {
-      opt.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--json") {
-      opt.json = true;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      opt.json = true;
-      opt.json_path = value("--json=");
-    } else if (arg == "--openmetrics") {
-      opt.openmetrics = true;
-    } else if (arg.rfind("--openmetrics=", 0) == 0) {
-      opt.openmetrics = true;
-      opt.om_path = value("--openmetrics=");
-    } else if (arg == "--heartbeat") {
-      opt.heartbeat = true;
-    } else if (arg.rfind("--heartbeat=", 0) == 0) {
-      opt.heartbeat = true;
-      opt.heartbeat_path = value("--heartbeat=");
-    } else if (arg == "--quiet") {
-      opt.quiet = true;
-    } else {
-      return Usage();
+  std::uint64_t capacity = 512;
+
+  cli::Parser p("craft_pulse", kUsage);
+  p.Action("--list", [] {
+    std::printf("noc_chain\n");
+    for (const auto& d : lint::ReferenceDesigns()) {
+      std::printf("%s\n", d.name.c_str());
     }
-  }
+  });
+  p.Str("--design", &opt.design);
+  p.Str("--workload", &opt.workload);
+  p.U64("--period", &opt.period_ps);
+  p.U64("--windows", &opt.windows);
+  p.U64("--capacity", &capacity);
+  p.U32("--parallelism", &opt.parallelism, &opt.parallelism_set);
+  p.U32("--progress-windows", &opt.progress_windows);
+  p.Flag("--chaos", &opt.chaos);
+  p.U64("--seed", &opt.seed);
+  p.OptStr("--json", &opt.json, &opt.json_path);
+  p.OptStr("--openmetrics", &opt.openmetrics, &opt.om_path);
+  p.OptStr("--heartbeat", &opt.heartbeat, &opt.heartbeat_path);
+  p.Flag("--quiet", &opt.quiet);
+  if (auto st = p.Parse(argc, argv); st != cli::Status::kContinue)
+    return cli::ExitCode(st);
+  opt.capacity = static_cast<std::size_t>(capacity);
+
   if (opt.period_ps == 0 || opt.windows == 0 || opt.capacity == 0) {
     std::fprintf(stderr, "craft_pulse: --period/--windows/--capacity must be positive\n");
     return 2;
@@ -480,13 +428,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool io_ok = true;
   if (opt.json && !WriteDoc(pulse::FormatTimelineJson(sim), opt.json_path, "json")) {
-    ok = false;
+    io_ok = false;
   }
   if (opt.openmetrics &&
       !WriteDoc(pulse::FormatOpenMetrics(sim), opt.om_path, "openmetrics")) {
-    ok = false;
+    io_ok = false;
   }
   if (hb_file != nullptr && hb_file != stderr) std::fclose(hb_file);
+  if (!io_ok) return 2;
   return ok ? 0 : 1;
 }

@@ -5,12 +5,13 @@
 #include "kernel/pulse.hpp"
 #include "kernel/simulator.hpp"
 #include "kernel/stats.hpp"
+#include "support/json.hpp"
 
 namespace craft::pulse {
 
 namespace {
 
-using stats::JsonEscape;
+using json::Escape;
 using stats::OpenMetricsEscape;
 
 void EmitSeries(std::ostringstream& os, const char* key, const PulseSeries& s,
@@ -67,8 +68,8 @@ std::string FormatTimelineJson(const Simulator& sim) {
   os << "  \"channels\": [";
   bool first = true;
   for (const auto& [name, s] : reg.channels()) {
-    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(name)
-       << "\", \"kind\": \"" << JsonEscape(s.kind)
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << Escape(name)
+       << "\", \"kind\": \"" << Escape(s.kind)
        << "\", \"capacity\": " << s.capacity
        << ", \"period_ps\": " << s.period_ps
        << ", \"start_window\": " << s.start_window << ", ";
@@ -87,7 +88,7 @@ std::string FormatTimelineJson(const Simulator& sim) {
   os << "  \"crossings\": [";
   first = true;
   for (const auto& [name, s] : reg.crossings()) {
-    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(name)
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << Escape(name)
        << "\", \"start_window\": " << s.start_window << ", ";
     EmitSeries(os, "transfers", s.transfers);
     EmitSeries(os, "enq_sync_wait_cycles", s.enq_sync_wait_cycles);
@@ -101,7 +102,7 @@ std::string FormatTimelineJson(const Simulator& sim) {
   os << "  \"fifos\": [";
   first = true;
   for (const auto& [name, s] : reg.fifos()) {
-    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(name)
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << Escape(name)
        << "\", \"start_window\": " << s.start_window << ", ";
     EmitSeries(os, "pushes", s.pushes);
     EmitSeries(os, "pops", s.pops);
@@ -127,7 +128,7 @@ std::string FormatTimelineJson(const Simulator& sim) {
   os << "  \"processes_n_variant\": [";
   first = true;
   for (const auto& [name, s] : reg.processes()) {
-    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(name)
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << Escape(name)
        << "\", \"start_window\": " << s.start_window << ", ";
     EmitSeries(os, "dispatches", s.dispatches, /*trailing_comma=*/false);
     os << "}";
@@ -152,13 +153,13 @@ std::string FormatTimelineJson(const Simulator& sim) {
   first = true;
   for (const PulseAlert& a : reg.alerts()) {
     os << (first ? "\n" : ",\n") << "    {\"window\": " << a.window
-       << ", \"t_ps\": " << a.t_ps << ", \"watchdog\": \"" << JsonEscape(a.watchdog)
-       << "\", \"site\": \"" << JsonEscape(a.site) << "\", \"message\": \""
-       << JsonEscape(a.message) << "\"}";
+       << ", \"t_ps\": " << a.t_ps << ", \"watchdog\": \"" << Escape(a.watchdog)
+       << "\", \"site\": \"" << Escape(a.site) << "\", \"message\": \""
+       << Escape(a.message) << "\"}";
     first = false;
   }
   os << (first ? "" : "\n  ") << "],\n";
-  os << "  \"critical_cycle\": \"" << JsonEscape(reg.critical_cycle()) << "\"\n";
+  os << "  \"critical_cycle\": \"" << Escape(reg.critical_cycle()) << "\"\n";
   os << "}\n";
   return os.str();
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "support/json.hpp"
+
 namespace craft::soc {
 
 namespace {
@@ -465,7 +467,7 @@ std::string SocMetricsJson(SocTop& soc, const WorkloadRun& run) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"schema\": \"craft-soc-metrics-v1\",\n";
-  os << "  \"workload\": {\"name\": \"" << stats::JsonEscape(run.name)
+  os << "  \"workload\": {\"name\": \"" << json::Escape(run.name)
      << "\", \"cycles\": " << run.cycles << ", \"ok\": " << (run.ok ? "true" : "false")
      << "},\n";
   const SocConfig& cfg = soc.config();
@@ -482,7 +484,7 @@ std::string SocMetricsJson(SocTop& soc, const WorkloadRun& run) {
     const std::uint64_t total = pe.clk().cycle();
     const double util =
         total == 0 ? 0.0 : static_cast<double>(pe.busy_cycles()) / static_cast<double>(total);
-    os << "    {\"node\": " << node << ", \"name\": \"" << stats::JsonEscape(pe.full_name())
+    os << "    {\"node\": " << node << ", \"name\": \"" << json::Escape(pe.full_name())
        << "\", \"kernels_executed\": " << pe.kernels_executed()
        << ", \"busy_cycles\": " << pe.busy_cycles() << ", \"total_cycles\": " << total
        << ", \"utilization\": " << util << "}"

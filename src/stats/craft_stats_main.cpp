@@ -3,39 +3,38 @@
 // crossing, per-process, and per-PE utilization metrics — the observability
 // counterpart to craft_lint's static checks.
 //
-// Usage:
-//   craft_stats [--format text|json|openmetrics] [--json[=FILE]] [--out=FILE]
-//               [--workload NAME]... [--sync] [--quiet]
-//
-//   --format NAME     output format: text (default, human tables), json
-//                     (craft-stats-run-v1), or openmetrics (exposition text;
-//                     runs one workload at a time). Unknown values are a
-//                     one-line error and a non-zero exit.
-//   --json            shorthand for --format json to stdout
-//   --json=FILE       ... or to FILE
-//   --out=FILE        write the formatted document to FILE instead of stdout
-//   --workload NAME   run only the named workload(s); default: all six
-//   --sync            single-clock mesh instead of the default GALS mesh
-//   --quiet           suppress the per-workload human-readable tables
-//
 // Exits non-zero if any workload fails its golden check or the emitted
 // metrics fail the built-in sanity validation (missing sections, channel
 // conservation violated, utilization outside [0, 1]) — so a plain ctest
 // invocation doubles as an end-to-end telemetry smoke test.
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "kernel/kernel.hpp"
 #include "soc/workloads.hpp"
+#include "support/cli.hpp"
 
 namespace {
 
 using namespace craft;
 using namespace craft::literals;
+
+constexpr const char kUsage[] =
+    "usage: craft_stats [--format text|json|openmetrics] [--json[=FILE]] "
+    "[--out=FILE] [--workload NAME]... [--sync] [--quiet]\n"
+    "\n"
+    "  --format NAME     output format: text (default, human tables), json\n"
+    "                    (craft-stats-run-v1), or openmetrics (exposition\n"
+    "                    text; runs one workload at a time)\n"
+    "  --json            shorthand for --format json to stdout\n"
+    "  --json=FILE       ... or to FILE\n"
+    "  --out=FILE        write the formatted document to FILE\n"
+    "  --workload NAME   run only the named workload(s); default: all six\n"
+    "  --sync            single-clock mesh instead of the default GALS mesh\n"
+    "  --quiet           suppress the per-workload human-readable tables\n";
 
 enum class Format { kText, kJson, kOpenMetrics };
 
@@ -94,56 +93,29 @@ bool Validate(const RunResult& r, std::string* why) {
 int main(int argc, char** argv) {
   Format format = Format::kText;
   bool quiet = false;
-  bool gals = true;
+  bool sync = false;
+  bool json = false;
+  std::string format_name;
+  std::string json_path;
   std::string out_path;
   std::vector<std::string> only;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    std::string format_name;
-    if (arg == "--format" && i + 1 < argc) {
-      format_name = argv[++i];
-    } else if (arg.rfind("--format=", 0) == 0) {
-      format_name = arg.substr(std::strlen("--format="));
-    }
-    if (!format_name.empty()) {
-      if (format_name == "text") {
-        format = Format::kText;
-      } else if (format_name == "json") {
-        format = Format::kJson;
-      } else if (format_name == "openmetrics") {
-        format = Format::kOpenMetrics;
-      } else {
-        std::fprintf(stderr,
-                     "craft_stats: unknown --format value '%s' (expected "
-                     "text|json|openmetrics)\n",
-                     format_name.c_str());
-        return 2;
-      }
-      continue;
-    }
-    if (arg == "--json") {
-      format = Format::kJson;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      format = Format::kJson;
-      out_path = arg.substr(std::strlen("--json="));
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(std::strlen("--out="));
-    } else if (arg == "--workload" && i + 1 < argc) {
-      only.emplace_back(argv[++i]);
-    } else if (arg.rfind("--workload=", 0) == 0) {
-      only.push_back(arg.substr(std::strlen("--workload=")));
-    } else if (arg == "--sync") {
-      gals = false;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: craft_stats [--format text|json|openmetrics] "
-                   "[--json[=FILE]] [--out=FILE] [--workload NAME]... [--sync] "
-                   "[--quiet]\n");
-      return 2;
-    }
+
+  cli::Parser p("craft_stats", kUsage);
+  p.Choice("--format", &format_name, {"text", "json", "openmetrics"});
+  p.OptStr("--json", &json, &json_path);
+  p.Str("--out", &out_path);
+  p.StrList("--workload", &only);
+  p.Flag("--sync", &sync);
+  p.Flag("--quiet", &quiet);
+  if (auto st = p.Parse(argc, argv); st != cli::Status::kContinue)
+    return cli::ExitCode(st);
+  if (format_name == "json") format = Format::kJson;
+  else if (format_name == "openmetrics") format = Format::kOpenMetrics;
+  if (json) {
+    format = Format::kJson;
+    if (!json_path.empty()) out_path = json_path;
   }
+  const bool gals = !sync;
 
   std::vector<const soc::Workload*> selected;
   const std::vector<soc::Workload> all = soc::SixSocTests();

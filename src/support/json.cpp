@@ -1,10 +1,68 @@
-#include "cover/json.hpp"
+#include "support/json.hpp"
 
 #include <cctype>
 #include <cerrno>
+#include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 
-namespace craft::cover::json {
+namespace craft::json {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Quote(const std::string& s) { return "\"" + Escape(s) + "\""; }
+
+Writer& Writer::String(const std::string& s) {
+  out_ += '"';
+  out_ += Escape(s);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::Key(const std::string& key) {
+  String(key);
+  out_ += ": ";
+  return *this;
+}
+
+Writer& Writer::U64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return Raw(buf);
+}
+
+Writer& Writer::I64(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return Raw(buf);
+}
+
+Writer& Writer::Double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return Raw(buf);
+}
 
 const Value* Value::Find(const std::string& key) const {
   if (kind != Kind::kObject) return nullptr;
@@ -226,4 +284,4 @@ std::string Parse(const std::string& text, Value* out) {
   return Parser(text).Run(out);
 }
 
-}  // namespace craft::cover::json
+}  // namespace craft::json

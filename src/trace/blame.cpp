@@ -17,6 +17,7 @@
 
 #include "kernel/simulator.hpp"
 #include "kernel/stats.hpp"
+#include "support/json.hpp"
 #include "trace/trace.hpp"
 
 namespace craft::trace {
@@ -133,26 +134,26 @@ std::string FormatTable(const std::vector<BlameChain>& chains) {
 
 std::string FormatJson(const Simulator& sim,
                        const std::vector<BlameChain>& chains) {
-  using stats::JsonEscape;
+  using json::Escape;
   std::ostringstream os;
   os << "{\n  \"schema\": \"craft-trace-blame-v1\",\n";
   os << "  \"now_ps\": " << sim.now() << ",\n";
   os << "  \"chains\": [\n";
   for (std::size_t i = 0; i < chains.size(); ++i) {
     const BlameChain& c = chains[i];
-    os << "    {\"start\": \"" << JsonEscape(c.start) << "\", \"kind\": \""
-       << JsonEscape(c.start_kind)
+    os << "    {\"start\": \"" << Escape(c.start) << "\", \"kind\": \""
+       << Escape(c.start_kind)
        << "\", \"full_stall_samples\": " << c.stall_samples
-       << ", \"root_cause\": \"" << JsonEscape(c.root_cause)
-       << "\", \"root_track\": \"" << JsonEscape(c.root_track())
+       << ", \"root_cause\": \"" << Escape(c.root_cause)
+       << "\", \"root_track\": \"" << Escape(c.root_track())
        << "\", \"links\": [";
     for (std::size_t j = 0; j < c.links.size(); ++j) {
       const BlameLink& l = c.links[j];
-      os << (j == 0 ? "" : ", ") << "{\"track\": \"" << JsonEscape(l.track)
-         << "\", \"kind\": \"" << JsonEscape(l.kind) << "\", \"block\": \""
+      os << (j == 0 ? "" : ", ") << "{\"track\": \"" << Escape(l.track)
+         << "\", \"kind\": \"" << Escape(l.kind) << "\", \"block\": \""
          << (l.push_block ? "push" : "pop") << "\", \"samples\": " << l.samples
          << ", \"share\": " << l.share << ", \"via_process\": \""
-         << JsonEscape(l.via_process) << "\"}";
+         << Escape(l.via_process) << "\"}";
     }
     os << "]}" << (i + 1 < chains.size() ? "," : "") << "\n";
   }

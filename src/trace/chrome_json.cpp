@@ -15,6 +15,7 @@
 
 #include "kernel/simulator.hpp"
 #include "kernel/stats.hpp"
+#include "support/json.hpp"
 #include "trace/trace.hpp"
 
 namespace craft::trace {
@@ -52,7 +53,7 @@ std::string SpanId(std::uint64_t span) {
 
 std::string FormatChromeJson(const Simulator& sim) {
   const TraceEventSink& sink = sim.trace_events();
-  using stats::JsonEscape;
+  using json::Escape;
 
   // pid per owner module, tid per track — assigned in track-registration
   // order (elaboration order), so the document is deterministic.
@@ -79,13 +80,13 @@ std::string FormatChromeJson(const Simulator& sim) {
   for (const auto& [owner, pid] : pid_of) {
     sep();
     os << R"({"ph":"M","name":"process_name","pid":)" << pid
-       << R"(,"tid":0,"args":{"name":")" << JsonEscape(owner) << "\"}}";
+       << R"(,"tid":0,"args":{"name":")" << Escape(owner) << "\"}}";
   }
   for (const auto& t : sink.tracks()) {
     sep();
     os << R"({"ph":"M","name":"thread_name","pid":)" << track_pid[t->id()]
        << ",\"tid\":" << track_tid[t->id()] << R"(,"args":{"name":")"
-       << JsonEscape(LocalOf(t->name()) + " [" + t->kind() + "]") << "\"}}";
+       << Escape(LocalOf(t->name()) + " [" + t->kind() + "]") << "\"}}";
   }
 
   auto common = [&](const TraceEvent& e) {
@@ -99,11 +100,11 @@ std::string FormatChromeJson(const Simulator& sim) {
     switch (e.kind) {
       case TraceEventKind::kBegin: {
         os << R"({"ph":"b","cat":"span","id":)" << SpanId(e.span)
-           << ",\"name\":\"" << JsonEscape(t->name()) << "\",";
+           << ",\"name\":\"" << Escape(t->name()) << "\",";
         common(e);
-        os << ",\"args\":{\"kind\":\"" << JsonEscape(t->kind()) << "\"";
+        os << ",\"args\":{\"kind\":\"" << Escape(t->kind()) << "\"";
         if (!t->clock().empty()) {
-          os << ",\"clock\":\"" << JsonEscape(t->clock()) << "\"";
+          os << ",\"clock\":\"" << Escape(t->clock()) << "\"";
         }
         if (const TraceSpanInfo* si = sink.SpanInfoOf(e.span)) {
           if (si->flit_index != kNoFlitIndex) os << ",\"flit\":" << si->flit_index;
@@ -115,7 +116,7 @@ std::string FormatChromeJson(const Simulator& sim) {
       }
       case TraceEventKind::kEnd: {
         os << R"({"ph":"e","cat":"span","id":)" << SpanId(e.span)
-           << ",\"name\":\"" << JsonEscape(t->name()) << "\",";
+           << ",\"name\":\"" << Escape(t->name()) << "\",";
         common(e);
         os << "}";
         break;
@@ -141,7 +142,7 @@ std::string FormatChromeJson(const Simulator& sim) {
       sep();
       ++truncated;
       os << R"({"ph":"e","cat":"span","id":)" << SpanId(raw) << ",\"name\":\""
-         << JsonEscape(t->name()) << "\",\"pid\":" << track_pid[t->id()]
+         << Escape(t->name()) << "\",\"pid\":" << track_pid[t->id()]
          << ",\"tid\":" << track_tid[t->id()] << ",\"ts\":" << now_us
          << ",\"args\":{\"truncated\":true}}";
     }

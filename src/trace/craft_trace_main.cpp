@@ -3,19 +3,6 @@
 // print backpressure blame chains — the "why is this channel stalled"
 // root-cause report (DESIGN.md §8).
 //
-// Usage:
-//   craft_trace [--workload NAME]... [-o FILE] [--json[=FILE]] [--top N]
-//               [--sync] [--quiet]
-//
-//   --workload NAME   workload(s) to run; default: conv2d. "all" = all seven.
-//   -o FILE           write the Chrome trace JSON to FILE (default
-//                     trace.json); with several workloads each gets
-//                     FILE with ".<workload>" inserted before the extension.
-//   --json[=FILE]     print/write the craft-trace-blame-v1 report
-//   --top N           blame chains to report (default 10)
-//   --sync            single-clock mesh instead of the default GALS mesh
-//   --quiet           suppress the human-readable blame tables
-//
 // Exits non-zero if any workload fails its golden check or the built-in
 // trace validation fails (unbalanced begin/end slices, span coverage below
 // 95% of the messages the stats registry counted, missing blame chains in
@@ -23,19 +10,33 @@
 // end-to-end tracing smoke test.
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "kernel/kernel.hpp"
 #include "soc/workloads.hpp"
+#include "support/cli.hpp"
 #include "trace/trace.hpp"
 
 namespace {
 
 using namespace craft;
 using namespace craft::literals;
+
+constexpr const char kUsage[] =
+    "usage: craft_trace [--workload NAME]... [-o FILE] [--json[=FILE]] "
+    "[--top N] [--sync] [--quiet]\n"
+    "\n"
+    "  --workload NAME   workload(s) to run; default: conv2d. \"all\" = all\n"
+    "                    seven.\n"
+    "  -o FILE           write the Chrome trace JSON to FILE (default\n"
+    "                    trace.json); with several workloads each gets FILE\n"
+    "                    with \".<workload>\" inserted before the extension\n"
+    "  --json[=FILE]     print/write the craft-trace-blame-v1 report\n"
+    "  --top N           blame chains to report (default 10)\n"
+    "  --sync            single-clock mesh instead of the default GALS mesh\n"
+    "  --quiet           suppress the human-readable blame tables\n";
 
 struct RunResult {
   soc::WorkloadRun run;
@@ -152,44 +153,25 @@ std::string TracePathFor(const std::string& base, const std::string& workload,
 int main(int argc, char** argv) {
   bool json = false;
   bool quiet = false;
-  bool gals = true;
-  std::size_t top_n = 10;
+  bool sync = false;
+  std::uint64_t top_n = 10;
   std::string json_path;
   std::string trace_path = "trace.json";
-  std::vector<std::string> names{"conv2d"};
-  bool names_from_args = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      json = true;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json = true;
-      json_path = arg.substr(std::strlen("--json="));
-    } else if ((arg == "--workload" || arg == "-w") && i + 1 < argc) {
-      if (!names_from_args) names.clear();
-      names_from_args = true;
-      names.emplace_back(argv[++i]);
-    } else if (arg.rfind("--workload=", 0) == 0) {
-      if (!names_from_args) names.clear();
-      names_from_args = true;
-      names.push_back(arg.substr(std::strlen("--workload=")));
-    } else if (arg == "-o" && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      trace_path = arg.substr(std::strlen("--trace="));
-    } else if (arg == "--top" && i + 1 < argc) {
-      top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "--sync") {
-      gals = false;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: craft_trace [--workload NAME]... [-o FILE] "
-                   "[--json[=FILE]] [--top N] [--sync] [--quiet]\n");
-      return 2;
-    }
-  }
+  std::vector<std::string> names;
+
+  cli::Parser p("craft_trace", kUsage);
+  p.OptStr("--json", &json, &json_path);
+  p.StrList("--workload", &names);
+  p.Alias("-w", "--workload");
+  p.Str("--trace", &trace_path);
+  p.Alias("-o", "--trace");
+  p.U64("--top", &top_n);
+  p.Flag("--sync", &sync);
+  p.Flag("--quiet", &quiet);
+  if (auto st = p.Parse(argc, argv); st != cli::Status::kContinue)
+    return cli::ExitCode(st);
+  if (names.empty()) names.emplace_back("conv2d");
+  const bool gals = !sync;
 
   std::vector<soc::Workload> selected;
   for (const soc::Workload& w : soc::AllWorkloads()) {
@@ -207,7 +189,7 @@ int main(int argc, char** argv) {
   std::vector<RunResult> results;
   int failures = 0;
   for (const soc::Workload& w : selected) {
-    RunResult r = RunOne(w, gals, top_n);
+    RunResult r = RunOne(w, gals, static_cast<std::size_t>(top_n));
     std::string why;
     const bool valid = Validate(r, &why);
     if (!valid) ++failures;
